@@ -1,0 +1,347 @@
+package dyncoll
+
+// Benchmarks regenerating the paper's tables as Go testing.B targets.
+// Each BenchmarkTableN / BenchmarkFigN group corresponds to one table or
+// figure of the paper; cmd/benchtables prints the same measurements as
+// formatted rows, and EXPERIMENTS.md records the mapping. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Sub-benchmark names encode the parameters, e.g.
+// BenchmarkTable2Count/T2+FM/n=65536-8.
+
+import (
+	"fmt"
+	"testing"
+
+	"dyncoll/internal/baseline"
+	"dyncoll/internal/core"
+	"dyncoll/internal/doc"
+	"dyncoll/internal/fmindex"
+	"dyncoll/internal/textgen"
+)
+
+func benchDocs(total, sigma int, seed int64) []doc.Doc {
+	gen := textgen.NewCollection(textgen.CollectionOptions{
+		Sigma: sigma, Order: 1, Skew: 0.6, MinLen: 256, MaxLen: 2048, Seed: seed,
+	})
+	gen.GenerateTotal(total)
+	return gen.Docs
+}
+
+func benchFM(s int) core.Builder {
+	return func(docs []doc.Doc) core.StaticIndex {
+		return fmindex.Build(docs, fmindex.Options{SampleRate: s})
+	}
+}
+
+// --- Table 1: static index operations across the sampling parameter ---
+
+func BenchmarkTable1Range(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 1)
+	ps := textgen.NewPatternSampler(docs, 2)
+	pats := ps.PlantedSet(64, 8)
+	for _, s := range []int{4, 16, 64} {
+		idx := fmindex.Build(docs, fmindex.Options{SampleRate: s})
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx.Range(pats[i%len(pats)])
+			}
+		})
+	}
+}
+
+func BenchmarkTable1Locate(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 1)
+	for _, s := range []int{4, 16, 64} {
+		idx := fmindex.Build(docs, fmindex.Options{SampleRate: s})
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx.Locate(i % idx.SALen())
+			}
+		})
+	}
+}
+
+func BenchmarkTable1Extract(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 1)
+	for _, s := range []int{4, 16, 64} {
+		idx := fmindex.Build(docs, fmindex.Options{SampleRate: s})
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx.Extract(i%idx.DocCount(), 8, 64)
+			}
+		})
+	}
+}
+
+// --- Table 2: dynamic count/locate/update, ours vs baseline ---
+
+type bench2Index interface {
+	Insert(doc.Doc)
+	Count([]byte) int
+}
+
+func table2Indexes(s int) map[string]func() bench2Index {
+	return map[string]func() bench2Index{
+		"T1+FM": func() bench2Index {
+			return core.NewAmortized(core.Options{Builder: benchFM(s)})
+		},
+		"T2+FM": func() bench2Index {
+			return core.NewWorstCase(core.Options{Builder: benchFM(s), Inline: true})
+		},
+		"DynFM-baseline": func() bench2Index { return baseline.NewDynFM(s) },
+		"SuffixTree":     func() bench2Index { return baseline.NewSTIndex() },
+	}
+}
+
+func BenchmarkTable2Count(b *testing.B) {
+	const s = 8
+	for name, mk := range table2Indexes(s) {
+		for _, n := range []int{1 << 14, 1 << 17} {
+			docs := benchDocs(n, 16, 2)
+			idx := mk()
+			for _, d := range docs {
+				idx.Insert(d)
+			}
+			ps := textgen.NewPatternSampler(docs, 3)
+			pats := ps.PlantedSet(64, 8)
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					idx.Count(pats[i%len(pats)])
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTable2Update(b *testing.B) {
+	const s = 8
+	for name, mk := range table2Indexes(s) {
+		b.Run(name, func(b *testing.B) {
+			gen := textgen.NewCollection(textgen.CollectionOptions{
+				Sigma: 16, MinLen: 256, MaxLen: 1024, Seed: 4,
+			})
+			idx := mk()
+			syms := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := gen.NextDoc()
+				idx.Insert(d)
+				syms += len(d.Data)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(syms), "ns/symbol")
+		})
+	}
+}
+
+func BenchmarkTable2Locate(b *testing.B) {
+	const s = 8
+	docs := benchDocs(1<<16, 16, 5)
+	ps := textgen.NewPatternSampler(docs, 6)
+	pats := ps.PlantedSet(32, 6)
+
+	ours := core.NewWorstCase(core.Options{Builder: benchFM(s), Inline: true})
+	for _, d := range docs {
+		ours.Insert(d)
+	}
+	b.Run("T2+FM", func(b *testing.B) {
+		occ := 0
+		for i := 0; i < b.N; i++ {
+			ours.FindFunc(pats[i%len(pats)], func(core.Occurrence) bool {
+				occ++
+				return occ%64 != 0 // sample a bounded prefix per query
+			})
+		}
+	})
+
+	base := baseline.NewDynFM(s)
+	for _, d := range docs {
+		base.Insert(d)
+	}
+	b.Run("DynFM-baseline", func(b *testing.B) {
+		occ := 0
+		for i := 0; i < b.N; i++ {
+			base.FindFunc(pats[i%len(pats)], func(baseline.Occurrence) bool {
+				occ++
+				return occ%64 != 0
+			})
+		}
+	})
+}
+
+// --- Table 3: O(n log σ)-bit indexes, σ=4, long patterns ---
+
+func BenchmarkTable3LongPatterns(b *testing.B) {
+	docs := benchDocs(1<<16, 4, 7)
+	ps := textgen.NewPatternSampler(docs, 8)
+
+	ours := core.NewWorstCase(core.Options{
+		Builder: func(ds []doc.Doc) core.StaticIndex { return fmindex.BuildSA(ds) },
+		Inline:  true,
+	})
+	base := baseline.NewDynFM(16)
+	for _, d := range docs {
+		ours.Insert(d)
+		base.Insert(d)
+	}
+	for _, plen := range []int{8, 128} {
+		pats := ps.PlantedSet(32, plen)
+		b.Run(fmt.Sprintf("T2+SA/P=%d", plen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ours.Count(pats[i%len(pats)])
+			}
+		})
+		b.Run(fmt.Sprintf("DynFM/P=%d", plen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base.Count(pats[i%len(pats)])
+			}
+		})
+	}
+}
+
+// --- Table 4: counting with and without the Theorem 1 structures ---
+
+func BenchmarkTable4Counting(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 9)
+	ps := textgen.NewPatternSampler(docs, 10)
+	pats := ps.PlantedSet(32, 2) // short → occ ≫ log n
+	for _, counting := range []bool{true, false} {
+		a := core.NewAmortized(core.Options{Builder: benchFM(8), Counting: counting})
+		for _, d := range docs {
+			a.Insert(d)
+		}
+		b.Run(fmt.Sprintf("counting=%v", counting), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Count(pats[i%len(pats)])
+			}
+		})
+	}
+}
+
+// --- Figures 2–3: per-update foreground work, T1 vs T2 ---
+
+func BenchmarkFig23UpdateLatency(b *testing.B) {
+	mks := map[string]func() bench2Index{
+		"T1": func() bench2Index {
+			return core.NewAmortized(core.Options{Builder: benchFM(8)})
+		},
+		"T2": func() bench2Index {
+			return core.NewWorstCase(core.Options{Builder: benchFM(8)})
+		},
+	}
+	for name, mk := range mks {
+		b.Run(name, func(b *testing.B) {
+			gen := textgen.NewCollection(textgen.CollectionOptions{
+				Sigma: 16, MinLen: 128, MaxLen: 512, Seed: 11,
+			})
+			idx := mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Insert(gen.NextDoc())
+			}
+			b.StopTimer()
+			if w, ok := idx.(*core.WorstCase); ok {
+				w.WaitIdle()
+			}
+		})
+	}
+}
+
+// --- Theorem 2: binary relation operations ---
+
+func BenchmarkTheorem2Relation(b *testing.B) {
+	r := NewRelation(RelationOptions{})
+	src := textgen.NewSource(255, 0, 0.7, 12)
+	stream := src.Generate(1 << 18)
+	added := 0
+	for i := 0; added < 1<<16 && i < len(stream); i++ {
+		if r.Add(uint64(i%(1<<13)), uint64(stream[i])) {
+			added++
+		}
+	}
+	b.Run("related", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Related(uint64(i%(1<<13)), uint64(i%256))
+		}
+	})
+	b.Run("count-objects", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.CountObjects(uint64(i % 256))
+		}
+	})
+	b.Run("report-labels", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.LabelsOf(uint64(i%(1<<13)), func(uint64) bool { return true })
+		}
+	})
+	b.Run("add-delete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o, l := uint64(1<<20+i), uint64(i%256)
+			r.Add(o, l)
+			r.Delete(o, l)
+		}
+	})
+}
+
+// --- Theorem 3: graph operations ---
+
+func BenchmarkTheorem3Graph(b *testing.B) {
+	g := NewGraph(GraphOptions{})
+	src := textgen.NewSource(255, 0, 0.6, 13)
+	stream := src.Generate(1 << 18)
+	added := 0
+	for i := 0; added < 1<<15 && i+1 < len(stream); i += 2 {
+		u := uint64(stream[i]) << 4
+		v := uint64(stream[i+1]) + uint64(i%16)<<8
+		if g.AddEdge(u, v) {
+			added++
+		}
+	}
+	b.Run("has-edge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.HasEdge(uint64(i%4096), uint64(i%4096))
+		}
+	})
+	b.Run("neighbors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.NeighborsFunc(uint64(i%4096), func(uint64) bool { return true })
+		}
+	})
+	b.Run("in-degree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.InDegree(uint64(i % 4096))
+		}
+	})
+}
+
+// --- Table 1 addendum: the Ψ-CSA family ([39]) vs the FM-index ---
+
+func BenchmarkTable1CSARange(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 1)
+	ps := textgen.NewPatternSampler(docs, 2)
+	pats := ps.PlantedSet(64, 8)
+	csa := fmindex.BuildCSA(docs, fmindex.Options{SampleRate: 16})
+	b.Run("CSA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csa.Range(pats[i%len(pats)])
+		}
+	})
+	fm := fmindex.Build(docs, fmindex.Options{SampleRate: 16})
+	b.Run("FM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fm.Range(pats[i%len(pats)])
+		}
+	})
+}
+
+func BenchmarkTable1CSAExtract(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 1)
+	csa := fmindex.BuildCSA(docs, fmindex.Options{SampleRate: 16})
+	b.Run("CSA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csa.Extract(i%csa.DocCount(), 8, 64)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+// Command benchtables regenerates every table and figure of the paper's
+// results on synthetic workloads. The paper is a theory paper — its
+// "evaluation" is the asymptotic trade-off tables (Tables 1–4) and the
+// structural figures (Figs. 1–3) plus Theorems 2–3 — so each experiment
+// here measures the corresponding quantity empirically and prints rows
+// whose *shape* (who wins, how costs grow with n, σ, s, |P|) can be
+// compared against the paper's bounds. EXPERIMENTS.md records the
+// mapping and the measured outcomes.
+//
+// Usage:
+//
+//	benchtables -exp all          # everything (minutes)
+//	benchtables -exp table2       # one experiment
+//	benchtables -exp table2 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1 table2 table3 table4 fig1 fig23 theorem2 theorem3 ablation space all")
+	quick := flag.Bool("quick", false, "smaller sweeps (for smoke tests)")
+	flag.Parse()
+
+	runs := map[string]func(bool){
+		"table1":   table1,
+		"table2":   table2,
+		"table3":   table3,
+		"table4":   table4,
+		"fig1":     fig1,
+		"fig23":    fig23,
+		"theorem2": theorem2,
+		"theorem3": theorem3,
+		"ablation": ablation,
+		"space":    space,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig1", "fig23", "theorem2", "theorem3", "ablation", "space"} {
+			runs[name](*quick)
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fn(*quick)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+
+	"dyncoll/internal/baseline"
+	"dyncoll/internal/core"
+	"dyncoll/internal/doc"
+	"dyncoll/internal/huffman"
+	"dyncoll/internal/textgen"
+)
+
+// space reproduces the space columns of Tables 1–3: the dynamic
+// compressed index must track the text's entropy (nHk + lower-order
+// terms) while the suffix-tree solution pays Θ(n log n) bits, across
+// sources from incompressible to highly repetitive.
+func space(quick bool) {
+	fmt.Println("=== Space: compressed dynamic index vs entropy vs baselines ===")
+	fmt.Println("paper: ours nHk + o(n log σ) + O(n log n/s); suffix tree Θ(n log n) bits")
+	n := 1 << 17
+	if quick {
+		n = 1 << 14
+	}
+	fmt.Printf("\n%8s %8s | %12s %12s %12s\n",
+		"skew", "H0", "T2+FM b/sym", "DynFM b/sym", "SufTree b/sym")
+	// Order-0 sources built directly (bypassing collection defaults) so
+	// the skew drives the zero-order entropy the Huffman-shaped wavelets
+	// compress to — skew 0 really is the uniform, incompressible source.
+	// (Entropy is not monotone in skew: the geometric rank distribution
+	// truncates at σ, so very high skew re-approaches uniform. Rows are
+	// printed in the sweep order; read the H0 column.)
+	type row struct {
+		skew, h0, ours, dfm, st float64
+	}
+	var rows []row
+	for _, skew := range []float64{0.0, 0.8, 0.65, 0.5} {
+		src := textgen.NewSource(64, 0, skew, 3030)
+		var docs []doc.Doc
+		total := 0
+		for id := uint64(1); total < n; id++ {
+			d := doc.Doc{ID: id, Data: src.Generate(1024)}
+			docs = append(docs, d)
+			total += len(d.Data)
+		}
+		text := concat(docs)
+		h0 := huffman.H0Bytes(text)
+
+		ours := core.NewWorstCase(core.Options{Builder: fmBuilder(16), Inline: true})
+		dfm := baseline.NewDynFM(16)
+		st := baseline.NewSTIndex()
+		for _, d := range docs {
+			ours.Insert(d)
+			dfm.Insert(d)
+			st.Insert(d)
+		}
+		bits := func(sz int64) float64 { return float64(sz) / float64(len(text)) }
+		rows = append(rows, row{skew, h0, bits(ours.SizeBits()), bits(dfm.SizeBits()), bits(st.SizeBits())})
+	}
+	for _, r := range rows {
+		fmt.Printf("%8.2f %8.2f | %12.1f %12.1f %12.1f\n", r.skew, r.h0, r.ours, r.dfm, r.st)
+	}
+	fmt.Println("\nshape check: our index's compressed payload tracks H0 (the Huffman-")
+	fmt.Println("shaped wavelet), moving bits/sym with the source entropy on top of the")
+	fmt.Println("fixed O(n log n/s) sampling overhead; this baseline DynFM realization")
+	fmt.Println("uses a fixed-depth dynamic wavelet (entropy-blind, flat bits/sym); the")
+	fmt.Println("suffix tree is 20-40x larger — Table 2's space story.")
+}

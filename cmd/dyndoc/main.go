@@ -1,0 +1,210 @@
+// Command dyndoc is an interactive/scriptable front end for a dynamic
+// compressed document collection. It reads simple commands from stdin
+// (or a script via -f) and prints results to stdout:
+//
+//	add <id> <text…>      insert a document
+//	addfile <id> <path>   insert a file's contents as a document
+//	del <id>              delete a document
+//	find <pattern>        list occurrences (doc id + offset)
+//	count <pattern>       count occurrences
+//	extract <id> <off> <len>
+//	stats                 collection statistics
+//	quit
+//
+// Flags select the transformation, static index, and tuning parameters,
+// so the CLI doubles as a manual test bench for the paper's machinery.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyncoll"
+)
+
+func main() {
+	var (
+		transform = flag.String("transform", "worstcase", "transformation: amortized | worstcase | fastinsert")
+		index     = flag.String("index", "fm", "static index: fm (compressed) | sa (plain suffix array)")
+		sample    = flag.Int("s", 16, "suffix-array sample rate s (locate cost)")
+		tau       = flag.Int("tau", 0, "lazy-deletion parameter τ (0 = automatic)")
+		counting  = flag.Bool("counting", false, "enable Theorem 1 counting structures")
+		script    = flag.String("f", "", "read commands from file instead of stdin")
+	)
+	flag.Parse()
+
+	opts := dyncoll.CollectionOptions{
+		SampleRate: *sample,
+		Tau:        *tau,
+		Counting:   *counting,
+	}
+	switch *transform {
+	case "amortized":
+		opts.Transformation = dyncoll.Amortized
+	case "fastinsert":
+		opts.Transformation = dyncoll.AmortizedFastInsert
+	case "worstcase":
+		opts.Transformation = dyncoll.WorstCase
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transformation %q\n", *transform)
+		os.Exit(2)
+	}
+	switch *index {
+	case "fm":
+		opts.Index = dyncoll.CompressedFM
+	case "sa":
+		opts.Index = dyncoll.PlainSA
+	default:
+		fmt.Fprintf(os.Stderr, "unknown index %q\n", *index)
+		os.Exit(2)
+	}
+
+	c := dyncoll.NewCollection(opts)
+
+	in := os.Stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		cmd := fields[0]
+		rest := ""
+		if len(fields) > 1 {
+			rest = fields[1]
+		}
+		if err := run(c, cmd, rest); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func run(c *dyncoll.Collection, cmd, rest string) error {
+	switch cmd {
+	case "quit", "exit":
+		return errQuit
+
+	case "add":
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("usage: add <id> <text>")
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		if c.Has(id) {
+			return fmt.Errorf("document %d already exists", id)
+		}
+		c.Insert(dyncoll.Document{ID: id, Data: []byte(parts[1])})
+		fmt.Printf("added %d (%d bytes)\n", id, len(parts[1]))
+
+	case "addfile":
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf("usage: addfile <id> <path>")
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(parts[1])
+		if err != nil {
+			return err
+		}
+		if c.Has(id) {
+			return fmt.Errorf("document %d already exists", id)
+		}
+		for i, b := range data {
+			if b == 0 {
+				return fmt.Errorf("file contains reserved zero byte at offset %d", i)
+			}
+		}
+		c.Insert(dyncoll.Document{ID: id, Data: data})
+		fmt.Printf("added %d (%d bytes)\n", id, len(data))
+
+	case "del":
+		id, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return err
+		}
+		if !c.Delete(id) {
+			return fmt.Errorf("no document %d", id)
+		}
+		fmt.Printf("deleted %d\n", id)
+
+	case "find":
+		if rest == "" {
+			return fmt.Errorf("usage: find <pattern>")
+		}
+		n := 0
+		c.FindFunc([]byte(rest), func(o dyncoll.Occurrence) bool {
+			fmt.Printf("  doc %d @ %d\n", o.DocID, o.Off)
+			n++
+			return n < 1000
+		})
+		fmt.Printf("%d occurrence(s)\n", n)
+
+	case "count":
+		if rest == "" {
+			return fmt.Errorf("usage: count <pattern>")
+		}
+		fmt.Println(c.Count([]byte(rest)))
+
+	case "extract":
+		parts := strings.Fields(rest)
+		if len(parts) != 3 {
+			return fmt.Errorf("usage: extract <id> <off> <len>")
+		}
+		id, err1 := strconv.ParseUint(parts[0], 10, 64)
+		off, err2 := strconv.Atoi(parts[1])
+		length, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad arguments")
+		}
+		data, ok := c.Extract(id, off, length)
+		if !ok {
+			return fmt.Errorf("no document %d or range out of bounds", id)
+		}
+		fmt.Printf("%q\n", data)
+
+	case "stats":
+		c.WaitIdle()
+		fmt.Printf("documents: %d\n", c.DocCount())
+		fmt.Printf("symbols:   %d\n", c.Len())
+		fmt.Printf("index:     %d bits (%.2f bits/symbol)\n",
+			c.SizeBits(), float64(c.SizeBits())/float64(max(1, c.Len())))
+
+	default:
+		return fmt.Errorf("unknown command %q (add addfile del find count extract stats quit)", cmd)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+// Package dyncoll is a compressed, fully-dynamic document index and graph
+// library: a Go implementation of
+//
+//	J. Ian Munro, Yakov Nekrich, Jeffrey Scott Vitter.
+//	"Dynamic Data Structures for Document Collections and Graphs."
+//	PODS 2015 (arXiv:1503.05977).
+//
+// The paper's contribution is a general framework that turns any static
+// compressed text index into a dynamic one — supporting document
+// insertions and deletions — without routing queries through dynamic
+// rank/select, whose Ω(log n / log log n) lower bound (Fredman–Saks)
+// bottlenecked all previous dynamic compressed indexes.
+//
+// The top-level API:
+//
+//   - Collection — a dynamic compressed document collection: Insert,
+//     Delete, Find/FindFunc, Count, Extract.
+//   - Relation — a dynamic compressed binary relation (Theorem 2).
+//   - Graph — a dynamic compressed directed graph (Theorem 3).
+//
+// Quick start:
+//
+//	c := dyncoll.NewCollection(dyncoll.CollectionOptions{})
+//	c.Insert(dyncoll.Document{ID: 1, Data: []byte("abracadabra")})
+//	occs := c.Find([]byte("bra")) // → [{1 1} {1 8}]
+//
+// See the examples directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for how the implementation maps onto the paper.
+package dyncoll
+
+import (
+	"dyncoll/internal/baseline"
+	"dyncoll/internal/binrel"
+	"dyncoll/internal/core"
+	"dyncoll/internal/doc"
+	"dyncoll/internal/fmindex"
+	"dyncoll/internal/graph"
+)
+
+// Document is one document: an application-chosen ID and a byte payload.
+// Payload bytes must be non-zero (0x00 is the reserved separator).
+type Document = doc.Doc
+
+// Occurrence is one pattern match: the matching document and the offset
+// of the match within it. Offsets are relative to the document, so
+// deleting other documents never shifts them (the paper's (doc, off)
+// reporting convention).
+type Occurrence = core.Occurrence
+
+// Transformation selects which of the paper's static-to-dynamic
+// transformations backs a Collection.
+type Transformation int
+
+const (
+	// Amortized is Transformation 1: updates cost O(u(n)·logᵋ n)
+	// amortized per symbol; queries match the static index exactly.
+	Amortized Transformation = iota
+	// WorstCase is Transformation 2: bounded foreground work per update
+	// (rebuilds run in the background); range-finding visits O(τ) more
+	// sub-collections.
+	WorstCase
+	// AmortizedFastInsert is Transformation 3: O(log log n) levels make
+	// insertions cheaper (O(u(n)·log log n) amortized) at an
+	// O(log log n) query fan-out factor.
+	AmortizedFastInsert
+)
+
+// IndexKind selects the static index that compressed sub-collections are
+// built from.
+type IndexKind int
+
+const (
+	// CompressedFM is the nHk-space FM-index (wavelet tree over the BWT;
+	// the stand-in for the Belazzougui–Navarro / Barbay et al. indexes of
+	// Tables 1–2). Locate costs O(s) with sampling parameter SampleRate.
+	CompressedFM IndexKind = iota
+	// PlainSA is the O(n log σ)-bit suffix-array index (the Grossi–Vitter
+	// stand-in of Table 3): faster queries, more space.
+	PlainSA
+	// CompressedCSA is the Ψ-based compressed suffix array (Sadakane
+	// flavour, Table 1 row [39]): no rank/select machinery at all,
+	// trange = O(|P| log n), tlocate = O(s). Exists to demonstrate the
+	// framework's index-agnosticism with a second compressed family.
+	CompressedCSA
+)
+
+// CollectionOptions configure NewCollection. The zero value gives the
+// paper's defaults: Transformation 2 over the compressed FM-index with
+// automatic τ.
+type CollectionOptions struct {
+	// Transformation picks the update-cost regime. Default WorstCase.
+	Transformation Transformation
+	// Index picks the underlying static index. Default CompressedFM.
+	Index IndexKind
+	// SampleRate is the suffix-array sampling rate s of the FM-index:
+	// locate costs O(s), the samples cost O(n/s·log n) bits. Default 16.
+	SampleRate int
+	// Tau is the paper's τ: a sub-collection is purged once a 1/τ
+	// fraction of it is dead, costing O(n·log τ/τ) bits of bookkeeping.
+	// 0 = automatic (log n / log log n).
+	Tau int
+	// Counting attaches Theorem 1's structures so Count answers in
+	// O(tcount) without enumerating matches, at +O(log n/log log n)
+	// update cost per symbol.
+	Counting bool
+	// SyncRebuilds forces WorstCase background rebuilds to complete
+	// synchronously (deterministic, single-threaded behaviour).
+	SyncRebuilds bool
+}
+
+// Collection is a dynamic compressed document collection.
+type Collection struct {
+	impl interface {
+		Insert(doc.Doc)
+		Delete(id uint64) bool
+		Has(id uint64) bool
+		DocIDs() []uint64
+		Find(pattern []byte) []core.Occurrence
+		FindFunc(pattern []byte, fn func(core.Occurrence) bool)
+		Count(pattern []byte) int
+		Extract(id uint64, off, length int) ([]byte, bool)
+		DocLen(id uint64) (int, bool)
+		Len() int
+		DocCount() int
+		SizeBits() int64
+	}
+	wc *core.WorstCase // non-nil when Transformation == WorstCase
+}
+
+// NewCollection creates an empty dynamic document collection.
+func NewCollection(opts CollectionOptions) *Collection {
+	var b core.Builder
+	switch opts.Index {
+	case PlainSA:
+		b = func(docs []doc.Doc) core.StaticIndex { return fmindex.BuildSA(docs) }
+	case CompressedCSA:
+		rate := opts.SampleRate
+		b = func(docs []doc.Doc) core.StaticIndex {
+			return fmindex.BuildCSA(docs, fmindex.Options{SampleRate: rate})
+		}
+	default:
+		rate := opts.SampleRate
+		b = func(docs []doc.Doc) core.StaticIndex {
+			return fmindex.Build(docs, fmindex.Options{SampleRate: rate})
+		}
+	}
+	co := core.Options{
+		Builder:  b,
+		Tau:      opts.Tau,
+		Counting: opts.Counting,
+		Inline:   opts.SyncRebuilds,
+	}
+	c := &Collection{}
+	switch opts.Transformation {
+	case Amortized:
+		c.impl = core.NewAmortized(co)
+	case AmortizedFastInsert:
+		co.Ratio2 = true
+		c.impl = core.NewAmortized(co)
+	default:
+		w := core.NewWorstCase(co)
+		c.impl = w
+		c.wc = w
+	}
+	return c
+}
+
+// Insert adds a document. It panics on a duplicate ID or a payload
+// containing the reserved byte 0x00.
+func (c *Collection) Insert(d Document) { c.impl.Insert(d) }
+
+// Delete removes the document with the given ID, reporting whether it was
+// present.
+func (c *Collection) Delete(id uint64) bool { return c.impl.Delete(id) }
+
+// Has reports whether a live document with the given ID exists.
+func (c *Collection) Has(id uint64) bool { return c.impl.Has(id) }
+
+// Find returns every occurrence of pattern across all live documents.
+func (c *Collection) Find(pattern []byte) []Occurrence { return c.impl.Find(pattern) }
+
+// FindFunc streams occurrences of pattern; enumeration stops when fn
+// returns false.
+func (c *Collection) FindFunc(pattern []byte, fn func(Occurrence) bool) {
+	c.impl.FindFunc(pattern, fn)
+}
+
+// Count returns the number of occurrences of pattern.
+func (c *Collection) Count(pattern []byte) int { return c.impl.Count(pattern) }
+
+// Extract returns length payload bytes of document id starting at off.
+func (c *Collection) Extract(id uint64, off, length int) ([]byte, bool) {
+	return c.impl.Extract(id, off, length)
+}
+
+// DocLen returns the payload length of document id.
+func (c *Collection) DocLen(id uint64) (int, bool) { return c.impl.DocLen(id) }
+
+// DocIDs returns the IDs of all live documents in unspecified order.
+func (c *Collection) DocIDs() []uint64 { return c.impl.DocIDs() }
+
+// Len reports the total number of live payload symbols.
+func (c *Collection) Len() int { return c.impl.Len() }
+
+// DocCount reports the number of live documents.
+func (c *Collection) DocCount() int { return c.impl.DocCount() }
+
+// SizeBits estimates the index footprint in bits (for space accounting).
+func (c *Collection) SizeBits() int64 { return c.impl.SizeBits() }
+
+// WaitIdle blocks until background rebuilds (WorstCase transformation
+// only) have completed; other transformations return immediately.
+func (c *Collection) WaitIdle() {
+	if c.wc != nil {
+		c.wc.WaitIdle()
+	}
+}
+
+// IndexStats describes the collection's internal layout: the
+// sub-collection ladder of the paper's transformations plus rebuild
+// counters. Fields that do not apply to the active transformation are
+// zero.
+type IndexStats struct {
+	// Levels is the number of sub-collection slots (C0 plus compressed
+	// levels).
+	Levels int
+	// LevelSizes and LevelCaps list live symbols and capacity per level;
+	// index 0 is the uncompressed C0.
+	LevelSizes []int
+	LevelCaps  []int
+	// Rebuilds counts level rebuilds (amortized) or background builds
+	// (worst-case); GlobalRebuilds counts whole-collection rebuilds.
+	Rebuilds       int
+	GlobalRebuilds int
+	// Tops is the number of top collections (worst-case transformation).
+	Tops int
+	// Tau is the lazy-deletion parameter currently in effect.
+	Tau int
+}
+
+// Stats reports the collection's internal layout and rebuild counters.
+func (c *Collection) Stats() IndexStats {
+	switch impl := c.impl.(type) {
+	case *core.Amortized:
+		st := impl.Stats()
+		return IndexStats{
+			Levels:         st.Levels,
+			LevelSizes:     st.LevelSizes,
+			LevelCaps:      st.LevelCaps,
+			Rebuilds:       st.LevelRebuilds,
+			GlobalRebuilds: st.GlobalRebuilds,
+			Tau:            impl.Tau(),
+		}
+	case *core.WorstCase:
+		st := impl.Stats()
+		return IndexStats{
+			Levels:         len(st.LevelCaps),
+			LevelSizes:     st.LevelSizes,
+			LevelCaps:      st.LevelCaps,
+			Rebuilds:       st.BackgroundBuilds + st.SyncBuilds,
+			GlobalRebuilds: st.Rebalances,
+			Tops:           st.Tops,
+			Tau:            impl.Tau(),
+		}
+	}
+	return IndexStats{}
+}
+
+// Relation is a dynamic compressed binary relation between uint64 objects
+// and uint64 labels (Theorem 2).
+type Relation = binrel.Relation
+
+// RelationOptions configure NewRelation.
+type RelationOptions = binrel.Options
+
+// Pair is one (object, label) element of a Relation.
+type Pair = binrel.Pair
+
+// NewRelation creates an empty dynamic compressed binary relation.
+func NewRelation(opts RelationOptions) *Relation { return binrel.New(opts) }
+
+// WorstCaseRelation is a Relation with Transformation 2-style update
+// scheduling: bounded foreground work per update, rebuilds in the
+// background (the paper's Theorem 2 update bound).
+type WorstCaseRelation = binrel.WorstCaseRelation
+
+// WorstCaseRelationOptions configure NewWorstCaseRelation.
+type WorstCaseRelationOptions = binrel.WCOptions
+
+// NewWorstCaseRelation creates an empty worst-case dynamic relation.
+func NewWorstCaseRelation(opts WorstCaseRelationOptions) *WorstCaseRelation {
+	return binrel.NewWorstCase(opts)
+}
+
+// Graph is a dynamic compressed directed graph (Theorem 3).
+type Graph = graph.Graph
+
+// GraphOptions configure NewGraph.
+type GraphOptions = graph.Options
+
+// NewGraph creates an empty dynamic compressed directed graph.
+func NewGraph(opts GraphOptions) *Graph { return graph.New(opts) }
+
+// BaselineCollection is the pre-paper state of the art: a dynamic
+// FM-index whose every query symbol costs a dynamic rank (Θ(log n)).
+// It exists for comparison benchmarks; prefer Collection.
+type BaselineCollection = baseline.DynFM
+
+// NewBaselineCollection creates the dynamic-rank baseline index with
+// suffix-array sample rate s.
+func NewBaselineCollection(s int) *BaselineCollection { return baseline.NewDynFM(s) }

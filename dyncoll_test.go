@@ -1,0 +1,177 @@
+package dyncoll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCollectionConfigurations(t *testing.T) {
+	cases := []CollectionOptions{
+		{},
+		{Transformation: Amortized},
+		{Transformation: AmortizedFastInsert},
+		{Transformation: WorstCase, SyncRebuilds: true},
+		{Index: PlainSA},
+		{Index: CompressedCSA},
+		{Index: CompressedCSA, Transformation: Amortized, SampleRate: 4},
+		{Counting: true, SyncRebuilds: true},
+		{SampleRate: 4, Tau: 8},
+	}
+	for i, opts := range cases {
+		t.Run(fmt.Sprintf("cfg%d", i), func(t *testing.T) {
+			c := NewCollection(opts)
+			c.Insert(Document{ID: 1, Data: []byte("abracadabra")})
+			c.Insert(Document{ID: 2, Data: []byte("alakazam")})
+			c.Insert(Document{ID: 3, Data: []byte("abrakadabra")})
+			c.WaitIdle()
+			if got := c.Count([]byte("abra")); got != 4 {
+				t.Fatalf("Count(abra) = %d, want 4", got)
+			}
+			occs := c.Find([]byte("ka"))
+			if len(occs) != 2 {
+				t.Fatalf("Find(ka) = %v", occs)
+			}
+			if !c.Delete(3) {
+				t.Fatal("Delete(3) failed")
+			}
+			c.WaitIdle()
+			if got := c.Count([]byte("abra")); got != 2 {
+				t.Fatalf("Count(abra) after delete = %d, want 2", got)
+			}
+			data, ok := c.Extract(1, 1, 4)
+			if !ok || !bytes.Equal(data, []byte("brac")) {
+				t.Fatalf("Extract = %q, %v", data, ok)
+			}
+			if n, ok := c.DocLen(2); !ok || n != 8 {
+				t.Fatalf("DocLen(2) = %d, %v", n, ok)
+			}
+			if c.DocCount() != 2 || c.Len() != 11+8 {
+				t.Fatalf("DocCount=%d Len=%d", c.DocCount(), c.Len())
+			}
+			if !c.Has(1) || c.Has(3) {
+				t.Fatal("Has wrong")
+			}
+			if c.SizeBits() <= 0 {
+				t.Fatal("SizeBits not positive")
+			}
+		})
+	}
+}
+
+func TestCollectionFindFuncStream(t *testing.T) {
+	c := NewCollection(CollectionOptions{SyncRebuilds: true})
+	for i := 1; i <= 30; i++ {
+		c.Insert(Document{ID: uint64(i), Data: []byte("xyxyxy")})
+	}
+	n := 0
+	c.FindFunc([]byte("xy"), func(Occurrence) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRelationFacade(t *testing.T) {
+	r := NewRelation(RelationOptions{})
+	r.Add(1, 100)
+	r.Add(1, 200)
+	r.Add(2, 100)
+	if !r.Related(1, 100) || r.Related(2, 200) {
+		t.Fatal("Related wrong")
+	}
+	if r.CountObjects(100) != 2 || r.CountLabels(1) != 2 {
+		t.Fatal("counts wrong")
+	}
+	r.Delete(1, 100)
+	if r.Related(1, 100) || r.Len() != 2 {
+		t.Fatal("delete wrong")
+	}
+}
+
+func TestGraphFacade(t *testing.T) {
+	g := NewGraph(GraphOptions{})
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	if g.OutDegree(1) != 2 || g.InDegree(3) != 2 {
+		t.Fatal("degrees wrong")
+	}
+	ns := g.Neighbors(1)
+	if len(ns) != 2 || ns[0] != 2 || ns[1] != 3 {
+		t.Fatalf("Neighbors = %v", ns)
+	}
+}
+
+func TestBaselineFacade(t *testing.T) {
+	b := NewBaselineCollection(8)
+	b.Insert(Document{ID: 1, Data: []byte("banana")})
+	if got := b.Count([]byte("an")); got != 2 {
+		t.Fatalf("baseline Count = %d", got)
+	}
+}
+
+func ExampleCollection() {
+	c := NewCollection(CollectionOptions{SyncRebuilds: true})
+	c.Insert(Document{ID: 1, Data: []byte("the quick brown fox")})
+	c.Insert(Document{ID: 2, Data: []byte("the lazy dog")})
+	fmt.Println(c.Count([]byte("the")))
+	c.Delete(2)
+	fmt.Println(c.Count([]byte("the")))
+	// Output:
+	// 2
+	// 1
+}
+
+func TestCollectionDocIDs(t *testing.T) {
+	for _, tr := range []Transformation{Amortized, WorstCase, AmortizedFastInsert} {
+		c := NewCollection(CollectionOptions{Transformation: tr, SyncRebuilds: true})
+		want := map[uint64]bool{}
+		for i := uint64(1); i <= 40; i++ {
+			c.Insert(Document{ID: i, Data: []byte{byte(i%5 + 1), 2, 3}})
+			want[i] = true
+		}
+		for i := uint64(1); i <= 40; i += 3 {
+			c.Delete(i)
+			delete(want, i)
+		}
+		got := c.DocIDs()
+		if len(got) != len(want) {
+			t.Fatalf("transform %d: DocIDs len = %d, want %d", tr, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("transform %d: unexpected ID %d", tr, id)
+			}
+		}
+	}
+}
+
+func TestCollectionStats(t *testing.T) {
+	a := NewCollection(CollectionOptions{Transformation: Amortized})
+	w := NewCollection(CollectionOptions{Transformation: WorstCase, SyncRebuilds: true})
+	for i := uint64(1); i <= 120; i++ {
+		d := Document{ID: i, Data: []byte("some document payload for stats testing")}
+		a.Insert(d)
+		d2 := d
+		d2.ID = i
+		w.Insert(d2)
+	}
+	for _, c := range []*Collection{a, w} {
+		st := c.Stats()
+		if st.Levels < 1 || len(st.LevelSizes) != len(st.LevelCaps) {
+			t.Fatalf("malformed stats: %+v", st)
+		}
+		if st.Tau < 2 {
+			t.Fatalf("Tau = %d", st.Tau)
+		}
+		if st.Rebuilds == 0 {
+			t.Fatalf("no rebuilds recorded: %+v", st)
+		}
+	}
+	if w.Stats().Tops == 0 && a.Stats().Tops != 0 {
+		t.Fatal("Tops should only apply to worst-case") // sanity of zero-field contract
+	}
+}

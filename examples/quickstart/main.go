@@ -1,0 +1,43 @@
+// Quickstart: the smallest useful dyncoll program — build a dynamic
+// compressed collection, search it, mutate it, search again.
+package main
+
+import (
+	"fmt"
+
+	"dyncoll"
+)
+
+func main() {
+	c := dyncoll.NewCollection(dyncoll.CollectionOptions{})
+
+	// Insert a few documents. IDs are yours to choose; payloads are raw
+	// bytes (anything except 0x00).
+	c.Insert(dyncoll.Document{ID: 1, Data: []byte("the quick brown fox jumps over the lazy dog")})
+	c.Insert(dyncoll.Document{ID: 2, Data: []byte("pack my box with five dozen liquor jugs")})
+	c.Insert(dyncoll.Document{ID: 3, Data: []byte("the five boxing wizards jump quickly")})
+
+	// Substring search across every live document. Occurrences carry the
+	// document ID and the offset within that document.
+	for _, occ := range c.Find([]byte("five")) {
+		fmt.Printf("'five' occurs in doc %d at offset %d\n", occ.DocID, occ.Off)
+	}
+
+	// Counting without enumerating.
+	fmt.Printf("'the' occurs %d times\n", c.Count([]byte("the")))
+
+	// Deleting a document removes its matches; offsets in the other
+	// documents are unaffected (they are document-relative).
+	c.Delete(3)
+	fmt.Printf("after deleting doc 3: 'five' occurs %d times\n", c.Count([]byte("five")))
+
+	// Extract a substring of a stored document without decompressing the
+	// whole collection.
+	data, _ := c.Extract(2, 5, 6)
+	fmt.Printf("doc 2 bytes [5,11) = %q\n", data)
+
+	// The index stays compressed as it grows; SizeBits tracks the
+	// footprint.
+	fmt.Printf("collection: %d docs, %d symbols, ~%d KiB index\n",
+		c.DocCount(), c.Len(), c.SizeBits()/8/1024)
+}

@@ -1,0 +1,114 @@
+// Selectivity: the paper's introduction ties dynamic indexing to
+// substring selectivity estimation for query optimizers (Orlandi &
+// Venturini, PODS 2011; Chaudhuri et al., ICDE 2004): given a LIKE
+// '%pattern%' predicate, estimate what fraction of a *changing* table
+// column matches, using exact substring counts from the compressed index
+// (Theorem 1 counting) instead of stale samples.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dyncoll"
+)
+
+// column simulates a VARCHAR column of product descriptions.
+type column struct {
+	idx    *dyncoll.Collection
+	nextID uint64
+	rows   int
+}
+
+func newColumn() *column {
+	return &column{
+		idx: dyncoll.NewCollection(dyncoll.CollectionOptions{
+			Counting: true, // O(log n) exact counts per sub-collection
+		}),
+		nextID: 1,
+	}
+}
+
+func (c *column) insert(value string) uint64 {
+	id := c.nextID
+	c.nextID++
+	c.idx.Insert(dyncoll.Document{ID: id, Data: []byte(value)})
+	c.rows++
+	return id
+}
+
+func (c *column) delete(id uint64) {
+	if c.idx.Delete(id) {
+		c.rows--
+	}
+}
+
+// selectivity returns the estimated fraction of rows matching
+// LIKE '%'+pattern+'%'. Occurrence count over rows is an upper bound on
+// matching rows (a row can match twice); it is the estimator [38]-style
+// optimizers use, exact on the current data rather than sampled.
+func (c *column) selectivity(pattern string) float64 {
+	if c.rows == 0 {
+		return 0
+	}
+	occ := c.idx.Count([]byte(pattern))
+	frac := float64(occ) / float64(c.rows)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(8))
+	adjectives := []string{"red", "blue", "small", "large", "wireless", "ergonomic", "vintage", "solar"}
+	nouns := []string{"keyboard", "mouse", "lamp", "chair", "desk", "monitor", "cable", "stand"}
+	materials := []string{"steel", "oak", "plastic", "aluminium", "bamboo", "glass"}
+
+	col := newColumn()
+	makeRow := func() string {
+		return fmt.Sprintf("%s %s %s %s",
+			adjectives[rng.Intn(len(adjectives))],
+			materials[rng.Intn(len(materials))],
+			nouns[rng.Intn(len(nouns))],
+			strings.Repeat("x", rng.Intn(4)), // filler variance
+		)
+	}
+	var ids []uint64
+	for i := 0; i < 20_000; i++ {
+		ids = append(ids, col.insert(makeRow()))
+	}
+	col.idx.WaitIdle()
+
+	preds := []string{"wireless", "oak", "key", "solar glass", "zzz"}
+	fmt.Printf("%-16s %12s    plan choice\n", "predicate", "selectivity")
+	report := func() {
+		for _, p := range preds {
+			s := col.selectivity(p)
+			plan := "index scan"
+			if s > 0.10 {
+				plan = "full scan"
+			}
+			fmt.Printf("LIKE %%%-10s %11.4f    %s\n", p+"%", s, plan)
+		}
+	}
+	fmt.Println("=== initial table (20k rows) ===")
+	report()
+
+	// The workload shifts: wireless products are discontinued in bulk and
+	// a solar-glass line launches. A sampled estimator would be stale;
+	// the index tracks the change exactly.
+	for _, id := range ids {
+		if rng.Float64() < 0.5 {
+			col.delete(id)
+		}
+	}
+	for i := 0; i < 15_000; i++ {
+		col.insert("solar glass " + nouns[rng.Intn(len(nouns))])
+	}
+	col.idx.WaitIdle()
+
+	fmt.Printf("=== after churn (%d rows) ===\n", col.rows)
+	report()
+}

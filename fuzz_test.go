@@ -1,0 +1,143 @@
+package dyncoll
+
+// Native fuzz targets. `go test` exercises the seed corpus; run
+// `go test -fuzz=FuzzCollectionOps` (etc.) for open-ended fuzzing.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCollectionOps interprets the input as a little op program over a
+// collection and cross-checks Count against a naive scan after replay.
+func FuzzCollectionOps(f *testing.F) {
+	f.Add([]byte{1, 5, 2, 3, 1, 4, 9, 9, 0, 2, 7})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{3, 1, 2}, 40))
+	f.Fuzz(func(t *testing.T, program []byte) {
+		c := NewCollection(CollectionOptions{SyncRebuilds: true, SampleRate: 3})
+		docs := map[uint64][]byte{}
+		var nextID uint64 = 1
+		i := 0
+		next := func() byte {
+			if i >= len(program) {
+				return 0
+			}
+			b := program[i]
+			i++
+			return b
+		}
+		for i < len(program) && nextID < 40 {
+			op := next()
+			switch op % 3 {
+			case 0, 1: // insert a doc whose length and content derive from the program
+				n := int(next())%24 + 1
+				data := make([]byte, n)
+				for j := range data {
+					data[j] = next()%4 + 1
+				}
+				c.Insert(Document{ID: nextID, Data: data})
+				docs[nextID] = data
+				nextID++
+			case 2: // delete some id (may be absent)
+				id := uint64(next()) % (nextID + 1)
+				_, present := docs[id]
+				if c.Delete(id) != present {
+					t.Fatalf("Delete(%d) disagreement", id)
+				}
+				delete(docs, id)
+			}
+		}
+		// Verify with a derived pattern.
+		p := []byte{next()%4 + 1, next()%4 + 1}
+		want := 0
+		for _, d := range docs {
+			for off := 0; off+len(p) <= len(d); off++ {
+				if bytes.Equal(d[off:off+len(p)], p) {
+					want++
+				}
+			}
+		}
+		if got := c.Count(p); got != want {
+			t.Fatalf("Count(%v) = %d, want %d", p, got, want)
+		}
+	})
+}
+
+// FuzzRelationOps replays (object, label, op) triples against a map
+// model.
+func FuzzRelationOps(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 1, 2, 1, 3, 4, 0})
+	f.Add(bytes.Repeat([]byte{5, 6, 0}, 30))
+	f.Fuzz(func(t *testing.T, program []byte) {
+		r := NewRelation(RelationOptions{MinCapacity: 8})
+		model := map[[2]uint64]bool{}
+		for i := 0; i+2 < len(program); i += 3 {
+			o := uint64(program[i]) % 16
+			l := uint64(program[i+1]) % 16
+			k := [2]uint64{o, l}
+			if program[i+2]%2 == 0 {
+				if r.Add(o, l) == model[k] {
+					t.Fatalf("Add(%d,%d) disagreement", o, l)
+				}
+				model[k] = true
+			} else {
+				if r.Delete(o, l) != model[k] {
+					t.Fatalf("Delete(%d,%d) disagreement", o, l)
+				}
+				delete(model, k)
+			}
+		}
+		if r.Len() != len(model) {
+			t.Fatalf("Len = %d, want %d", r.Len(), len(model))
+		}
+		for k := range model {
+			if !r.Related(k[0], k[1]) {
+				t.Fatalf("pair %v lost", k)
+			}
+		}
+	})
+}
+
+// FuzzPatternSearch builds one document from the input and checks every
+// substring of it is found at the right offsets.
+func FuzzPatternSearch(f *testing.F) {
+	f.Add([]byte("abracadabra"), uint8(2), uint8(3))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(0), uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, offRaw, lenRaw uint8) {
+		if len(raw) == 0 || len(raw) > 500 {
+			return
+		}
+		data := make([]byte, len(raw))
+		for i, b := range raw {
+			data[i] = b%7 + 1
+		}
+		c := NewCollection(CollectionOptions{SyncRebuilds: true})
+		c.Insert(Document{ID: 1, Data: data})
+		off := int(offRaw) % len(data)
+		l := int(lenRaw)%8 + 1
+		if off+l > len(data) {
+			l = len(data) - off
+		}
+		if l == 0 {
+			return
+		}
+		p := data[off : off+l]
+		occs := c.Find(p)
+		found := false
+		for _, o := range occs {
+			if o.DocID != 1 || o.Off < 0 || o.Off+l > len(data) {
+				t.Fatalf("bad occurrence %+v", o)
+			}
+			if !bytes.Equal(data[o.Off:o.Off+l], p) {
+				t.Fatalf("occurrence at %d does not match", o.Off)
+			}
+			if o.Off == off {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("planted occurrence at %d missing", off)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"dyncoll/internal/doc"
+	"dyncoll/internal/suffixtree"
+)
+
+// STIndex is the paper's Section A.2 strawman: the whole collection in an
+// uncompressed generalized suffix tree. Queries are optimal
+// (O(|P| + occ)), updates are O(|T|), but the space is Θ(n log n) bits —
+// an order of magnitude above the compressed solutions. The benchmark
+// harness uses it as the speed ceiling and the space anti-goal.
+type STIndex struct {
+	t *suffixtree.Tree
+}
+
+// NewSTIndex returns an empty suffix-tree index.
+func NewSTIndex() *STIndex { return &STIndex{t: suffixtree.New()} }
+
+// Len reports live payload symbols.
+func (x *STIndex) Len() int { return x.t.Len() }
+
+// DocCount reports the number of live documents.
+func (x *STIndex) DocCount() int { return x.t.DocCount() }
+
+// Has reports whether document id is present.
+func (x *STIndex) Has(id uint64) bool { return x.t.Has(id) }
+
+// Insert adds a document in O(|T|) time.
+func (x *STIndex) Insert(d doc.Doc) { x.t.Insert(d) }
+
+// Delete removes document id.
+func (x *STIndex) Delete(id uint64) bool { return x.t.Delete(id) }
+
+// Count returns the number of occurrences of pattern.
+func (x *STIndex) Count(pattern []byte) int {
+	if len(pattern) == 0 {
+		return x.t.Len()
+	}
+	return x.t.Count(pattern)
+}
+
+// Find returns every occurrence of pattern.
+func (x *STIndex) Find(pattern []byte) []Occurrence {
+	var out []Occurrence
+	x.FindFunc(pattern, func(o Occurrence) bool {
+		out = append(out, o)
+		return true
+	})
+	return out
+}
+
+// FindFunc streams occurrences; stops when fn returns false.
+func (x *STIndex) FindFunc(pattern []byte, fn func(Occurrence) bool) {
+	if len(pattern) == 0 {
+		for _, d := range x.t.LiveDocs() {
+			for off := 0; off < len(d.Data); off++ {
+				if !fn(Occurrence{DocID: d.ID, Off: off}) {
+					return
+				}
+			}
+		}
+		return
+	}
+	x.t.FindFunc(pattern, func(o suffixtree.Occurrence) bool {
+		return fn(Occurrence{DocID: o.DocID, Off: o.Off})
+	})
+}
+
+// Extract returns length payload bytes of document id starting at off.
+func (x *STIndex) Extract(id uint64, off, length int) ([]byte, bool) {
+	return x.t.Extract(id, off, length)
+}
+
+// DocLen reports the payload length of document id.
+func (x *STIndex) DocLen(id uint64) (int, bool) { return x.t.DocLen(id) }
+
+// SizeBits estimates the index footprint.
+func (x *STIndex) SizeBits() int64 { return x.t.SizeBits() }

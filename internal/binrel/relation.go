@@ -1,0 +1,436 @@
+package binrel
+
+import (
+	"math"
+	"sort"
+)
+
+// Options configure a dynamic Relation.
+type Options struct {
+	// Tau is the lazy-deletion trade-off parameter τ; a sub-collection is
+	// purged once more than a 1/τ fraction of its pairs is dead. 0 means
+	// automatic (τ = log n / log log n, the paper's choice, recomputed at
+	// global rebuilds).
+	Tau int
+
+	// Epsilon is the geometric growth exponent of sub-collection
+	// capacities. Default 0.5.
+	Epsilon float64
+
+	// MinCapacity bounds the uncompressed C0's capacity from below.
+	// Default 64 pairs.
+	MinCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon <= 0 || o.Epsilon > 1 {
+		o.Epsilon = 0.5
+	}
+	if o.MinCapacity <= 0 {
+		o.MinCapacity = 64
+	}
+	return o
+}
+
+// Relation is a fully-dynamic compressed binary relation (Theorem 2):
+// membership, label-of-object and object-of-label reporting and counting,
+// plus pair insertion and deletion. The bulk of the pairs lives in
+// deletion-only compressed sub-collections; only an O(n/log²n)-pair C0 is
+// kept uncompressed.
+type Relation struct {
+	opts Options
+
+	c0     *c0rel
+	levels []*semiRel
+	maxes  []int
+
+	nf  int
+	tau int
+
+	live int
+
+	rebuilds       int
+	globalRebuilds int
+	purges         int
+}
+
+// c0rel is the uncompressed fully-dynamic store: forward and reverse
+// adjacency in hash maps, O(log n) bits per pair.
+type c0rel struct {
+	fwd  map[uint64][]uint64 // object → labels
+	rev  map[uint64][]uint64 // label → objects
+	size int
+}
+
+func newC0rel() *c0rel {
+	return &c0rel{fwd: make(map[uint64][]uint64), rev: make(map[uint64][]uint64)}
+}
+
+func (c *c0rel) add(o, l uint64) {
+	c.fwd[o] = append(c.fwd[o], l)
+	c.rev[l] = append(c.rev[l], o)
+	c.size++
+}
+
+func (c *c0rel) related(o, l uint64) bool {
+	for _, x := range c.fwd[o] {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *c0rel) delete(o, l uint64) bool {
+	ls := c.fwd[o]
+	found := false
+	for i, x := range ls {
+		if x == l {
+			c.fwd[o] = append(ls[:i], ls[i+1:]...)
+			if len(c.fwd[o]) == 0 {
+				delete(c.fwd, o)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	os := c.rev[l]
+	for i, x := range os {
+		if x == o {
+			c.rev[l] = append(os[:i], os[i+1:]...)
+			if len(c.rev[l]) == 0 {
+				delete(c.rev, l)
+			}
+			break
+		}
+	}
+	c.size--
+	return true
+}
+
+func (c *c0rel) pairs() []Pair {
+	out := make([]Pair, 0, c.size)
+	for o, ls := range c.fwd {
+		for _, l := range ls {
+			out = append(out, Pair{Object: o, Label: l})
+		}
+	}
+	return out
+}
+
+func (c *c0rel) sizeBits() int64 {
+	// Two map headers plus per-pair and per-key footprints.
+	return 4*64 + int64(c.size)*3*64 + int64(len(c.fwd)+len(c.rev))*2*64
+}
+
+// New creates an empty dynamic relation.
+func New(opts Options) *Relation {
+	opts = opts.withDefaults()
+	r := &Relation{opts: opts, c0: newC0rel()}
+	r.reschedule(0)
+	return r
+}
+
+// reschedule re-derives τ and the capacity ladder from the current pair
+// count (max_0 = 2n/log²n, ratio log^ε n), as in Transformation 1.
+func (r *Relation) reschedule(n int) {
+	r.nf = n
+	r.tau = r.opts.Tau
+	if r.tau == 0 {
+		r.tau = autoTau(n)
+	}
+	lg := math.Log2(float64(n) + 4)
+	if lg < 2 {
+		lg = 2
+	}
+	max0 := 2 * float64(n) / (lg * lg)
+	if max0 < float64(r.opts.MinCapacity) {
+		max0 = float64(r.opts.MinCapacity)
+	}
+	ratio := math.Pow(lg, r.opts.Epsilon)
+	if ratio < 1.5 {
+		ratio = 1.5
+	}
+	r.maxes = r.maxes[:0]
+	r.maxes = append(r.maxes, int(max0))
+	cap := max0
+	for cap < 2*float64(n)+1 && len(r.maxes) < 64 {
+		cap *= ratio
+		r.maxes = append(r.maxes, int(cap))
+	}
+	if len(r.maxes) < 2 {
+		r.maxes = append(r.maxes, int(cap*ratio))
+	}
+	for len(r.levels) < len(r.maxes) {
+		r.levels = append(r.levels, nil)
+	}
+}
+
+// autoTau mirrors the paper's τ = log n / log log n default.
+func autoTau(n int) int {
+	if n < 16 {
+		return 2
+	}
+	lg := math.Log2(float64(n))
+	lglg := math.Log2(lg)
+	if lglg < 1 {
+		lglg = 1
+	}
+	t := int(lg / lglg)
+	if t < 2 {
+		t = 2
+	}
+	if t > 4096 {
+		t = 4096
+	}
+	return t
+}
+
+// Len reports the number of live pairs.
+func (r *Relation) Len() int { return r.live }
+
+// Tau reports the τ currently in effect.
+func (r *Relation) Tau() int { return r.tau }
+
+// Add inserts the pair (object, label). It reports false if the pair is
+// already present.
+func (r *Relation) Add(object, label uint64) bool {
+	if r.Related(object, label) {
+		return false
+	}
+	r.live++
+	if r.c0.size+1 <= r.maxes[0] {
+		r.c0.add(object, label)
+		r.maybeGlobalRebuild()
+		return true
+	}
+	// Cascade: find the first level that can absorb C0, the levels below
+	// it, and the new pair.
+	prefix := r.c0.size + 1
+	for j := 1; j < len(r.maxes); j++ {
+		if r.levels[j] != nil {
+			prefix += r.levels[j].live
+		}
+		if prefix <= r.maxes[j] {
+			r.mergeInto(j, Pair{Object: object, Label: label})
+			r.maybeGlobalRebuild()
+			return true
+		}
+	}
+	r.globalRebuild(&Pair{Object: object, Label: label})
+	return true
+}
+
+func (r *Relation) mergeInto(j int, extra Pair) {
+	pairs := r.c0.pairs()
+	r.c0 = newC0rel()
+	for i := 1; i <= j; i++ {
+		if r.levels[i] != nil {
+			pairs = append(pairs, r.levels[i].livePairs()...)
+			r.levels[i] = nil
+		}
+	}
+	pairs = append(pairs, extra)
+	r.levels[j] = buildSemi(pairs, r.tau)
+	r.rebuilds++
+}
+
+func (r *Relation) maybeGlobalRebuild() {
+	if r.live >= 2*r.nf && r.live > r.opts.MinCapacity {
+		r.globalRebuild(nil)
+	} else if r.nf > 2*r.opts.MinCapacity && r.live <= r.nf/2 {
+		r.globalRebuild(nil)
+	}
+}
+
+func (r *Relation) globalRebuild(extra *Pair) {
+	pairs := r.c0.pairs()
+	for i, l := range r.levels {
+		if l != nil {
+			pairs = append(pairs, l.livePairs()...)
+			r.levels[i] = nil
+		}
+	}
+	if extra != nil {
+		pairs = append(pairs, *extra)
+	}
+	r.c0 = newC0rel()
+	r.reschedule(len(pairs))
+	r.globalRebuilds++
+	if len(pairs) == 0 {
+		return
+	}
+	r.levels[len(r.maxes)-1] = buildSemi(pairs, r.tau)
+}
+
+// Delete removes the pair (object, label), reporting whether it was
+// present. Deletions in compressed levels are lazy; a level holding too
+// many dead pairs is purged.
+func (r *Relation) Delete(object, label uint64) bool {
+	if r.c0.delete(object, label) {
+		r.live--
+		r.maybeGlobalRebuild()
+		return true
+	}
+	for j, l := range r.levels {
+		if l == nil {
+			continue
+		}
+		if l.delete(object, label) {
+			r.live--
+			total := l.live + l.dead
+			if total > 0 && l.dead*r.tau > total {
+				r.purgeLevel(j)
+			}
+			r.maybeGlobalRebuild()
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Relation) purgeLevel(j int) {
+	pairs := r.levels[j].livePairs()
+	if len(pairs) == 0 {
+		r.levels[j] = nil
+	} else {
+		r.levels[j] = buildSemi(pairs, r.tau)
+	}
+	r.purges++
+}
+
+// Related reports whether object and label are related.
+func (r *Relation) Related(object, label uint64) bool {
+	if r.c0.related(object, label) {
+		return true
+	}
+	for _, l := range r.levels {
+		if l != nil && l.related(object, label) {
+			return true
+		}
+	}
+	return false
+}
+
+// LabelsOf streams the labels related to object; enumeration stops when
+// fn returns false.
+func (r *Relation) LabelsOf(object uint64, fn func(label uint64) bool) {
+	for _, l := range r.c0.fwd[object] {
+		if !fn(l) {
+			return
+		}
+	}
+	for _, lvl := range r.levels {
+		if lvl == nil {
+			continue
+		}
+		if !lvl.labelsOf(object, fn) {
+			return
+		}
+	}
+}
+
+// ObjectsOf streams the objects related to label; enumeration stops when
+// fn returns false.
+func (r *Relation) ObjectsOf(label uint64, fn func(object uint64) bool) {
+	for _, o := range r.c0.rev[label] {
+		if !fn(o) {
+			return
+		}
+	}
+	for _, lvl := range r.levels {
+		if lvl == nil {
+			continue
+		}
+		if !lvl.objectsOf(label, fn) {
+			return
+		}
+	}
+}
+
+// Labels returns the labels related to object, sorted.
+func (r *Relation) Labels(object uint64) []uint64 {
+	var out []uint64
+	r.LabelsOf(object, func(l uint64) bool {
+		out = append(out, l)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Objects returns the objects related to label, sorted.
+func (r *Relation) Objects(label uint64) []uint64 {
+	var out []uint64
+	r.ObjectsOf(label, func(o uint64) bool {
+		out = append(out, o)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountLabels counts the labels related to object.
+func (r *Relation) CountLabels(object uint64) int {
+	n := len(r.c0.fwd[object])
+	for _, lvl := range r.levels {
+		if lvl != nil {
+			n += lvl.countLabels(object)
+		}
+	}
+	return n
+}
+
+// CountObjects counts the objects related to label.
+func (r *Relation) CountObjects(label uint64) int {
+	n := len(r.c0.rev[label])
+	for _, lvl := range r.levels {
+		if lvl != nil {
+			n += lvl.countObjects(label)
+		}
+	}
+	return n
+}
+
+// Pairs returns every live pair (unspecified order).
+func (r *Relation) Pairs() []Pair {
+	out := r.c0.pairs()
+	for _, lvl := range r.levels {
+		if lvl != nil {
+			out = append(out, lvl.livePairs()...)
+		}
+	}
+	return out
+}
+
+// Stats reports rebuild counters.
+type Stats struct {
+	LevelRebuilds  int
+	GlobalRebuilds int
+	Purges         int
+	Levels         int
+}
+
+// Stats returns rebuild counters.
+func (r *Relation) Stats() Stats {
+	return Stats{
+		LevelRebuilds:  r.rebuilds,
+		GlobalRebuilds: r.globalRebuilds,
+		Purges:         r.purges,
+		Levels:         len(r.maxes),
+	}
+}
+
+// SizeBits estimates the total footprint.
+func (r *Relation) SizeBits() int64 {
+	total := r.c0.sizeBits()
+	for _, lvl := range r.levels {
+		if lvl != nil {
+			total += lvl.sizeBits()
+		}
+	}
+	return total
+}

@@ -1,0 +1,605 @@
+package binrel
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// WorstCaseRelation is the Theorem 2 construction with Transformation 2's
+// worst-case update machinery: the pair set lives in an uncompressed C0
+// plus deletion-only compressed levels, and a level being merged is
+// locked — still answering queries — while its replacement is built on a
+// background goroutine. Foreground work per update stays proportional to
+// the update (O(log^ε n) amortized bookkeeping, never a full rebuild),
+// which is the paper's headline for dynamic relations.
+//
+// The query API matches Relation; construction differs only in
+// scheduling. Options.Inline forces synchronous builds for deterministic
+// tests.
+type WorstCaseRelation struct {
+	mu   sync.Mutex
+	opts WCOptions
+
+	c0     *c0rel
+	levels []*semiRel
+	locked []*semiRel
+	maxes  []int
+
+	pendingMerge []bool
+
+	builds []*relBuild
+
+	nf, tau int
+	live    int
+
+	stats WCStats
+}
+
+// WCOptions configure a WorstCaseRelation.
+type WCOptions struct {
+	// Tau, Epsilon, MinCapacity as in Options.
+	Tau         int
+	Epsilon     float64
+	MinCapacity int
+	// Inline forces background builds to complete synchronously.
+	Inline bool
+}
+
+// WCStats reports machinery counters.
+type WCStats struct {
+	BackgroundBuilds int
+	Parks            int
+	Levels           int
+	Rebalances       int
+}
+
+type relBuild struct {
+	target int
+	pairs  []Pair
+	// sources stay queryable until the replacement lands.
+	sources []*semiRel
+	done    chan *semiRel
+
+	tmu        sync.Mutex
+	tombstones []Pair
+	applied    int
+}
+
+func (b *relBuild) addTombstone(p Pair) {
+	b.tmu.Lock()
+	b.tombstones = append(b.tombstones, p)
+	b.tmu.Unlock()
+}
+
+// NewWorstCase creates an empty worst-case dynamic relation.
+func NewWorstCase(opts WCOptions) *WorstCaseRelation {
+	if opts.Epsilon <= 0 || opts.Epsilon > 1 {
+		opts.Epsilon = 0.5
+	}
+	if opts.MinCapacity <= 0 {
+		opts.MinCapacity = 64
+	}
+	w := &WorstCaseRelation{opts: opts, c0: newC0rel()}
+	w.reschedule(0)
+	return w
+}
+
+func (w *WorstCaseRelation) reschedule(n int) {
+	w.nf = n
+	w.tau = w.opts.Tau
+	if w.tau == 0 {
+		w.tau = autoTau(n)
+	}
+	lg := math.Log2(float64(n) + 4)
+	if lg < 2 {
+		lg = 2
+	}
+	max0 := 2 * float64(n) / (lg * lg)
+	if max0 < float64(w.opts.MinCapacity) {
+		max0 = float64(w.opts.MinCapacity)
+	}
+	ratio := math.Pow(lg, w.opts.Epsilon)
+	if ratio < 1.5 {
+		ratio = 1.5
+	}
+	w.maxes = w.maxes[:0]
+	w.maxes = append(w.maxes, int(max0))
+	cap := max0
+	for cap < 2*float64(n)+1 && len(w.maxes) < 64 {
+		cap *= ratio
+		w.maxes = append(w.maxes, int(cap))
+	}
+	if len(w.maxes) < 2 {
+		w.maxes = append(w.maxes, int(cap*ratio))
+	}
+	for len(w.levels) < len(w.maxes) {
+		w.levels = append(w.levels, nil)
+		w.locked = append(w.locked, nil)
+		w.pendingMerge = append(w.pendingMerge, false)
+	}
+}
+
+func (w *WorstCaseRelation) targetBusy(t int) bool {
+	for _, b := range w.builds {
+		if b.target == t {
+			return true
+		}
+	}
+	return false
+}
+
+// slotBusy reports whether merging level j into j+1 must be deferred:
+// either slot carries a locked structure or a build already targets j+1.
+func (w *WorstCaseRelation) slotBusy(j int) bool {
+	if j < len(w.locked) && w.locked[j] != nil {
+		return true
+	}
+	if j+1 < len(w.locked) && w.locked[j+1] != nil {
+		return true
+	}
+	return w.targetBusy(j + 1)
+}
+
+// cascadeBusy reports whether a cascade of C0 and levels 1..j into level
+// j would collide with in-flight work.
+func (w *WorstCaseRelation) cascadeBusy(j int) bool {
+	for i := 0; i <= j && i < len(w.locked); i++ {
+		if w.locked[i] != nil {
+			return true
+		}
+	}
+	for _, b := range w.builds {
+		if b.target <= j {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *WorstCaseRelation) launch(b *relBuild) {
+	b.done = make(chan *semiRel, 1)
+	w.builds = append(w.builds, b)
+	w.stats.BackgroundBuilds++
+	tau := w.tau
+	run := func() {
+		res := buildSemi(b.pairs, tau)
+		b.tmu.Lock()
+		for _, p := range b.tombstones {
+			res.delete(p.Object, p.Label)
+		}
+		b.applied = len(b.tombstones)
+		b.tmu.Unlock()
+		b.done <- res
+	}
+	if w.opts.Inline {
+		run()
+		w.drain(true)
+		return
+	}
+	go run()
+}
+
+// drain absorbs finished builds; wait blocks until all complete.
+func (w *WorstCaseRelation) drain(wait bool) {
+	for i := 0; i < len(w.builds); {
+		b := w.builds[i]
+		var res *semiRel
+		if wait {
+			res = <-b.done
+		} else {
+			select {
+			case res = <-b.done:
+			default:
+				i++
+				continue
+			}
+		}
+		w.finish(b, res)
+		w.builds = append(w.builds[:i], w.builds[i+1:]...)
+	}
+	w.reconcile()
+}
+
+func (w *WorstCaseRelation) finish(b *relBuild, res *semiRel) {
+	b.tmu.Lock()
+	for _, p := range b.tombstones[b.applied:] {
+		res.delete(p.Object, p.Label)
+	}
+	b.applied = len(b.tombstones)
+	b.tmu.Unlock()
+	// Retire sources.
+	for j := range w.locked {
+		for _, src := range b.sources {
+			if w.locked[j] == src {
+				w.locked[j] = nil
+			}
+			if w.levels[j] == src {
+				w.levels[j] = nil
+			}
+		}
+	}
+	if w.levels[b.target] != nil {
+		panic("binrel: build target occupied")
+	}
+	if res.live > 0 {
+		w.levels[b.target] = res
+	}
+}
+
+// reconcile retries deferred deletion-triggered merges.
+func (w *WorstCaseRelation) reconcile() {
+	for j := 1; j < len(w.maxes)-1; j++ {
+		if !w.pendingMerge[j] {
+			continue
+		}
+		lvl := w.levels[j]
+		if lvl == nil || lvl.dead*w.tau <= lvl.live+lvl.dead {
+			w.pendingMerge[j] = false
+			continue
+		}
+		if w.slotBusy(j) {
+			continue
+		}
+		w.pendingMerge[j] = false
+		w.mergeUp(j, nil)
+	}
+}
+
+// mergeUp locks level j and rebuilds it into level j+1 in the
+// background. Callers must have checked slotBusy(j).
+func (w *WorstCaseRelation) mergeUp(j int, extra *Pair) {
+	b := &relBuild{target: j + 1}
+	if w.levels[j] != nil {
+		w.locked[j] = w.levels[j]
+		w.levels[j] = nil
+		b.pairs = append(b.pairs, w.locked[j].livePairs()...)
+		b.sources = append(b.sources, w.locked[j])
+	}
+	if w.levels[j+1] != nil {
+		// The occupant keeps answering queries as a locked structure until
+		// the replacement lands.
+		w.locked[j+1] = w.levels[j+1]
+		w.levels[j+1] = nil
+		b.pairs = append(b.pairs, w.locked[j+1].livePairs()...)
+		b.sources = append(b.sources, w.locked[j+1])
+	}
+	if extra != nil {
+		b.pairs = append(b.pairs, *extra)
+	}
+	if len(b.pairs) == 0 {
+		w.locked[j] = nil
+		return
+	}
+	w.launch(b)
+}
+
+// stores lists every queryable structure.
+func (w *WorstCaseRelation) stores() []*semiRel {
+	var out []*semiRel
+	for j := range w.levels {
+		if w.levels[j] != nil {
+			out = append(out, w.levels[j])
+		}
+		if w.locked[j] != nil {
+			out = append(out, w.locked[j])
+		}
+	}
+	return out
+}
+
+// Len reports the number of live pairs.
+func (w *WorstCaseRelation) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.live
+}
+
+// Tau reports the τ in effect.
+func (w *WorstCaseRelation) Tau() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tau
+}
+
+// Add inserts the pair; false if already present.
+func (w *WorstCaseRelation) Add(object, label uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.drain(false)
+	if w.relatedLocked(object, label) {
+		return false
+	}
+	w.live++
+	if w.c0.size+1 <= w.maxes[0] {
+		w.c0.add(object, label)
+		w.checkRebalance()
+		return true
+	}
+	// Find the first level that can absorb C0 and the new pair.
+	prefix := w.c0.size + 1
+	for j := 1; j < len(w.maxes); j++ {
+		if w.levels[j] != nil {
+			prefix += w.levels[j].live
+		}
+		if prefix > w.maxes[j] {
+			continue
+		}
+		if w.cascadeBusy(j) {
+			// Don't wait for the in-flight build: overflow C0 softly
+			// (2·max_0 keeps the uncompressed share at O(n/log²n)). Only
+			// when even the soft cap is hit do we block on the build.
+			if w.c0.size+1 <= 2*w.maxes[0] {
+				w.c0.add(object, label)
+				w.stats.Parks++
+				w.checkRebalance()
+				return true
+			}
+			w.drain(true)
+		}
+		w.cascadeInto(j, Pair{Object: object, Label: label})
+		w.checkRebalance()
+		return true
+	}
+	// Nothing fits: rebalance with the new pair included.
+	w.globalRebuild(&Pair{Object: object, Label: label})
+	return true
+}
+
+// cascadeInto merges C0 and levels 1..j into level j via a background
+// build. The old C0 content is parked as a locked level-0 structure
+// (built inline — O(|C0|) with |C0| = O(n/log²n)) so it stays queryable;
+// the new pair goes into the fresh C0 and is visible immediately.
+func (w *WorstCaseRelation) cascadeInto(j int, extra Pair) {
+	b := &relBuild{target: j}
+	b.pairs = append(b.pairs, w.c0.pairs()...)
+	if len(b.pairs) > 0 {
+		old := buildSemi(append([]Pair(nil), b.pairs...), w.tau)
+		w.locked[0] = old
+		b.sources = append(b.sources, old)
+	}
+	w.c0 = newC0rel()
+	w.c0.add(extra.Object, extra.Label)
+	for i := 1; i <= j; i++ {
+		if w.levels[i] != nil {
+			b.pairs = append(b.pairs, w.levels[i].livePairs()...)
+			b.sources = append(b.sources, w.levels[i])
+			w.locked[i] = w.levels[i]
+			w.levels[i] = nil
+		}
+	}
+	w.launch(b)
+}
+
+// globalRebuild rebuilds everything into the top level. Old structures
+// stay queryable as locked occupants of their own slots while the
+// rebuild runs in the background; the extra pair (if any) goes into the
+// fresh C0.
+func (w *WorstCaseRelation) globalRebuild(extra *Pair) {
+	w.drain(true) // rebalances are rare; quiescing first keeps slots simple
+	var pairs []Pair
+	pairs = append(pairs, w.c0.pairs()...)
+	b := &relBuild{}
+	if len(pairs) > 0 {
+		old := buildSemi(append([]Pair(nil), pairs...), w.tau)
+		w.locked[0] = old
+		b.sources = append(b.sources, old)
+	}
+	for i, l := range w.levels {
+		if l != nil {
+			pairs = append(pairs, l.livePairs()...)
+			b.sources = append(b.sources, l)
+			w.locked[i] = l
+			w.levels[i] = nil
+		}
+	}
+	w.c0 = newC0rel()
+	if extra != nil {
+		w.c0.add(extra.Object, extra.Label)
+	}
+	w.reschedule(len(pairs) + w.c0.size)
+	w.stats.Rebalances++
+	if len(pairs) == 0 {
+		return
+	}
+	b.target = len(w.maxes) - 1
+	b.pairs = pairs
+	w.launch(b)
+}
+
+func (w *WorstCaseRelation) checkRebalance() {
+	if w.live < w.opts.MinCapacity {
+		return
+	}
+	if w.live >= 2*w.nf || (w.nf > 2*w.opts.MinCapacity && w.live <= w.nf/2) {
+		w.globalRebuild(nil)
+	}
+}
+
+// Delete removes the pair; reports whether it was present.
+func (w *WorstCaseRelation) Delete(object, label uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.drain(false)
+	if w.c0.delete(object, label) {
+		w.live--
+		w.checkRebalance()
+		return true
+	}
+	for _, l := range w.stores() {
+		if l.delete(object, label) {
+			w.live--
+			w.tombstone(l, Pair{Object: object, Label: label})
+			w.afterDelete(l)
+			w.checkRebalance()
+			return true
+		}
+	}
+	return false
+}
+
+// tombstone records the deletion with any in-flight build sourcing l.
+func (w *WorstCaseRelation) tombstone(l *semiRel, p Pair) {
+	for _, b := range w.builds {
+		for _, src := range b.sources {
+			if src == l {
+				b.addTombstone(p)
+			}
+		}
+	}
+}
+
+// afterDelete purges a level that crossed the dead-fraction threshold.
+func (w *WorstCaseRelation) afterDelete(l *semiRel) {
+	for j := 1; j < len(w.maxes)-1; j++ {
+		if w.levels[j] != l {
+			continue
+		}
+		total := l.live + l.dead
+		if total == 0 || l.dead*w.tau <= total {
+			return
+		}
+		if w.slotBusy(j) {
+			w.pendingMerge[j] = true
+			return
+		}
+		w.mergeUp(j, nil)
+		return
+	}
+}
+
+func (w *WorstCaseRelation) relatedLocked(object, label uint64) bool {
+	if w.c0.related(object, label) {
+		return true
+	}
+	for _, l := range w.stores() {
+		if l.related(object, label) {
+			return true
+		}
+	}
+	return false
+}
+
+// Related reports whether object and label are related.
+func (w *WorstCaseRelation) Related(object, label uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.drain(false)
+	return w.relatedLocked(object, label)
+}
+
+// LabelsOf streams the labels of object; stops when fn returns false.
+func (w *WorstCaseRelation) LabelsOf(object uint64, fn func(label uint64) bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, l := range w.c0.fwd[object] {
+		if !fn(l) {
+			return
+		}
+	}
+	for _, lvl := range w.stores() {
+		if !lvl.labelsOf(object, fn) {
+			return
+		}
+	}
+}
+
+// ObjectsOf streams the objects of label; stops when fn returns false.
+func (w *WorstCaseRelation) ObjectsOf(label uint64, fn func(object uint64) bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, o := range w.c0.rev[label] {
+		if !fn(o) {
+			return
+		}
+	}
+	for _, lvl := range w.stores() {
+		if !lvl.objectsOf(label, fn) {
+			return
+		}
+	}
+}
+
+// Labels returns the sorted labels of object.
+func (w *WorstCaseRelation) Labels(object uint64) []uint64 {
+	var out []uint64
+	w.LabelsOf(object, func(l uint64) bool {
+		out = append(out, l)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Objects returns the sorted objects of label.
+func (w *WorstCaseRelation) Objects(label uint64) []uint64 {
+	var out []uint64
+	w.ObjectsOf(label, func(o uint64) bool {
+		out = append(out, o)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountLabels counts the labels of object.
+func (w *WorstCaseRelation) CountLabels(object uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.c0.fwd[object])
+	for _, lvl := range w.stores() {
+		n += lvl.countLabels(object)
+	}
+	return n
+}
+
+// CountObjects counts the objects of label.
+func (w *WorstCaseRelation) CountObjects(label uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.c0.rev[label])
+	for _, lvl := range w.stores() {
+		n += lvl.countObjects(label)
+	}
+	return n
+}
+
+// Pairs returns every live pair (unspecified order).
+func (w *WorstCaseRelation) Pairs() []Pair {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := w.c0.pairs()
+	for _, lvl := range w.stores() {
+		out = append(out, lvl.livePairs()...)
+	}
+	return out
+}
+
+// WaitIdle blocks until all background builds have landed.
+func (w *WorstCaseRelation) WaitIdle() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.builds) > 0 {
+		w.drain(true)
+	}
+}
+
+// Stats returns machinery counters.
+func (w *WorstCaseRelation) Stats() WCStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Levels = len(w.maxes)
+	return st
+}
+
+// SizeBits estimates the footprint.
+func (w *WorstCaseRelation) SizeBits() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := w.c0.sizeBits()
+	for _, lvl := range w.stores() {
+		total += lvl.sizeBits()
+	}
+	return total
+}

@@ -1,0 +1,305 @@
+// Package bitvec provides static bit vectors with constant-time rank and
+// near-constant-time select support.
+//
+// A Vector stores n bits in ⌈n/64⌉ machine words. Rank support adds a
+// two-level counter hierarchy (one absolute count per 512-bit superblock
+// plus in-superblock word scanning), giving O(1) Rank1/Rank0. Select is
+// answered by a binary search over superblock counts accelerated with
+// positional hints sampled every selectSample ones, giving O(log n) worst
+// case and close to O(1) in practice.
+//
+// Vectors in this package are immutable after Seal; the dynamic variants
+// used for lazy deletion live in packages sparsebits and dynbits.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	wordBits      = 64
+	superWords    = 8 // words per superblock: 512 bits
+	superBits     = wordBits * superWords
+	selectSample  = 512 // one select hint per this many set bits
+	selectSample0 = 512 // and per this many zero bits
+)
+
+// Vector is a static bit vector with rank/select support.
+//
+// The zero value is an empty vector. Bits are appended with AppendBit or
+// AppendWord and the vector must be sealed with Seal before rank or select
+// queries are issued.
+type Vector struct {
+	words  []uint64
+	n      int // number of valid bits
+	sealed bool
+
+	// rank directory
+	superRank []int64 // ones before each superblock
+
+	// select hints: superblock index containing the (k*selectSample)-th one/zero
+	selHint1 []int32
+	selHint0 []int32
+
+	ones int
+}
+
+// New returns an empty vector with capacity for n bits pre-allocated.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative capacity")
+	}
+	return &Vector{words: make([]uint64, 0, (n+wordBits-1)/wordBits)}
+}
+
+// FromBools builds a sealed vector from a slice of booleans.
+func FromBools(bs []bool) *Vector {
+	v := New(len(bs))
+	for _, b := range bs {
+		v.AppendBit(b)
+	}
+	v.Seal()
+	return v
+}
+
+// FromWords builds a sealed vector from words containing n valid bits.
+// The words slice is used directly (not copied).
+func FromWords(words []uint64, n int) *Vector {
+	if n < 0 || n > len(words)*wordBits {
+		panic("bitvec: bit count out of range of words")
+	}
+	v := &Vector{words: words, n: n}
+	v.Seal()
+	return v
+}
+
+// Len reports the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Ones reports the number of set bits. Valid after Seal.
+func (v *Vector) Ones() int { return v.ones }
+
+// Zeros reports the number of unset bits. Valid after Seal.
+func (v *Vector) Zeros() int { return v.n - v.ones }
+
+// AppendBit appends one bit. Must not be called after Seal.
+func (v *Vector) AppendBit(b bool) {
+	if v.sealed {
+		panic("bitvec: append to sealed vector")
+	}
+	w, off := v.n/wordBits, uint(v.n%wordBits)
+	if w == len(v.words) {
+		v.words = append(v.words, 0)
+	}
+	if b {
+		v.words[w] |= 1 << off
+	}
+	v.n++
+}
+
+// AppendWord appends the low nbits bits of w (LSB first).
+func (v *Vector) AppendWord(w uint64, nbits int) {
+	if nbits < 0 || nbits > wordBits {
+		panic("bitvec: AppendWord bit count out of range")
+	}
+	for i := 0; i < nbits; i++ {
+		v.AppendBit(w&(1<<uint(i)) != 0)
+	}
+}
+
+// Get reports the bit at position i (0-based).
+func (v *Vector) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Get(%d) out of range [0,%d)", i, v.n))
+	}
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Seal freezes the vector and builds the rank/select directories.
+// Seal is idempotent.
+func (v *Vector) Seal() {
+	if v.sealed {
+		return
+	}
+	v.sealed = true
+	nSuper := (len(v.words) + superWords - 1) / superWords
+	v.superRank = make([]int64, nSuper+1)
+	ones := 0
+	for s := 0; s < nSuper; s++ {
+		v.superRank[s] = int64(ones)
+		end := (s + 1) * superWords
+		if end > len(v.words) {
+			end = len(v.words)
+		}
+		for _, w := range v.words[s*superWords : end] {
+			ones += bits.OnesCount64(w)
+		}
+	}
+	v.superRank[nSuper] = int64(ones)
+	v.ones = ones
+	v.buildSelectHints()
+}
+
+func (v *Vector) buildSelectHints() {
+	// selHint1[h] is the superblock containing the (h*selectSample+1)-th
+	// set bit; selHint0[h] likewise for zero bits. These bracket the
+	// binary search in Select1/Select0.
+	nSuper := len(v.superRank) - 1
+	v.selHint1 = make([]int32, 0, v.ones/selectSample+2)
+	v.selHint0 = make([]int32, 0, (v.n-v.ones)/selectSample0+2)
+	next1, next0 := 1, 1
+	for s := 0; s < nSuper; s++ {
+		onesThrough := int(v.superRank[s+1])
+		bitsThrough := (s + 1) * superBits
+		if bitsThrough > v.n {
+			bitsThrough = v.n
+		}
+		zerosThrough := bitsThrough - onesThrough
+		for next1 <= onesThrough {
+			v.selHint1 = append(v.selHint1, int32(s))
+			next1 += selectSample
+		}
+		for next0 <= zerosThrough {
+			v.selHint0 = append(v.selHint0, int32(s))
+			next0 += selectSample0
+		}
+	}
+}
+
+// Rank1 returns the number of set bits in positions [0, i).
+// i may equal Len(), in which case the total popcount is returned.
+func (v *Vector) Rank1(i int) int {
+	if i < 0 || i > v.n {
+		panic(fmt.Sprintf("bitvec: Rank1(%d) out of range [0,%d]", i, v.n))
+	}
+	if !v.sealed {
+		panic("bitvec: rank on unsealed vector")
+	}
+	s := i / superBits
+	r := int(v.superRank[s])
+	w := s * superWords
+	for end := i / wordBits; w < end; w++ {
+		r += bits.OnesCount64(v.words[w])
+	}
+	if rem := uint(i % wordBits); rem != 0 {
+		r += bits.OnesCount64(v.words[w] & (1<<rem - 1))
+	}
+	return r
+}
+
+// Rank0 returns the number of unset bits in positions [0, i).
+func (v *Vector) Rank0(i int) int { return i - v.Rank1(i) }
+
+// Select1 returns the position of the k-th set bit (1-based k).
+// It panics if k is out of range [1, Ones()].
+func (v *Vector) Select1(k int) int {
+	if k < 1 || k > v.ones {
+		panic(fmt.Sprintf("bitvec: Select1(%d) out of range [1,%d]", k, v.ones))
+	}
+	// Bracket the superblock search with hints, then binary search for
+	// the largest superblock lo with superRank[lo] < k.
+	h := (k - 1) / selectSample
+	lo := int(v.selHint1[h])
+	hi := len(v.superRank) - 2
+	if h+1 < len(v.selHint1) {
+		hi = int(v.selHint1[h+1])
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(v.superRank[mid]) < k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := k - int(v.superRank[lo])
+	w := lo * superWords
+	for {
+		c := bits.OnesCount64(v.words[w])
+		if rem <= c {
+			break
+		}
+		rem -= c
+		w++
+	}
+	return w*wordBits + selectInWord(v.words[w], rem)
+}
+
+// Select0 returns the position of the k-th unset bit (1-based k).
+func (v *Vector) Select0(k int) int {
+	zeros := v.n - v.ones
+	if k < 1 || k > zeros {
+		panic(fmt.Sprintf("bitvec: Select0(%d) out of range [1,%d]", k, zeros))
+	}
+	h := (k - 1) / selectSample0
+	lo := int(v.selHint0[h])
+	hi := len(v.superRank) - 2
+	if h+1 < len(v.selHint0) {
+		hi = int(v.selHint0[h+1])
+	}
+	zerosBefore := func(s int) int { return s*superBits - int(v.superRank[s]) }
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if zerosBefore(mid) < k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := k - zerosBefore(lo)
+	w := lo * superWords
+	for {
+		bitsHere := wordBits
+		if (w+1)*wordBits > v.n {
+			bitsHere = v.n - w*wordBits
+		}
+		c := bitsHere - bits.OnesCount64(v.words[w]&lowMask(bitsHere))
+		if rem <= c {
+			break
+		}
+		rem -= c
+		w++
+	}
+	return w*wordBits + selectInWord(^v.words[w], rem)
+}
+
+// Words exposes the underlying words (read-only by convention).
+func (v *Vector) Words() []uint64 { return v.words }
+
+// SizeBits estimates the in-memory footprint of the vector and its rank
+// directories in bits, for space-accounting experiments.
+func (v *Vector) SizeBits() int64 {
+	s := int64(len(v.words)) * 64
+	s += int64(len(v.superRank)) * 64
+	s += int64(len(v.selHint1)+len(v.selHint0)) * 32
+	return s
+}
+
+func lowMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// selectInWord returns the position (0..63) of the k-th set bit of w, 1-based.
+func selectInWord(w uint64, k int) int {
+	// Process byte by byte using popcount; k is small (≤64).
+	for i := 0; i < 8; i++ {
+		b := byte(w >> uint(8*i))
+		c := bits.OnesCount8(b)
+		if k <= c {
+			for j := 0; j < 8; j++ {
+				if b&(1<<uint(j)) != 0 {
+					k--
+					if k == 0 {
+						return 8*i + j
+					}
+				}
+			}
+		}
+		k -= c
+	}
+	panic("bitvec: selectInWord: not enough set bits")
+}

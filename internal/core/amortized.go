@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dyncoll/internal/doc"
+)
+
+// Amortized is Transformation 1 (and, with Options.Ratio2, Transformation
+// 3): a fully-dynamic compressed document index with amortized update
+// bounds.
+//
+// The collection is split into sub-collections C0, C1, …, Cr whose
+// capacities max_i grow geometrically. C0 is an uncompressed generalized
+// suffix tree; every Ci (i ≥ 1) is a semi-dynamic static index. A new
+// document goes to the first Cj that can absorb it together with all
+// smaller sub-collections, which are then merged into Cj and rebuilt.
+// When no level fits, a global rebuild moves everything into the last
+// level and re-derives the capacity schedule from the new size.
+type Amortized struct {
+	opts Options
+
+	c0     *c0store
+	levels []*SemiDynamic // levels[0] unused; levels[j] is Cj for j ≥ 1
+	maxes  []int          // maxes[j] = max_j under the current nf
+
+	owner map[uint64]store // live doc ID → holding sub-collection
+
+	nf  int // collection size at the last global rebuild
+	tau int // τ in effect since the last global rebuild
+
+	// stats
+	rebuilds       int // level rebuilds
+	globalRebuilds int
+	purges         int // deletion-triggered level purges
+}
+
+// Stats reports internal rebuild counters (used by invariant tests and
+// the figure traces).
+type Stats struct {
+	LevelRebuilds  int
+	GlobalRebuilds int
+	Purges         int
+	Levels         int
+	LevelSizes     []int // live symbols per level, index 0 = C0
+	LevelCaps      []int // max_i per level, index 0 = max_0
+}
+
+// NewAmortized creates an empty collection with amortized update bounds.
+func NewAmortized(opts Options) *Amortized {
+	opts = opts.withDefaults()
+	a := &Amortized{
+		opts:  opts,
+		c0:    newC0(),
+		owner: make(map[uint64]store),
+	}
+	a.reschedule(0)
+	return a
+}
+
+// reschedule re-derives nf, τ and the capacity ladder from the current
+// size n (paper: max_0 = 2n/log²n, max_i = max_0·ratioⁱ where ratio is
+// log^ε n for Transformation 1 and 2 for Transformation 3).
+func (a *Amortized) reschedule(n int) {
+	a.nf = n
+	a.tau = a.opts.Tau
+	if a.tau == 0 {
+		a.tau = autoTau(n)
+	}
+	lg := float64(log2(n))
+	if lg < 2 {
+		lg = 2
+	}
+	max0 := float64(2*n) / (lg * lg)
+	if max0 < float64(a.opts.MinCapacity) {
+		max0 = float64(a.opts.MinCapacity)
+	}
+	var ratio float64
+	if a.opts.Ratio2 {
+		ratio = 2
+	} else {
+		ratio = math.Pow(lg, a.opts.Epsilon)
+		if ratio < 1.5 {
+			ratio = 1.5
+		}
+	}
+	a.maxes = a.maxes[:0]
+	a.maxes = append(a.maxes, int(max0))
+	cap := max0
+	// Grow the ladder until the top level can hold the entire collection
+	// twice over (so a global rebuild always fits).
+	for cap < float64(2*n)+1 && len(a.maxes) < 64 {
+		cap *= ratio
+		a.maxes = append(a.maxes, int(cap))
+	}
+	if len(a.maxes) < 2 {
+		a.maxes = append(a.maxes, int(cap*ratio))
+	}
+	// Levels slice tracks the ladder.
+	for len(a.levels) < len(a.maxes) {
+		a.levels = append(a.levels, nil)
+	}
+}
+
+// Len reports the number of live payload symbols.
+func (a *Amortized) Len() int {
+	n := a.c0.liveSymbols()
+	for _, l := range a.levels {
+		if l != nil {
+			n += l.liveSymbols()
+		}
+	}
+	return n
+}
+
+// DocCount reports the number of live documents.
+func (a *Amortized) DocCount() int { return len(a.owner) }
+
+// DocIDs returns the IDs of all live documents in unspecified order.
+func (a *Amortized) DocIDs() []uint64 {
+	out := make([]uint64, 0, len(a.owner))
+	for id := range a.owner {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Has reports whether a live document with the given ID exists.
+func (a *Amortized) Has(id uint64) bool {
+	_, ok := a.owner[id]
+	return ok
+}
+
+// Insert adds a document. It panics on duplicate IDs or payloads
+// containing the reserved byte 0x00.
+func (a *Amortized) Insert(d doc.Doc) {
+	if _, dup := a.owner[d.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate document ID %d", d.ID))
+	}
+	if !d.Valid() {
+		panic("core: document contains the reserved byte 0x00")
+	}
+	// Find the first level j whose capacity absorbs the new document plus
+	// all smaller sub-collections.
+	prefix := a.c0.liveSymbols() + len(d.Data)
+	if prefix <= a.maxes[0] {
+		a.c0.insert(d)
+		a.owner[d.ID] = a.c0
+		a.maybeGlobalRebuild()
+		return
+	}
+	for j := 1; j < len(a.maxes); j++ {
+		if a.levels[j] != nil {
+			prefix += a.levels[j].liveSymbols()
+		}
+		if prefix <= a.maxes[j] {
+			a.mergeInto(j, d)
+			a.maybeGlobalRebuild()
+			return
+		}
+	}
+	// Nothing fits: global rebuild with the new document included.
+	a.globalRebuild(&d)
+}
+
+// mergeInto rebuilds level j from C0 ∪ C1 ∪ … ∪ Cj ∪ {d}.
+func (a *Amortized) mergeInto(j int, d doc.Doc) {
+	docs := a.c0.liveDocs()
+	a.c0 = newC0()
+	for i := 1; i <= j; i++ {
+		if a.levels[i] != nil {
+			docs = append(docs, a.levels[i].liveDocs()...)
+			a.levels[i] = nil
+		}
+	}
+	docs = append(docs, d)
+	lvl := buildSemi(a.opts.Builder, docs, a.tau, a.opts.Counting)
+	a.levels[j] = lvl
+	for _, dd := range docs {
+		a.owner[dd.ID] = lvl
+	}
+	a.rebuilds++
+}
+
+// maybeGlobalRebuild triggers the paper's global rebuild once the live
+// size has at least doubled (or collapsed to half) since the last one.
+func (a *Amortized) maybeGlobalRebuild() {
+	n := a.Len()
+	if n >= 2*a.nf && n > a.opts.MinCapacity {
+		a.globalRebuild(nil)
+	} else if a.nf > 2*a.opts.MinCapacity && n <= a.nf/2 {
+		a.globalRebuild(nil)
+	}
+}
+
+// globalRebuild moves every live document (plus extra, if non-nil) into
+// the top level and re-derives the capacity schedule.
+func (a *Amortized) globalRebuild(extra *doc.Doc) {
+	docs := a.c0.liveDocs()
+	for i, l := range a.levels {
+		if l != nil {
+			docs = append(docs, l.liveDocs()...)
+			a.levels[i] = nil
+		}
+	}
+	if extra != nil {
+		docs = append(docs, *extra)
+	}
+	n := 0
+	for _, d := range docs {
+		n += len(d.Data)
+	}
+	a.c0 = newC0()
+	a.reschedule(n)
+	if len(docs) == 0 {
+		a.globalRebuilds++
+		return
+	}
+	top := len(a.maxes) - 1
+	lvl := buildSemi(a.opts.Builder, docs, a.tau, a.opts.Counting)
+	a.levels[top] = lvl
+	owner := make(map[uint64]store, len(docs))
+	for _, d := range docs {
+		owner[d.ID] = lvl
+	}
+	a.owner = owner
+	a.globalRebuilds++
+}
+
+// Delete removes the document with the given ID, reporting whether it was
+// present. Deletions are lazy; a level holding too many dead symbols
+// (> live/τ of that level) is purged.
+func (a *Amortized) Delete(id uint64) bool {
+	st, ok := a.owner[id]
+	if !ok {
+		return false
+	}
+	st.delete(id)
+	delete(a.owner, id)
+	if lvl, isLevel := st.(*SemiDynamic); isLevel {
+		total := lvl.liveSymbols() + lvl.deletedSymbols()
+		if total > 0 && lvl.deletedSymbols()*a.tau > total {
+			a.purgeLevel(lvl)
+		}
+	}
+	a.maybeGlobalRebuild()
+	return true
+}
+
+// purgeLevel rebuilds the given level without its deleted documents.
+func (a *Amortized) purgeLevel(lvl *SemiDynamic) {
+	for j := 1; j < len(a.levels); j++ {
+		if a.levels[j] != lvl {
+			continue
+		}
+		docs := lvl.liveDocs()
+		if len(docs) == 0 {
+			a.levels[j] = nil
+			a.purges++
+			return
+		}
+		fresh := buildSemi(a.opts.Builder, docs, a.tau, a.opts.Counting)
+		a.levels[j] = fresh
+		for _, d := range docs {
+			a.owner[d.ID] = fresh
+		}
+		a.purges++
+		return
+	}
+}
+
+// FindFunc calls fn for every occurrence of pattern across all live
+// documents; enumeration stops early if fn returns false. An empty
+// pattern matches at every live position.
+func (a *Amortized) FindFunc(pattern []byte, fn func(Occurrence) bool) {
+	stop := false
+	wrapped := func(o Occurrence) bool {
+		if !fn(o) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	a.c0.findFunc(pattern, wrapped)
+	if stop {
+		return
+	}
+	for _, l := range a.levels {
+		if l == nil {
+			continue
+		}
+		l.findFunc(pattern, wrapped)
+		if stop {
+			return
+		}
+	}
+}
+
+// Find returns every occurrence of pattern.
+func (a *Amortized) Find(pattern []byte) []Occurrence {
+	var out []Occurrence
+	a.FindFunc(pattern, func(o Occurrence) bool {
+		out = append(out, o)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of occurrences of pattern (Theorem 1 when
+// Options.Counting is set; otherwise it enumerates).
+func (a *Amortized) Count(pattern []byte) int {
+	n := a.c0.count(pattern)
+	for _, l := range a.levels {
+		if l != nil {
+			n += l.count(pattern)
+		}
+	}
+	return n
+}
+
+// Extract returns length payload bytes of document id starting at off.
+func (a *Amortized) Extract(id uint64, off, length int) ([]byte, bool) {
+	st, ok := a.owner[id]
+	if !ok {
+		return nil, false
+	}
+	return st.extract(id, off, length)
+}
+
+// DocLen returns the payload length of document id.
+func (a *Amortized) DocLen(id uint64) (int, bool) {
+	st, ok := a.owner[id]
+	if !ok {
+		return 0, false
+	}
+	return st.docLen(id)
+}
+
+// SizeBits estimates the total footprint for space accounting.
+func (a *Amortized) SizeBits() int64 {
+	total := a.c0.sizeBits()
+	for _, l := range a.levels {
+		if l != nil {
+			total += l.sizeBits()
+		}
+	}
+	return total
+}
+
+// Stats returns rebuild counters and the current level occupancy.
+func (a *Amortized) Stats() Stats {
+	st := Stats{
+		LevelRebuilds:  a.rebuilds,
+		GlobalRebuilds: a.globalRebuilds,
+		Purges:         a.purges,
+		Levels:         len(a.maxes),
+	}
+	st.LevelSizes = append(st.LevelSizes, a.c0.liveSymbols())
+	st.LevelCaps = append(st.LevelCaps, a.maxes[0])
+	for j := 1; j < len(a.maxes); j++ {
+		sz := 0
+		if a.levels[j] != nil {
+			sz = a.levels[j].liveSymbols()
+		}
+		st.LevelSizes = append(st.LevelSizes, sz)
+		st.LevelCaps = append(st.LevelCaps, a.maxes[j])
+	}
+	return st
+}
+
+// Tau reports the τ currently in effect.
+func (a *Amortized) Tau() int { return a.tau }

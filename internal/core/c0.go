@@ -1,0 +1,41 @@
+package core
+
+import (
+	"dyncoll/internal/doc"
+	"dyncoll/internal/suffixtree"
+)
+
+// c0store adapts the uncompressed generalized suffix tree (the paper's C0
+// sub-collection, Section A.2) to the internal store interface.
+type c0store struct {
+	t *suffixtree.Tree
+}
+
+func newC0() *c0store { return &c0store{t: suffixtree.New()} }
+
+func (c *c0store) insert(d doc.Doc) { c.t.Insert(d) }
+
+func (c *c0store) findFunc(pattern []byte, fn func(Occurrence) bool) {
+	c.t.FindFunc(pattern, func(o suffixtree.Occurrence) bool {
+		return fn(Occurrence{DocID: o.DocID, Off: o.Off})
+	})
+}
+
+func (c *c0store) count(pattern []byte) int { return c.t.Count(pattern) }
+
+func (c *c0store) extract(id uint64, off, length int) ([]byte, bool) {
+	return c.t.Extract(id, off, length)
+}
+
+func (c *c0store) docLen(id uint64) (int, bool) { return c.t.DocLen(id) }
+
+func (c *c0store) delete(id uint64) bool { return c.t.Delete(id) }
+
+func (c *c0store) has(id uint64) bool { return c.t.Has(id) }
+
+func (c *c0store) liveDocs() []doc.Doc { return c.t.LiveDocs() }
+
+func (c *c0store) liveSymbols() int    { return c.t.Len() }
+func (c *c0store) deletedSymbols() int { return c.t.DeletedSymbols() }
+
+func (c *c0store) sizeBits() int64 { return c.t.SizeBits() }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dyncoll/internal/textgen"
+)
+
+// TestWorstCaseParallelClients hammers one WorstCase collection from
+// several goroutines — writers churning documents, readers issuing
+// queries — while background rebuilds run. Run under -race in CI; the
+// assertions here check self-consistency (exact counts are checked by
+// the single-threaded conformance suite).
+func TestWorstCaseParallelClients(t *testing.T) {
+	w := NewWorstCase(Options{Builder: fmBuilder})
+
+	const writers = 3
+	const docsPerWriter = 120
+
+	var writerWG sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		writerWG.Add(1)
+		go func(wr int) {
+			defer writerWG.Done()
+			gen := textgen.NewCollection(textgen.CollectionOptions{
+				Sigma: 8, MinLen: 50, MaxLen: 300, Seed: int64(1000 + wr),
+			})
+			var mine []uint64
+			for i := 0; i < docsPerWriter; i++ {
+				d := gen.NextDoc()
+				d.ID = uint64(wr)<<32 | d.ID // disjoint ID spaces
+				w.Insert(d)
+				mine = append(mine, d.ID)
+				if i%3 == 2 {
+					if !w.Delete(mine[0]) {
+						t.Error("delete of own live doc failed")
+						return
+					}
+					mine = mine[1:]
+				}
+			}
+		}(wr)
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			p := []byte{byte(r + 1), byte(r + 2)}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w.Count(p) < 0 {
+					t.Error("negative count")
+					return
+				}
+				found := 0
+				w.FindFunc(p, func(Occurrence) bool {
+					found++
+					return found < 100
+				})
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	w.WaitIdle()
+
+	deletesPerWriter := docsPerWriter / 3
+	want := writers * (docsPerWriter - deletesPerWriter)
+	if got := w.DocCount(); got != want {
+		t.Fatalf("DocCount = %d, want %d", got, want)
+	}
+	if w.Len() <= 0 {
+		t.Fatal("empty collection after parallel churn")
+	}
+}

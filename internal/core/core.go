@@ -1,0 +1,177 @@
+// Package core implements the paper's primary contribution: a general
+// framework that converts static compressed indexes into dynamic indexes
+// for a changing document collection.
+//
+// The framework is index-agnostic. Any type satisfying StaticIndex — a
+// "(u(n), w(n))-constructible" index in the paper's terms, answering
+// range-finding, locating, extraction and suffix-rank queries — can be
+// dynamized:
+//
+//   - Amortized (Transformation 1): sub-collections C0 ⊂ C1 ⊂ … ⊂ Cr of
+//     geometrically growing capacity; C0 is an uncompressed generalized
+//     suffix tree, C1…Cr are semi-dynamic (deletion-only) static indexes
+//     rebuilt on cascade. Updates cost O(u(n)·logᵋ n) amortized per
+//     symbol.
+//   - WorstCase (Transformation 2): additionally keeps locked copies of
+//     sub-collections while replacements are built in the background, plus
+//     top collections purged largest-first (Dietz–Sleator), bounding the
+//     per-operation work.
+//   - Amortized with Ratio 2 (Transformation 3): O(log log n) levels for
+//     cheaper insertions at an O(log log n) query-fan-out factor.
+//
+// Deletions everywhere are lazy (Section 2): a deletion bitmap B over the
+// suffix array plus the Lemma 3 reporting structure V filter matches in
+// O(1) per reported occurrence, and a structure is purged once a 1/τ
+// fraction of it is dead.
+package core
+
+import (
+	"fmt"
+
+	"dyncoll/internal/doc"
+)
+
+// StaticIndex is the contract a static compressed index must satisfy to
+// be dynamized ("(u(n), w(n))-constructible" indexes queried by
+// range-finding + locating, with computable suffix ranks; Section 2).
+// Both fmindex.Index and fmindex.SAIndex satisfy it.
+type StaticIndex interface {
+	// SALen is the number of suffix-array rows (the universe of the
+	// deletion bitmap).
+	SALen() int
+	// SymbolCount is the total number of document payload symbols.
+	SymbolCount() int
+	// DocCount is the number of documents the index was built over.
+	DocCount() int
+	// DocID returns the application ID of the i-th document.
+	DocID(i int) uint64
+	// DocLen returns the payload length of the i-th document.
+	DocLen(i int) int
+	// Range returns the half-open suffix-array interval of rows whose
+	// suffixes start with pattern (trange).
+	Range(pattern []byte) (lo, hi int)
+	// Locate maps a suffix-array row to (document index, offset)
+	// (tlocate).
+	Locate(row int) (docIdx, off int)
+	// SuffixRank returns the suffix-array row of the suffix starting at
+	// (docIdx, off); off may equal DocLen(docIdx), addressing the
+	// document's separator (tSA).
+	SuffixRank(docIdx, off int) int
+	// Extract returns length payload symbols of docIdx starting at off
+	// (textract).
+	Extract(docIdx, off, length int) []byte
+	// SizeBits estimates the index footprint for space accounting.
+	SizeBits() int64
+}
+
+// Builder constructs a StaticIndex over a document set. It corresponds to
+// the paper's construction algorithm with cost O(n·u(n)) time and
+// O(n·w(n)) workspace.
+type Builder func(docs []doc.Doc) StaticIndex
+
+// Occurrence is one pattern match.
+type Occurrence struct {
+	DocID uint64 // application ID of the matching document
+	Off   int    // offset of the match within the document payload
+}
+
+// store is the internal interface shared by every sub-collection holder:
+// the uncompressed C0 suffix tree and the semi-dynamic static indexes.
+type store interface {
+	findFunc(pattern []byte, fn func(Occurrence) bool)
+	count(pattern []byte) int
+	extract(id uint64, off, length int) ([]byte, bool)
+	docLen(id uint64) (int, bool)
+	delete(id uint64) bool
+	has(id uint64) bool
+	liveDocs() []doc.Doc
+	liveSymbols() int
+	deletedSymbols() int
+	sizeBits() int64
+}
+
+// Options configure a dynamized collection.
+type Options struct {
+	// Builder constructs the static index for compressed sub-collections.
+	// Required.
+	Builder Builder
+
+	// Tau is the space/overhead trade-off parameter τ: each semi-dynamic
+	// structure is purged once a 1/τ fraction of its symbols is deleted,
+	// and the Lemma 3 bitmap spends O(log τ/τ) bits per suffix. 0 means
+	// automatic: τ = max(2, log n / log log n) recomputed at global
+	// rebuilds.
+	Tau int
+
+	// Epsilon is the geometric growth exponent ε of sub-collection
+	// capacities (max_i = 2·(n/log²n)·log^{εi} n). It trades insertion
+	// cost O(u·logᵋ n) against the number of levels ⌈2/ε⌉.
+	// Default 0.5.
+	Epsilon float64
+
+	// Ratio2 selects Transformation 3's level layout: capacities grow by
+	// a factor of 2 per level (O(log log n) levels), making insertions
+	// cheaper and queries fan out over more sub-collections.
+	Ratio2 bool
+
+	// Counting attaches the Theorem 1 structures so Count runs in
+	// O(tcount) instead of enumerating occurrences. It increases update
+	// cost by O(log n / log log n) per symbol.
+	Counting bool
+
+	// MinCapacity bounds max_0 from below so small collections behave
+	// sensibly (the asymptotic formulas degenerate for tiny n).
+	// Default 64.
+	MinCapacity int
+
+	// Inline forces background builds of the worst-case transformation
+	// to complete synchronously; used by deterministic tests.
+	Inline bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Builder == nil {
+		panic("core: Options.Builder is required")
+	}
+	if o.Epsilon <= 0 || o.Epsilon > 1 {
+		o.Epsilon = 0.5
+	}
+	if o.MinCapacity <= 0 {
+		o.MinCapacity = 64
+	}
+	if o.Tau < 0 {
+		panic(fmt.Sprintf("core: negative Tau %d", o.Tau))
+	}
+	return o
+}
+
+// autoTau computes τ = max(2, log₂ n / log₂ log₂ n) as the paper's
+// default trade-off, capped so the Lemma 3 word width stays sane.
+func autoTau(n int) int {
+	if n < 16 {
+		return 2
+	}
+	lg := log2(n)
+	lglg := log2(lg)
+	if lglg < 1 {
+		lglg = 1
+	}
+	t := lg / lglg
+	if t < 2 {
+		t = 2
+	}
+	if t > 4096 {
+		t = 4096
+	}
+	return t
+}
+
+// log2 returns ⌊log₂ x⌋ for x ≥ 1.
+func log2(x int) int {
+	l := 0
+	for x > 1 {
+		x >>= 1
+		l++
+	}
+	return l
+}

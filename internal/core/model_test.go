@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+
+	"dyncoll/internal/doc"
+	"dyncoll/internal/fmindex"
+)
+
+// model is the brute-force reference implementation every dynamized
+// collection is checked against: a map of live documents queried by
+// scanning.
+type model struct {
+	docs map[uint64][]byte
+}
+
+func newModel() *model { return &model{docs: make(map[uint64][]byte)} }
+
+func (m *model) insert(d doc.Doc) {
+	buf := make([]byte, len(d.Data))
+	copy(buf, d.Data)
+	m.docs[d.ID] = buf
+}
+
+func (m *model) delete(id uint64) bool {
+	if _, ok := m.docs[id]; !ok {
+		return false
+	}
+	delete(m.docs, id)
+	return true
+}
+
+func (m *model) find(pattern []byte) []Occurrence {
+	var out []Occurrence
+	for id, data := range m.docs {
+		if len(pattern) == 0 {
+			for off := range data {
+				out = append(out, Occurrence{DocID: id, Off: off})
+			}
+			continue
+		}
+		for off := 0; off+len(pattern) <= len(data); off++ {
+			if bytes.Equal(data[off:off+len(pattern)], pattern) {
+				out = append(out, Occurrence{DocID: id, Off: off})
+			}
+		}
+	}
+	return out
+}
+
+func (m *model) count(pattern []byte) int { return len(m.find(pattern)) }
+
+func (m *model) symbols() int {
+	n := 0
+	for _, d := range m.docs {
+		n += len(d)
+	}
+	return n
+}
+
+// sortOccs orders occurrences canonically for comparison.
+func sortOccs(occs []Occurrence) {
+	sort.Slice(occs, func(i, j int) bool {
+		if occs[i].DocID != occs[j].DocID {
+			return occs[i].DocID < occs[j].DocID
+		}
+		return occs[i].Off < occs[j].Off
+	})
+}
+
+func sameOccs(a, b []Occurrence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortOccs(a)
+	sortOccs(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dynamic is the interface shared by Amortized and WorstCase, letting the
+// conformance suite run over every transformation.
+type dynamic interface {
+	Insert(doc.Doc)
+	Delete(id uint64) bool
+	Has(id uint64) bool
+	Find(pattern []byte) []Occurrence
+	FindFunc(pattern []byte, fn func(Occurrence) bool)
+	Count(pattern []byte) int
+	Extract(id uint64, off, length int) ([]byte, bool)
+	DocLen(id uint64) (int, bool)
+	Len() int
+	DocCount() int
+	SizeBits() int64
+}
+
+var (
+	_ dynamic = (*Amortized)(nil)
+	_ dynamic = (*WorstCase)(nil)
+)
+
+// fmBuilder is the default static-index builder for tests: an FM-index
+// with a small sample rate so locate paths are exercised aggressively.
+func fmBuilder(docs []doc.Doc) StaticIndex {
+	return fmindex.Build(docs, fmindex.Options{SampleRate: 4})
+}
+
+// saBuilder uses the plain suffix-array index (the O(n log σ)-bit
+// Grossi–Vitter stand-in), checking builder-independence of the
+// framework.
+func saBuilder(docs []doc.Doc) StaticIndex {
+	return fmindex.BuildSA(docs)
+}
+
+// csaBuilder uses the Ψ-based compressed suffix array (Sadakane
+// flavour), a third index family with no LF support — exercising the
+// SemiDynamic deletion fallback path.
+func csaBuilder(docs []doc.Doc) StaticIndex {
+	return fmindex.BuildCSA(docs, fmindex.Options{SampleRate: 4})
+}

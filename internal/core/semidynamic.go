@@ -1,0 +1,238 @@
+package core
+
+import (
+	"dyncoll/internal/doc"
+	"dyncoll/internal/dynbits"
+	"dyncoll/internal/sparsebits"
+)
+
+// SemiDynamic wraps a StaticIndex with the paper's lazy-deletion
+// machinery (Section 2, "Supporting Document Deletions"):
+//
+//   - a bitmap B over suffix-array rows, B[j] = 0 iff row j belongs to a
+//     deleted document, stored in the Lemma 3 structure V so the live
+//     rows of any range are reported in O(1) each;
+//   - optionally (Theorem 1) a rank-capable copy of B so live rows in a
+//     range can be counted in O(log n).
+//
+// Deleting a document costs tSA + O(logᵋ n) per symbol: each of its
+// suffix rows is located with SuffixRank and cleared in V. The wrapper
+// never rebuilds itself — the fully-dynamic transformations purge and
+// rebuild whole sub-collections through their Builder.
+type SemiDynamic struct {
+	idx   StaticIndex
+	alive *sparsebits.Compressed
+	cnt   *dynbits.Vector // nil unless counting is enabled
+
+	byID    map[uint64]int // live doc ID → doc index within idx
+	live    int            // live payload symbols
+	deleted int            // deleted payload symbols
+}
+
+// lfStepper is the optional fast-deletion interface: LF maps a suffix
+// row to the row of the suffix one position earlier.
+type lfStepper interface {
+	LF(row int) int
+}
+
+// NewSemiDynamic wraps idx. tau sets the Lemma 3 word width; counting
+// attaches the Theorem 1 rank structure.
+func NewSemiDynamic(idx StaticIndex, tau int, counting bool) *SemiDynamic {
+	if tau < 2 {
+		tau = 2
+	}
+	if tau > 4096 {
+		tau = 4096
+	}
+	s := &SemiDynamic{
+		idx:   idx,
+		alive: sparsebits.NewCompressed(idx.SALen(), tau),
+		byID:  make(map[uint64]int, idx.DocCount()),
+	}
+	if counting {
+		s.cnt = dynbits.New(idx.SALen(), true)
+	}
+	for i := 0; i < idx.DocCount(); i++ {
+		s.byID[idx.DocID(i)] = i
+		s.live += idx.DocLen(i)
+	}
+	return s
+}
+
+// Index exposes the wrapped static index.
+func (s *SemiDynamic) Index() StaticIndex { return s.idx }
+
+func (s *SemiDynamic) has(id uint64) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+func (s *SemiDynamic) liveSymbols() int    { return s.live }
+func (s *SemiDynamic) deletedSymbols() int { return s.deleted }
+
+// DocCount reports the number of live documents.
+func (s *SemiDynamic) DocCount() int { return len(s.byID) }
+
+func (s *SemiDynamic) delete(id uint64) bool {
+	d, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	delete(s.byID, id)
+	dl := s.idx.DocLen(d)
+	// Clear every suffix row of the document, separator included, so
+	// neither reporting nor counting ever sees it again. When the index
+	// exposes the LF mapping, one O(dl) walk from the separator row visits
+	// them all; otherwise fall back to dl separate SuffixRank calls.
+	if lf, ok := s.idx.(lfStepper); ok {
+		row := s.idx.SuffixRank(d, dl)
+		for off := dl; ; off-- {
+			s.alive.Zero(row)
+			if s.cnt != nil {
+				s.cnt.Set(row, false)
+			}
+			if off == 0 {
+				break
+			}
+			row = lf.LF(row)
+		}
+	} else {
+		for off := 0; off <= dl; off++ {
+			row := s.idx.SuffixRank(d, off)
+			s.alive.Zero(row)
+			if s.cnt != nil {
+				s.cnt.Set(row, false)
+			}
+		}
+	}
+	s.live -= dl
+	s.deleted += dl
+	return true
+}
+
+func (s *SemiDynamic) findFunc(pattern []byte, fn func(Occurrence) bool) {
+	if len(pattern) == 0 {
+		s.findEverything(fn)
+		return
+	}
+	lo, hi := s.idx.Range(pattern)
+	if lo >= hi {
+		return
+	}
+	s.alive.Report(lo, hi-1, func(row int) bool {
+		d, off := s.idx.Locate(row)
+		return fn(Occurrence{DocID: s.idx.DocID(d), Off: off})
+	})
+}
+
+// findEverything reports every live position (empty-pattern semantics).
+func (s *SemiDynamic) findEverything(fn func(Occurrence) bool) {
+	for id, d := range s.byID {
+		dl := s.idx.DocLen(d)
+		for off := 0; off < dl; off++ {
+			if !fn(Occurrence{DocID: id, Off: off}) {
+				return
+			}
+		}
+	}
+}
+
+func (s *SemiDynamic) count(pattern []byte) int {
+	if len(pattern) == 0 {
+		return s.live
+	}
+	lo, hi := s.idx.Range(pattern)
+	if lo >= hi {
+		return 0
+	}
+	if s.cnt != nil {
+		return s.cnt.Count1(lo, hi-1)
+	}
+	n := 0
+	s.alive.Report(lo, hi-1, func(int) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+func (s *SemiDynamic) extract(id uint64, off, length int) ([]byte, bool) {
+	d, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return s.idx.Extract(d, off, length), true
+}
+
+func (s *SemiDynamic) docLen(id uint64) (int, bool) {
+	d, ok := s.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return s.idx.DocLen(d), true
+}
+
+// liveIDs returns the IDs of the live documents (a cheap snapshot).
+func (s *SemiDynamic) liveIDs() []uint64 {
+	out := make([]uint64, 0, len(s.byID))
+	for id := range s.byID {
+		out = append(out, id)
+	}
+	return out
+}
+
+// lazySnapshot captures the live document indices so their payloads can
+// be extracted later — possibly on another goroutine — from the immutable
+// static index. Lazy deletions touch only the wrapper's bitmaps, never
+// the index, so the deferred extraction is race-free; documents deleted
+// after the snapshot are weeded out when the build result is installed.
+func (s *SemiDynamic) lazySnapshot() lazySrc {
+	idxs := make([]int, 0, len(s.byID))
+	for _, d := range s.byID {
+		idxs = append(idxs, d)
+	}
+	return lazySrc{idx: s.idx, docIdxs: idxs}
+}
+
+// lazySrc is a deferred-extraction snapshot of a static index's live
+// documents.
+type lazySrc struct {
+	idx     StaticIndex
+	docIdxs []int
+}
+
+// materialize extracts the snapshot's documents from the static index.
+func (l lazySrc) materialize(dst []doc.Doc) []doc.Doc {
+	for _, di := range l.docIdxs {
+		dst = append(dst, doc.Doc{
+			ID:   l.idx.DocID(di),
+			Data: l.idx.Extract(di, 0, l.idx.DocLen(di)),
+		})
+	}
+	return dst
+}
+
+func (s *SemiDynamic) liveDocs() []doc.Doc {
+	out := make([]doc.Doc, 0, len(s.byID))
+	for i := 0; i < s.idx.DocCount(); i++ {
+		id := s.idx.DocID(i)
+		if _, ok := s.byID[id]; !ok {
+			continue
+		}
+		out = append(out, doc.Doc{ID: id, Data: s.idx.Extract(i, 0, s.idx.DocLen(i))})
+	}
+	return out
+}
+
+func (s *SemiDynamic) sizeBits() int64 {
+	total := s.idx.SizeBits() + s.alive.SizeBits()
+	if s.cnt != nil {
+		total += s.cnt.SizeBits()
+	}
+	return total
+}
+
+// buildSemi builds a static index over docs and wraps it.
+func buildSemi(b Builder, docs []doc.Doc, tau int, counting bool) *SemiDynamic {
+	return NewSemiDynamic(b(docs), tau, counting)
+}

@@ -1,0 +1,1029 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dyncoll/internal/doc"
+)
+
+// WorstCase is Transformation 2: a fully-dynamic compressed document
+// index whose update operations perform a bounded amount of foreground
+// work per call.
+//
+// The machinery follows Section 3 of the paper:
+//
+//   - sub-collections C0 … Cr hold at most an O(1/τ) fraction of the
+//     data; the bulk lives in top collections T1 … Tg (g = O(τ));
+//   - merging Cj into Cj+1 locks Cj (it keeps answering queries as Lj)
+//     and constructs the replacement Nj+1 in the background; small
+//     per-document Temp indexes keep new arrivals queryable meanwhile;
+//   - documents too large for the ladder (≥ nf/τ) become their own top
+//     collection immediately;
+//   - deletions are lazy everywhere; a sweep process purges the top
+//     collection holding the most dead symbols after every
+//     nf/(2τ·log τ) deleted symbols, which by Dietz–Sleator (Lemma 1)
+//     bounds every top's dead fraction by O(1/τ);
+//   - when n drifts a factor 2 from nf, a background rebalance rebuilds
+//     the whole collection into fresh top collections (Section A.3).
+//
+// The paper charges background construction to subsequent updates via
+// work credits, and its scheduling lemma proves a slot is never needed
+// again before its in-flight rebuild completes. This implementation runs
+// construction on separate goroutines instead; because real build speed
+// is machine-dependent, the scheduling lemma is replaced by a
+// non-blocking fallback — when a slot is still busy, the update parks the
+// new document in a per-level temp index (cost proportional to the
+// document) or defers the merge until the build lands. Foreground work
+// per update therefore stays proportional to the update itself, which is
+// the guarantee Transformation 2 exists to provide. Options.Inline forces
+// synchronous completion for deterministic tests.
+type WorstCase struct {
+	mu   sync.Mutex
+	opts Options
+
+	c0     *c0store
+	levels []*SemiDynamic   // Cj, j ≥ 1; index 0 unused
+	locked []*SemiDynamic   // Lj, parallel to levels
+	temps  [][]*SemiDynamic // parked single-document indexes per level
+	tops   []*SemiDynamic   // T1…Tg
+	maxes  []int
+
+	pendingMerge []bool // deletion-triggered merges waiting for a free slot
+
+	retiring []store // sources of in-flight builds, still queryable
+
+	owner map[uint64]store
+
+	builds      []*buildTask
+	rebalancing bool
+	needsReb    bool
+
+	nf, tau int
+
+	deletedSinceSweep int
+
+	stats WorstStats
+}
+
+// WorstStats reports internal counters for invariant tests and traces.
+type WorstStats struct {
+	BackgroundBuilds int
+	SyncBuilds       int
+	TempParks        int
+	TopPurges        int
+	Rebalances       int
+	Tops             int
+	MaxTops          int
+	LevelSizes       []int
+	LevelCaps        []int
+	TopSizes         []int
+	TopDead          []int
+}
+
+type buildKind int
+
+const (
+	buildLevel     buildKind = iota // result becomes levels[target]
+	buildTop                        // result becomes new top collection(s)
+	buildRebalance                  // result replaces the whole collection's tops
+)
+
+type buildTask struct {
+	kind   buildKind
+	target int // level index for buildLevel
+	// eager holds documents already materialized (C0 contents, the newly
+	// inserted document); lazy holds snapshots whose payloads the
+	// background goroutine extracts from immutable static indexes, so the
+	// foreground never pays for decompression.
+	eager   []doc.Doc
+	lazy    []lazySrc
+	sources []store
+	split   int // buildTop/buildRebalance: max symbols per resulting top (0 = no split)
+	done    chan []*SemiDynamic
+
+	// tombstones records documents deleted from the sources while the
+	// build is in flight. The background goroutine applies the ones it
+	// sees before publishing, so the foreground install step only has to
+	// process stragglers — keeping finish() cheap even after long builds.
+	tmu        sync.Mutex
+	tombstones []uint64
+	applied    int // prefix of tombstones already applied by the builder
+}
+
+// addTombstone records a raced deletion.
+func (t *buildTask) addTombstone(id uint64) {
+	t.tmu.Lock()
+	t.tombstones = append(t.tombstones, id)
+	t.tmu.Unlock()
+}
+
+// addStore appends a store's live documents to the task: C0 content is
+// materialized immediately (it is uncompressed), compressed structures
+// are snapshot by document index and extracted during the build.
+func (t *buildTask) addStore(s store) {
+	switch v := s.(type) {
+	case *SemiDynamic:
+		t.lazy = append(t.lazy, v.lazySnapshot())
+	default:
+		t.eager = append(t.eager, s.liveDocs()...)
+	}
+	t.sources = append(t.sources, s)
+}
+
+// docCount reports how many documents the task will build over.
+func (t *buildTask) docCount() int {
+	n := len(t.eager)
+	for _, l := range t.lazy {
+		n += len(l.docIdxs)
+	}
+	return n
+}
+
+// NewWorstCase creates an empty collection with worst-case update bounds.
+func NewWorstCase(opts Options) *WorstCase {
+	opts = opts.withDefaults()
+	w := &WorstCase{
+		c0:    newC0(),
+		opts:  opts,
+		owner: make(map[uint64]store),
+	}
+	w.reschedule(0)
+	return w
+}
+
+// reschedule re-derives nf, τ and the ladder; the ladder stops at
+// ~nf/τ so that sub-collections hold only an O(1/τ) fraction of the data
+// (Section 3, "Data Structures").
+func (w *WorstCase) reschedule(n int) {
+	w.nf = n
+	w.tau = w.opts.Tau
+	if w.tau == 0 {
+		w.tau = autoTau(n)
+	}
+	lg := float64(log2(n))
+	if lg < 2 {
+		lg = 2
+	}
+	max0 := float64(2*n) / (lg * lg)
+	if max0 < float64(w.opts.MinCapacity) {
+		max0 = float64(w.opts.MinCapacity)
+	}
+	ratio := math.Pow(lg, w.opts.Epsilon)
+	if ratio < 1.5 {
+		ratio = 1.5
+	}
+	topCap := float64(n) / float64(w.tau)
+	if topCap < max0*2 {
+		topCap = max0 * 2
+	}
+	w.maxes = w.maxes[:0]
+	w.maxes = append(w.maxes, int(max0))
+	cap := max0
+	for cap < topCap && len(w.maxes) < 64 {
+		cap *= ratio
+		w.maxes = append(w.maxes, int(cap))
+	}
+	for len(w.levels) < len(w.maxes)+1 {
+		w.levels = append(w.levels, nil)
+		w.locked = append(w.locked, nil)
+		w.temps = append(w.temps, nil)
+		w.pendingMerge = append(w.pendingMerge, false)
+	}
+}
+
+// topCap is the maximum size of a multi-document top collection (4nf/τ).
+func (w *WorstCase) topCap() int {
+	c := 4 * w.nf / w.tau
+	if c < 2*w.opts.MinCapacity {
+		c = 2 * w.opts.MinCapacity
+	}
+	return c
+}
+
+// bigDoc reports whether a document is large enough to become its own
+// top collection (≥ nf/τ).
+func (w *WorstCase) bigDoc(n int) bool {
+	threshold := w.nf / w.tau
+	if threshold < w.opts.MinCapacity {
+		threshold = w.opts.MinCapacity
+	}
+	return n >= threshold
+}
+
+// targetBusy reports whether a build installing into level t is in
+// flight (two builds must never race for one slot).
+func (w *WorstCase) targetBusy(t int) bool {
+	for _, b := range w.builds {
+		if b.kind == buildLevel && b.target == t {
+			return true
+		}
+	}
+	return false
+}
+
+// slotBusy reports whether merging level j into j+1 must wait: the level
+// is already locked (its docs belong to an in-flight build) or another
+// build is installing into j+1.
+func (w *WorstCase) slotBusy(j int) bool {
+	if j < len(w.locked) && w.locked[j] != nil {
+		return true
+	}
+	return w.targetBusy(j + 1)
+}
+
+// launch starts a build task, synchronously in Inline mode.
+func (w *WorstCase) launch(t *buildTask) {
+	t.done = make(chan []*SemiDynamic, 1)
+	w.builds = append(w.builds, t)
+	w.retiring = append(w.retiring, t.sources...)
+	w.stats.BackgroundBuilds++
+	tau, counting, builder := w.tau, w.opts.Counting, w.opts.Builder
+	run := func() {
+		docs := make([]doc.Doc, 0, t.docCount())
+		docs = append(docs, t.eager...)
+		for _, l := range t.lazy {
+			docs = l.materialize(docs)
+		}
+		var out []*SemiDynamic
+		if t.split > 0 {
+			for _, chunk := range splitDocs(docs, t.split) {
+				out = append(out, buildSemi(builder, chunk, tau, counting))
+			}
+		} else {
+			out = append(out, buildSemi(builder, docs, tau, counting))
+		}
+		// Pre-apply the deletions that raced with the build; stragglers
+		// arriving after this point are handled by finish().
+		t.tmu.Lock()
+		for _, id := range t.tombstones {
+			for _, res := range out {
+				if res.delete(id) {
+					break
+				}
+			}
+		}
+		t.applied = len(t.tombstones)
+		t.tmu.Unlock()
+		t.done <- out
+	}
+	if w.opts.Inline {
+		run()
+		w.drainLocked(true)
+		return
+	}
+	go run()
+}
+
+// splitDocs partitions docs into chunks of at most maxSymbols payload
+// symbols (single oversized documents get their own chunk).
+func splitDocs(docs []doc.Doc, maxSymbols int) [][]doc.Doc {
+	var out [][]doc.Doc
+	var cur []doc.Doc
+	sz := 0
+	for _, d := range docs {
+		if len(cur) > 0 && sz+len(d.Data) > maxSymbols {
+			out = append(out, cur)
+			cur, sz = nil, 0
+		}
+		cur = append(cur, d)
+		sz += len(d.Data)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// drainLocked absorbs finished builds; if wait is true it blocks until
+// all in-flight builds complete. Callers hold w.mu.
+func (w *WorstCase) drainLocked(wait bool) {
+	for i := 0; i < len(w.builds); {
+		t := w.builds[i]
+		var out []*SemiDynamic
+		if wait {
+			out = <-t.done
+		} else {
+			select {
+			case out = <-t.done:
+			default:
+				i++
+				continue
+			}
+		}
+		w.finish(t, out)
+		w.builds = append(w.builds[:i], w.builds[i+1:]...)
+	}
+	w.reconcile()
+	if w.needsReb && !w.rebalancing {
+		w.needsReb = false
+		w.startRebalance()
+	}
+}
+
+// reconcile launches deferred work once slots free up: parked temp
+// indexes are folded into their level, and deletion-triggered merges that
+// found the slot busy are retried.
+func (w *WorstCase) reconcile() {
+	for j := 1; j < len(w.maxes); j++ {
+		if w.pendingMerge[j] {
+			if w.levels[j] == nil || w.levels[j].deletedSymbols() < w.maxes[j]/2 {
+				w.pendingMerge[j] = false
+			} else if !w.slotBusy(j) {
+				w.pendingMerge[j] = false
+				w.mergeLevelUp(j)
+			}
+		}
+	}
+	for t := 1; t < len(w.temps); t++ {
+		if len(w.temps[t]) == 0 || w.targetBusy(t) {
+			continue
+		}
+		w.foldTemps(t)
+	}
+}
+
+// foldTemps merges the parked temp indexes of slot t (plus the level
+// occupying it, if any) into the smallest level that fits, or into a new
+// top collection.
+func (w *WorstCase) foldTemps(t int) {
+	task := &buildTask{}
+	size := 0
+	for _, tmp := range w.temps[t] {
+		task.addStore(tmp)
+		size += tmp.liveSymbols()
+	}
+	w.temps[t] = nil
+	if t < len(w.maxes) && w.levels[t] != nil {
+		task.addStore(w.levels[t])
+		size += w.levels[t].liveSymbols()
+	}
+	if task.docCount() == 0 {
+		// Everything parked here was deleted in the meantime.
+		w.clearSlots(task.sources)
+		return
+	}
+	// Find the smallest level ≥ t with capacity for the union.
+	for k := t; k < len(w.maxes); k++ {
+		if size <= w.maxes[k] && !w.targetBusy(k) && (k == t || w.levels[k] == nil) {
+			w.detachForBuild(task.sources)
+			task.kind, task.target = buildLevel, k
+			w.launch(task)
+			return
+		}
+	}
+	w.detachForBuild(task.sources)
+	task.kind, task.split = buildTop, w.topCap()
+	w.launch(task)
+}
+
+// detachForBuild removes sources from temp lists but leaves them
+// queryable via the retiring list (finish clears level/locked slots).
+func (w *WorstCase) detachForBuild(sources []store) {
+	isSrc := make(map[store]bool, len(sources))
+	for _, s := range sources {
+		isSrc[s] = true
+	}
+	for j := range w.temps {
+		kept := w.temps[j][:0]
+		for _, tmp := range w.temps[j] {
+			if !isSrc[tmp] {
+				kept = append(kept, tmp)
+			}
+		}
+		w.temps[j] = kept
+	}
+}
+
+// clearSlots drops empty retired structures from every slot.
+func (w *WorstCase) clearSlots(sources []store) {
+	isSrc := make(map[store]bool, len(sources))
+	for _, s := range sources {
+		isSrc[s] = true
+	}
+	for j := range w.temps {
+		kept := w.temps[j][:0]
+		for _, tmp := range w.temps[j] {
+			if !isSrc[tmp] {
+				kept = append(kept, tmp)
+			}
+		}
+		w.temps[j] = kept
+		if w.levels[j] != nil && isSrc[w.levels[j]] {
+			w.levels[j] = nil
+		}
+	}
+}
+
+// finish installs the result of a completed build: snapshot documents
+// move to the new structures unless they were deleted mid-build, and the
+// source structures are retired.
+func (w *WorstCase) finish(t *buildTask, out []*SemiDynamic) {
+	isSource := make(map[store]bool, len(t.sources))
+	for _, s := range t.sources {
+		isSource[s] = true
+	}
+	// Apply straggler tombstones the builder missed after its seal point.
+	t.tmu.Lock()
+	for _, id := range t.tombstones[t.applied:] {
+		for _, res := range out {
+			if res.delete(id) {
+				break
+			}
+		}
+	}
+	t.applied = len(t.tombstones)
+	t.tmu.Unlock()
+	// Reassign ownership; weed out any remaining raced deletions.
+	for _, res := range out {
+		for _, id := range res.liveIDs() {
+			cur, alive := w.owner[id]
+			if alive && isSource[cur] {
+				w.owner[id] = res
+			} else {
+				res.delete(id)
+			}
+		}
+	}
+	// Retire sources from their slots.
+	for j := range w.locked {
+		if w.locked[j] != nil && isSource[w.locked[j]] {
+			w.locked[j] = nil
+		}
+		if w.levels[j] != nil && isSource[w.levels[j]] {
+			w.levels[j] = nil
+		}
+		kept := w.temps[j][:0]
+		for _, tmp := range w.temps[j] {
+			if !isSource[tmp] {
+				kept = append(kept, tmp)
+			}
+		}
+		w.temps[j] = kept
+	}
+	kept := w.tops[:0]
+	for _, tp := range w.tops {
+		if !isSource[tp] {
+			kept = append(kept, tp)
+		}
+	}
+	w.tops = kept
+	if isSource[w.c0] {
+		// Only rebalance retires C0; a fresh one was installed at launch.
+		panic("core: C0 retired outside rebalance")
+	}
+	ret := w.retiring[:0]
+	for _, s := range w.retiring {
+		if !isSource[s] {
+			ret = append(ret, s)
+		}
+	}
+	w.retiring = ret
+
+	switch t.kind {
+	case buildLevel:
+		if w.levels[t.target] != nil {
+			panic("core: level build target occupied")
+		}
+		w.levels[t.target] = out[0]
+	case buildTop:
+		w.tops = append(w.tops, out...)
+	case buildRebalance:
+		w.tops = append(w.tops, out...)
+		w.rebalancing = false
+		w.stats.Rebalances++
+	}
+	w.dropEmptyTops()
+	if len(w.tops) > w.stats.MaxTops {
+		w.stats.MaxTops = len(w.tops)
+	}
+}
+
+func (w *WorstCase) dropEmptyTops() {
+	kept := w.tops[:0]
+	for _, tp := range w.tops {
+		if tp.liveSymbols() > 0 {
+			kept = append(kept, tp)
+		}
+	}
+	w.tops = kept
+}
+
+// Len reports live payload symbols.
+func (w *WorstCase) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lenLocked()
+}
+
+func (w *WorstCase) lenLocked() int {
+	n := 0
+	for _, s := range w.allStores() {
+		n += s.liveSymbols()
+	}
+	return n
+}
+
+// allStores lists every queryable store exactly once.
+func (w *WorstCase) allStores() []store {
+	out := []store{store(w.c0)}
+	for j := range w.levels {
+		if w.levels[j] != nil {
+			out = append(out, w.levels[j])
+		}
+		if w.locked[j] != nil {
+			out = append(out, w.locked[j])
+		}
+		for _, tmp := range w.temps[j] {
+			out = append(out, tmp)
+		}
+	}
+	for _, tp := range w.tops {
+		out = append(out, tp)
+	}
+	// Retiring stores not already listed (rebalance sources: old c0,
+	// old levels, old tops were removed from their slots at launch).
+	listed := make(map[store]bool, len(out))
+	for _, s := range out {
+		listed[s] = true
+	}
+	for _, s := range w.retiring {
+		if !listed[s] {
+			out = append(out, s)
+			listed[s] = true
+		}
+	}
+	return out
+}
+
+// DocCount reports the number of live documents.
+func (w *WorstCase) DocCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.owner)
+}
+
+// DocIDs returns the IDs of all live documents in unspecified order.
+func (w *WorstCase) DocIDs() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]uint64, 0, len(w.owner))
+	for id := range w.owner {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Has reports whether document id is live.
+func (w *WorstCase) Has(id uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.owner[id]
+	return ok
+}
+
+// Insert adds a document (Section 3, "Insertions").
+func (w *WorstCase) Insert(d doc.Doc) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.owner[d.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate document ID %d", d.ID))
+	}
+	if !d.Valid() {
+		panic("core: document contains the reserved byte 0x00")
+	}
+	w.drainLocked(false)
+
+	switch {
+	case w.c0.liveSymbols()+len(d.Data) <= w.maxes[0]:
+		w.c0.insert(d)
+		w.owner[d.ID] = w.c0
+
+	case w.bigDoc(len(d.Data)):
+		// A huge document becomes its own top collection immediately;
+		// the build cost is proportional to the inserted data.
+		tp := buildSemi(w.opts.Builder, []doc.Doc{d}, w.tau, w.opts.Counting)
+		w.tops = append(w.tops, tp)
+		w.owner[d.ID] = tp
+		w.stats.SyncBuilds++
+
+	default:
+		w.insertViaLadder(d)
+	}
+	w.checkRebalance()
+}
+
+// insertViaLadder finds the first Cj+1 that can absorb Cj and the new
+// document, locking Cj and building the replacement in the background.
+// If every candidate slot is busy with an in-flight build, the document
+// is parked in a temp index (work proportional to the document) and
+// folded in once the build lands — the non-blocking realization of the
+// paper's scheduling lemma.
+func (w *WorstCase) insertViaLadder(d doc.Doc) {
+	r := len(w.maxes) - 1
+	for j := 0; j <= r; j++ {
+		szJ := w.levelSize(j)
+		var capNext int
+		if j == r {
+			capNext = int(^uint(0) >> 1) // anything fits in a new top
+		} else {
+			capNext = w.maxes[j+1]
+		}
+		if szJ+w.levelSize(j+1)+len(d.Data) > capNext {
+			continue
+		}
+		if w.slotBusy(j) {
+			// Don't wait for the in-flight build. Small documents overflow
+			// into C0 (soft cap 2·max_0, still O(n/log²n) space); larger
+			// ones are parked in a temp index built in O(|T|·u) time.
+			if j == 0 && w.c0.liveSymbols()+len(d.Data) <= 2*w.maxes[0] {
+				w.c0.insert(d)
+				w.owner[d.ID] = w.c0
+				return
+			}
+			tmp := buildSemi(w.opts.Builder, []doc.Doc{d}, w.tau, w.opts.Counting)
+			w.temps[j+1] = append(w.temps[j+1], tmp)
+			w.owner[d.ID] = tmp
+			w.stats.TempParks++
+			return
+		}
+		small := w.maxes[j] / 2
+		if len(d.Data) >= small && j < r {
+			// Large document relative to the level: rebuild synchronously,
+			// cost proportional to the document size.
+			docs := w.takeLevelDocs(j)
+			if w.levels[j+1] != nil {
+				docs = append(docs, w.levels[j+1].liveDocs()...)
+				w.levels[j+1] = nil
+			}
+			docs = append(docs, d)
+			lvl := buildSemi(w.opts.Builder, docs, w.tau, w.opts.Counting)
+			w.levels[j+1] = lvl
+			for _, dd := range docs {
+				w.owner[dd.ID] = lvl
+			}
+			w.stats.SyncBuilds++
+			return
+		}
+		// Background merge: lock Cj, index the new document alone in a
+		// temp, and build Nj+1 = Lj ∪ Cj+1 ∪ {d} behind the scenes.
+		task := &buildTask{kind: buildLevel, target: j + 1}
+		if j == 0 {
+			old := w.c0
+			w.c0 = newC0()
+			task.addStore(old)
+		} else if w.levels[j] != nil {
+			w.locked[j] = w.levels[j]
+			w.levels[j] = nil
+			task.addStore(w.locked[j])
+		}
+		if j == r {
+			task.kind, task.split = buildTop, w.topCap()
+		} else if w.levels[j+1] != nil {
+			task.addStore(w.levels[j+1])
+		}
+		// Include any temps already parked at the target slot.
+		target := j + 1
+		for _, tmp := range w.temps[target] {
+			task.addStore(tmp)
+		}
+		w.temps[target] = nil
+		tmp := buildSemi(w.opts.Builder, []doc.Doc{d}, w.tau, w.opts.Counting)
+		w.owner[d.ID] = tmp
+		task.addStore(tmp)
+		// The fresh temp rides along as a source so it is retired when the
+		// merged structure lands; meanwhile it answers queries. Park it in
+		// the slot list so allStores sees it exactly once.
+		w.temps[target] = append(w.temps[target], tmp)
+		w.launch(task)
+		return
+	}
+	panic("core: ladder insertion found no level") // unreachable: top case always fits
+}
+
+// levelSize is the live size of Cj (j = 0 → C0), temp indexes parked at
+// the slot included.
+func (w *WorstCase) levelSize(j int) int {
+	n := 0
+	if j == 0 {
+		n = w.c0.liveSymbols()
+	} else if j < len(w.levels) && w.levels[j] != nil {
+		n = w.levels[j].liveSymbols()
+	}
+	if j > 0 && j < len(w.temps) {
+		for _, tmp := range w.temps[j] {
+			n += tmp.liveSymbols()
+		}
+	}
+	return n
+}
+
+// takeLevelDocs removes and returns the live documents of Cj, including
+// parked temps.
+func (w *WorstCase) takeLevelDocs(j int) []doc.Doc {
+	var docs []doc.Doc
+	if j == 0 {
+		docs = w.c0.liveDocs()
+		w.c0 = newC0()
+	} else if w.levels[j] != nil {
+		docs = w.levels[j].liveDocs()
+		w.levels[j] = nil
+	}
+	if j > 0 {
+		for _, tmp := range w.temps[j] {
+			docs = append(docs, tmp.liveDocs()...)
+		}
+		w.temps[j] = nil
+	}
+	return docs
+}
+
+// Delete removes document id (Section 3, "Deletions").
+func (w *WorstCase) Delete(id uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.drainLocked(false)
+	st, ok := w.owner[id]
+	if !ok {
+		return false
+	}
+	dl, _ := st.docLen(id)
+	st.delete(id)
+	delete(w.owner, id)
+	// If the store is a source of an in-flight build, tombstone the doc so
+	// the build result never resurrects it.
+	for _, b := range w.builds {
+		for _, src := range b.sources {
+			if src == st {
+				b.addTombstone(id)
+			}
+		}
+	}
+
+	switch s := st.(type) {
+	case *SemiDynamic:
+		w.afterSemiDelete(s, dl)
+	}
+	// The sweep counter tracks every symbol deletion (the paper purges the
+	// worst top after each series of nf/(2τ·log τ) deleted symbols).
+	w.deletedSinceSweep += dl
+	w.maybeSweepTops()
+	w.checkRebalance()
+	return true
+}
+
+// afterSemiDelete enforces the dead-fraction bounds after a lazy delete.
+func (w *WorstCase) afterSemiDelete(s *SemiDynamic, dl int) {
+	// Level with ≥ maxj/2 dead symbols → merge into the next level. If
+	// the slot is busy the merge is deferred to reconcile.
+	for j := 1; j < len(w.maxes); j++ {
+		if w.levels[j] != s {
+			continue
+		}
+		if s.deletedSymbols() < w.maxes[j]/2 {
+			return
+		}
+		if w.slotBusy(j) {
+			w.pendingMerge[j] = true
+			return
+		}
+		w.mergeLevelUp(j)
+		return
+	}
+}
+
+// mergeLevelUp locks level j and builds Nj+1 from it (plus the current
+// occupant of j+1 and any parked temps) in the background.
+func (w *WorstCase) mergeLevelUp(j int) {
+	s := w.levels[j]
+	w.locked[j] = s
+	w.levels[j] = nil
+	task := &buildTask{kind: buildLevel, target: j + 1}
+	task.addStore(s)
+	if j == len(w.maxes)-1 {
+		task.kind, task.split = buildTop, w.topCap()
+	} else if w.levels[j+1] != nil {
+		task.addStore(w.levels[j+1])
+	}
+	target := j + 1
+	if target < len(w.temps) {
+		for _, tmp := range w.temps[target] {
+			task.addStore(tmp)
+		}
+	}
+	if task.docCount() == 0 {
+		w.locked[j] = nil
+		if target < len(w.temps) {
+			w.temps[target] = nil
+		}
+		return
+	}
+	w.launch(task)
+}
+
+// maybeSweepTops purges the top collection holding the most dead symbols
+// once nf/(2τ·log τ) symbols have been deleted since the last sweep
+// (Lemma 1 then bounds every top's dead fraction by O(1/τ)).
+func (w *WorstCase) maybeSweepTops() {
+	interval := w.nf / (2 * w.tau * max(1, log2(w.tau)))
+	if interval < w.opts.MinCapacity {
+		interval = w.opts.MinCapacity
+	}
+	if w.deletedSinceSweep < interval {
+		return
+	}
+	w.deletedSinceSweep = 0
+	var worst *SemiDynamic
+	for _, tp := range w.tops {
+		if worst == nil || tp.deletedSymbols() > worst.deletedSymbols() {
+			worst = tp
+		}
+	}
+	if worst == nil || worst.deletedSymbols() == 0 {
+		return
+	}
+	if worst.liveSymbols() == 0 {
+		w.dropEmptyTops()
+		return
+	}
+	task := &buildTask{kind: buildTop, split: w.topCap()}
+	task.addStore(worst)
+	w.launch(task)
+	w.stats.TopPurges++
+}
+
+// checkRebalance triggers the Section A.3 size-maintenance rebuild when n
+// drifts a factor 2 away from nf.
+func (w *WorstCase) checkRebalance() {
+	n := w.lenLocked()
+	if n < w.opts.MinCapacity {
+		return
+	}
+	if n >= 2*w.nf || (w.nf > 2*w.opts.MinCapacity && n <= w.nf/2) {
+		if w.rebalancing {
+			w.needsReb = true
+			return
+		}
+		w.startRebalance()
+	}
+}
+
+func (w *WorstCase) startRebalance() {
+	w.rebalancing = true
+	task := &buildTask{kind: buildRebalance}
+	n := 0
+	take := func(s store) {
+		if s.liveSymbols() == 0 && s.liveDocs() == nil && s != store(w.c0) {
+			return
+		}
+		task.addStore(s)
+		n += s.liveSymbols()
+	}
+	take(w.c0)
+	w.c0 = newC0()
+	for j := range w.levels {
+		if w.levels[j] != nil {
+			take(w.levels[j])
+			w.levels[j] = nil
+		}
+		for _, tmp := range w.temps[j] {
+			take(tmp)
+		}
+		w.temps[j] = nil
+		w.pendingMerge[j] = false
+	}
+	for _, tp := range w.tops {
+		take(tp)
+	}
+	w.tops = nil
+	// Locked stores stay with their in-flight builds.
+	w.reschedule(n)
+	if task.docCount() == 0 {
+		w.rebalancing = false
+		w.stats.Rebalances++
+		return
+	}
+	task.split = w.topCap()
+	w.launch(task)
+}
+
+// FindFunc calls fn for every occurrence of pattern; enumeration stops
+// early if fn returns false. An empty pattern matches at every live
+// position.
+func (w *WorstCase) FindFunc(pattern []byte, fn func(Occurrence) bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stop := false
+	wrapped := func(o Occurrence) bool {
+		if !fn(o) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	for _, s := range w.allStores() {
+		s.findFunc(pattern, wrapped)
+		if stop {
+			return
+		}
+	}
+}
+
+// Find returns every occurrence of pattern.
+func (w *WorstCase) Find(pattern []byte) []Occurrence {
+	var out []Occurrence
+	w.FindFunc(pattern, func(o Occurrence) bool {
+		out = append(out, o)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of occurrences of pattern.
+func (w *WorstCase) Count(pattern []byte) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, s := range w.allStores() {
+		n += s.count(pattern)
+	}
+	return n
+}
+
+// Extract returns length payload bytes of document id starting at off.
+func (w *WorstCase) Extract(id uint64, off, length int) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, ok := w.owner[id]
+	if !ok {
+		return nil, false
+	}
+	return st.extract(id, off, length)
+}
+
+// DocLen returns the payload length of document id.
+func (w *WorstCase) DocLen(id uint64) (int, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, ok := w.owner[id]
+	if !ok {
+		return 0, false
+	}
+	return st.docLen(id)
+}
+
+// SizeBits estimates the total footprint in bits.
+func (w *WorstCase) SizeBits() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total int64
+	for _, s := range w.allStores() {
+		total += s.sizeBits()
+	}
+	return total
+}
+
+// WaitIdle blocks until all background builds have completed and been
+// installed. Tests and fair benchmarks call it to reach a quiescent
+// state.
+func (w *WorstCase) WaitIdle() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.builds) > 0 || w.needsReb {
+		w.drainLocked(true)
+	}
+}
+
+// Stats returns internal counters and the current layout.
+func (w *WorstCase) Stats() WorstStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Tops = len(w.tops)
+	st.LevelSizes = append(st.LevelSizes, w.c0.liveSymbols())
+	st.LevelCaps = append(st.LevelCaps, w.maxes[0])
+	for j := 1; j < len(w.maxes); j++ {
+		st.LevelSizes = append(st.LevelSizes, w.levelSize(j))
+		st.LevelCaps = append(st.LevelCaps, w.maxes[j])
+	}
+	for _, tp := range w.tops {
+		st.TopSizes = append(st.TopSizes, tp.liveSymbols())
+		st.TopDead = append(st.TopDead, tp.deletedSymbols())
+	}
+	return st
+}
+
+// Tau reports the τ currently in effect.
+func (w *WorstCase) Tau() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tau
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

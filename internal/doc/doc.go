@@ -1,0 +1,25 @@
+// Package doc defines the document type shared by every index and
+// collection implementation in this module.
+package doc
+
+// Doc is one document in a collection: an application-assigned identifier
+// and an immutable byte payload. Payload bytes must be non-zero — the
+// byte 0x00 is reserved as the document separator by the compressed
+// indexes (see package fmindex).
+type Doc struct {
+	ID   uint64
+	Data []byte
+}
+
+// Valid reports whether the payload avoids the reserved separator byte.
+func (d Doc) Valid() bool {
+	for _, b := range d.Data {
+		if b == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the payload length in bytes.
+func (d Doc) Len() int { return len(d.Data) }

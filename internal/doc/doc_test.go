@@ -1,0 +1,34 @@
+package doc
+
+import "testing"
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		data []byte
+		want bool
+	}{
+		{nil, true},
+		{[]byte{}, true},
+		{[]byte{1}, true},
+		{[]byte{255}, true},
+		{[]byte("hello"), true},
+		{[]byte{0}, false},
+		{[]byte{1, 0, 2}, false},
+		{[]byte{1, 2, 0}, false},
+	}
+	for _, c := range cases {
+		d := Doc{ID: 1, Data: c.data}
+		if d.Valid() != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.data, d.Valid(), c.want)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	if (Doc{}).Len() != 0 {
+		t.Fatal("empty doc Len != 0")
+	}
+	if (Doc{Data: []byte("abc")}).Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+}

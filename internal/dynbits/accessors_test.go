@@ -1,0 +1,32 @@
+package dynbits
+
+import "testing"
+
+func TestAccessorsAndRank0(t *testing.T) {
+	v := New(100, true)
+	if v.Len() != 100 || v.Ones() != 100 {
+		t.Fatalf("Len=%d Ones=%d", v.Len(), v.Ones())
+	}
+	v.Set(10, false)
+	v.Set(20, false)
+	if !v.Get(0) || v.Get(10) {
+		t.Fatal("Get wrong")
+	}
+	if got := v.Rank0(21); got != 2 {
+		t.Fatalf("Rank0(21) = %d", got)
+	}
+	if got := v.Rank0(10); got != 0 {
+		t.Fatalf("Rank0(10) = %d", got)
+	}
+	if v.SizeBits() <= 0 {
+		t.Fatal("SizeBits not positive")
+	}
+	zeroInit := New(64, false)
+	if zeroInit.Ones() != 0 {
+		t.Fatal("zero-initialized vector has ones")
+	}
+	zeroInit.Set(63, true)
+	if zeroInit.Rank1(64) != 1 || zeroInit.Select1(1) != 63 {
+		t.Fatal("boundary bit mishandled")
+	}
+}

@@ -1,0 +1,219 @@
+package dynseq
+
+const (
+	arrLeafMax = 128
+	arrLeafMin = 32
+)
+
+// Uint64Array is a dynamic array of uint64 values supporting O(log n)
+// insertion, deletion, and access by index. The baseline index uses it to
+// keep suffix-array samples aligned with the rows of a changing BWT.
+type Uint64Array struct {
+	root *anode
+}
+
+type anode struct {
+	kids []*anode
+	vals []uint64
+	size int
+}
+
+func (n *anode) leaf() bool { return n.kids == nil }
+
+// NewUint64Array returns an empty dynamic array.
+func NewUint64Array() *Uint64Array {
+	return &Uint64Array{root: &anode{vals: make([]uint64, 0, 8)}}
+}
+
+// Len reports the number of elements.
+func (a *Uint64Array) Len() int { return a.root.size }
+
+// Get returns the element at index i.
+func (a *Uint64Array) Get(i int) uint64 {
+	if i < 0 || i >= a.root.size {
+		panic("dynseq: Uint64Array.Get out of range")
+	}
+	n := a.root
+	for !n.leaf() {
+		for _, k := range n.kids {
+			if i < k.size {
+				n = k
+				break
+			}
+			i -= k.size
+		}
+	}
+	return n.vals[i]
+}
+
+// Set overwrites the element at index i.
+func (a *Uint64Array) Set(i int, v uint64) {
+	if i < 0 || i >= a.root.size {
+		panic("dynseq: Uint64Array.Set out of range")
+	}
+	n := a.root
+	for !n.leaf() {
+		for _, k := range n.kids {
+			if i < k.size {
+				n = k
+				break
+			}
+			i -= k.size
+		}
+	}
+	n.vals[i] = v
+}
+
+// Insert places v at index i (0 ≤ i ≤ Len).
+func (a *Uint64Array) Insert(i int, v uint64) {
+	if i < 0 || i > a.root.size {
+		panic("dynseq: Uint64Array.Insert out of range")
+	}
+	if sib := a.root.insert(i, v); sib != nil {
+		old := a.root
+		a.root = &anode{kids: []*anode{old, sib}, size: old.size + sib.size}
+	}
+}
+
+func (n *anode) insert(i int, v uint64) *anode {
+	n.size++
+	if n.leaf() {
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		if len(n.vals) >= arrLeafMax {
+			half := len(n.vals) / 2
+			rv := make([]uint64, len(n.vals)-half)
+			copy(rv, n.vals[half:])
+			sib := &anode{vals: rv, size: len(rv)}
+			n.vals = n.vals[:half]
+			n.size = half
+			return sib
+		}
+		return nil
+	}
+	var c int
+	for c = 0; c < len(n.kids)-1; c++ {
+		if i <= n.kids[c].size {
+			break
+		}
+		i -= n.kids[c].size
+	}
+	if sib := n.kids[c].insert(i, v); sib != nil {
+		n.kids = append(n.kids, nil)
+		copy(n.kids[c+2:], n.kids[c+1:])
+		n.kids[c+1] = sib
+		if len(n.kids) > maxKids {
+			half := len(n.kids) / 2
+			rk := make([]*anode, len(n.kids)-half)
+			copy(rk, n.kids[half:])
+			n.kids = n.kids[:half]
+			sib2 := &anode{kids: rk}
+			arecount(n)
+			arecount(sib2)
+			return sib2
+		}
+	}
+	return nil
+}
+
+func arecount(n *anode) {
+	n.size = 0
+	for _, k := range n.kids {
+		n.size += k.size
+	}
+}
+
+// Delete removes and returns the element at index i.
+func (a *Uint64Array) Delete(i int) uint64 {
+	if i < 0 || i >= a.root.size {
+		panic("dynseq: Uint64Array.Delete out of range")
+	}
+	v := a.root.remove(i)
+	if !a.root.leaf() && len(a.root.kids) == 1 {
+		a.root = a.root.kids[0]
+	}
+	return v
+}
+
+func (n *anode) remove(i int) uint64 {
+	n.size--
+	if n.leaf() {
+		v := n.vals[i]
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return v
+	}
+	var c int
+	for c = 0; c < len(n.kids)-1; c++ {
+		if i < n.kids[c].size {
+			break
+		}
+		i -= n.kids[c].size
+	}
+	v := n.kids[c].remove(i)
+	n.fixUnderflow(c)
+	return v
+}
+
+func (n *anode) fixUnderflow(c int) {
+	k := n.kids[c]
+	var under bool
+	if k.leaf() {
+		under = len(k.vals) <= arrLeafMin && len(n.kids) > 1
+	} else {
+		under = len(k.kids) < minKids && len(n.kids) > 1
+	}
+	if !under {
+		return
+	}
+	j := c + 1
+	if j >= len(n.kids) {
+		j = c - 1
+		c, j = j, c
+	}
+	left, right := n.kids[c], n.kids[j]
+	if left.leaf() {
+		left.vals = append(left.vals, right.vals...)
+		left.size = len(left.vals)
+		if len(left.vals) >= arrLeafMax {
+			half := len(left.vals) / 2
+			rv := make([]uint64, len(left.vals)-half)
+			copy(rv, left.vals[half:])
+			left.vals = left.vals[:half]
+			left.size = half
+			n.kids[j] = &anode{vals: rv, size: len(rv)}
+			return
+		}
+	} else {
+		left.kids = append(left.kids, right.kids...)
+		arecount(left)
+		if len(left.kids) > maxKids {
+			half := len(left.kids) / 2
+			rk := make([]*anode, len(left.kids)-half)
+			copy(rk, left.kids[half:])
+			left.kids = left.kids[:half]
+			sib := &anode{kids: rk}
+			arecount(left)
+			arecount(sib)
+			n.kids[j] = sib
+			return
+		}
+	}
+	n.kids = append(n.kids[:j], n.kids[j+1:]...)
+}
+
+// SizeBits estimates the memory footprint in bits.
+func (a *Uint64Array) SizeBits() int64 {
+	var total int64
+	var walk func(n *anode)
+	walk = func(n *anode) {
+		total += 3 * 64
+		total += int64(len(n.vals)) * 64
+		total += int64(len(n.kids)) * 64
+		for _, k := range n.kids {
+			walk(k)
+		}
+	}
+	walk(a.root)
+	return total
+}

@@ -1,0 +1,159 @@
+package dynseq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitVectorDeepTree grows the vector far past one internal node's
+// fanout so root and internal splits (and, on the way down, merges) all
+// run, with rank/select cross-checked at checkpoints.
+func TestBitVectorDeepTree(t *testing.T) {
+	const n = 600_000
+	v := NewBitVector()
+	for i := 0; i < n; i++ {
+		v.Insert(i, i%5 == 0)
+	}
+	if v.Len() != n {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	wantOnes := (n + 4) / 5
+	if v.Ones() != wantOnes {
+		t.Fatalf("Ones = %d, want %d", v.Ones(), wantOnes)
+	}
+	for _, i := range []int{0, 1, 4096, 65536, 299_999, n - 1} {
+		if v.Get(i) != (i%5 == 0) {
+			t.Fatalf("Get(%d) wrong", i)
+		}
+	}
+	for _, i := range []int{0, 63, 4096, 123_457, n} {
+		want := (i + 4) / 5
+		if got := v.Rank1(i); got != want {
+			t.Fatalf("Rank1(%d) = %d, want %d", i, got, want)
+		}
+		if got := v.Rank0(i); got != i-want {
+			t.Fatalf("Rank0(%d) = %d, want %d", i, got, i-want)
+		}
+	}
+	for _, k := range []int{0, 1, 999, wantOnes - 1} {
+		if got := v.Select1(k); got != 5*k {
+			t.Fatalf("Select1(%d) = %d, want %d", k, got, 5*k)
+		}
+	}
+	// Select0: the k-th zero. Zeros are positions not divisible by 5:
+	// within each block of 5 there are 4 zeros at offsets 1..4.
+	for _, k := range []int{0, 1, 2, 3, 4, 5, 1000} {
+		want := (k/4)*5 + k%4 + 1
+		if got := v.Select0(k); got != want {
+			t.Fatalf("Select0(%d) = %d, want %d", k, got, want)
+		}
+	}
+
+	// Drain interior positions so underflow merges and re-splits run at
+	// every level; verify counters stay exact.
+	rng := rand.New(rand.NewSource(5))
+	ones := wantOnes
+	for v.Len() > 1000 {
+		i := rng.Intn(v.Len())
+		if v.Delete(i) {
+			ones--
+		}
+	}
+	if v.Ones() != ones {
+		t.Fatalf("Ones after drain = %d, want %d", v.Ones(), ones)
+	}
+	// Structure must still answer queries consistently.
+	got := 0
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) {
+			got++
+		}
+	}
+	if got != ones {
+		t.Fatalf("bit scan = %d, want %d", got, ones)
+	}
+	if v.Rank1(v.Len()) != ones {
+		t.Fatalf("Rank1(end) = %d, want %d", v.Rank1(v.Len()), ones)
+	}
+}
+
+// TestUint64ArrayDeepTree mirrors the deep-tree test for the value array.
+func TestUint64ArrayDeepTree(t *testing.T) {
+	const n = 300_000
+	a := NewUint64Array()
+	for i := 0; i < n; i++ {
+		a.Insert(i, uint64(i)*3)
+	}
+	for _, i := range []int{0, 127, 65_536, n - 1} {
+		if a.Get(i) != uint64(i)*3 {
+			t.Fatalf("Get(%d) wrong", i)
+		}
+	}
+	// Delete every other element from the front; survivors must stay in
+	// order with exact indexing.
+	for i := 0; i < n/2; i++ {
+		if got := a.Delete(i); got != uint64(2*i)*3 {
+			t.Fatalf("Delete(%d) = %d, want %d", i, got, uint64(2*i)*3)
+		}
+	}
+	if a.Len() != n/2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for _, i := range []int{0, 1, 1000, n/2 - 1} {
+		if got := a.Get(i); got != uint64(2*i+1)*3 {
+			t.Fatalf("post-drain Get(%d) = %d, want %d", i, got, uint64(2*i+1)*3)
+		}
+	}
+	// Full drain exercises root collapse.
+	for a.Len() > 0 {
+		a.Delete(a.Len() - 1)
+	}
+	a.Insert(0, 42)
+	if a.Get(0) != 42 {
+		t.Fatal("array unusable after full drain")
+	}
+}
+
+// TestWaveletDeepTree checks the dynamic wavelet at a size where its
+// per-level bit vectors are multi-level B+trees themselves.
+func TestWaveletDeepTree(t *testing.T) {
+	const n = 200_000
+	w := NewWavelet()
+	for i := 0; i < n; i++ {
+		w.Insert(i, byte(i%251))
+	}
+	if w.Len() != n {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	for _, c := range []byte{0, 1, 100, 250} {
+		want := 0
+		for i := 0; i < n; i++ {
+			if byte(i%251) == c {
+				want++
+			}
+		}
+		if got := w.Rank(c, n); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", c, got, want)
+		}
+		if want > 0 {
+			if got := w.Select(c, 0); got != int(c) {
+				t.Fatalf("Select(%d, 0) = %d, want %d", c, got, int(c))
+			}
+		}
+	}
+	for _, i := range []int{0, 250, 251, 99_999, n - 1} {
+		if got := w.Access(i); got != byte(i%251) {
+			t.Fatalf("Access(%d) = %d", i, got)
+		}
+	}
+	// Delete a band in the middle and re-check alignment.
+	for i := 0; i < 50_000; i++ {
+		w.Delete(75_000)
+	}
+	if w.Len() != n-50_000 {
+		t.Fatalf("Len after band delete = %d", w.Len())
+	}
+	if got := w.Access(75_000); got != byte((75_000+50_000)%251) {
+		t.Fatalf("Access after band delete = %d", got)
+	}
+}

@@ -1,0 +1,187 @@
+package dynseq
+
+// Wavelet is a dynamic wavelet tree over byte symbols: a fixed-depth
+// (8-level) binary trie whose nodes carry dynamic bit vectors. Every
+// operation — Insert, Delete, Access, Rank, Select — costs O(log n) per
+// level, i.e. O(log n · log σ) with log σ ≤ 8.
+//
+// This is the query-path bottleneck structure of all pre-paper dynamic
+// compressed indexes (see the package comment); the benchmarks run the
+// baseline through it to reproduce the Fredman–Saks-bound behaviour the
+// paper circumvents.
+type Wavelet struct {
+	root *wnode
+	n    int
+}
+
+type wnode struct {
+	bv   *BitVector
+	kids [2]*wnode
+}
+
+// NewWavelet returns an empty dynamic byte sequence.
+func NewWavelet() *Wavelet { return &Wavelet{} }
+
+// Len reports the number of symbols.
+func (w *Wavelet) Len() int { return w.n }
+
+// Insert places symbol c at position i (0 ≤ i ≤ Len).
+func (w *Wavelet) Insert(i int, c byte) {
+	if i < 0 || i > w.n {
+		panic("dynseq: Wavelet.Insert out of range")
+	}
+	if w.root == nil {
+		w.root = &wnode{bv: NewBitVector()}
+	}
+	nd := w.root
+	for level := 7; level >= 0; level-- {
+		bit := c>>uint(level)&1 == 1
+		r1 := nd.bv.Rank1(i)
+		nd.bv.Insert(i, bit)
+		var next int
+		if bit {
+			next = r1
+		} else {
+			next = i - r1
+		}
+		if level == 0 {
+			break
+		}
+		b := 0
+		if bit {
+			b = 1
+		}
+		if nd.kids[b] == nil {
+			nd.kids[b] = &wnode{bv: NewBitVector()}
+		}
+		nd = nd.kids[b]
+		i = next
+	}
+	w.n++
+}
+
+// Delete removes the symbol at position i and returns it.
+func (w *Wavelet) Delete(i int) byte {
+	if i < 0 || i >= w.n {
+		panic("dynseq: Wavelet.Delete out of range")
+	}
+	var c byte
+	nd := w.root
+	for level := 7; level >= 0; level-- {
+		r1 := nd.bv.Rank1(i)
+		bit := nd.bv.Delete(i)
+		if bit {
+			c |= 1 << uint(level)
+			i = r1
+			nd = nd.kids[1]
+		} else {
+			i -= r1
+			nd = nd.kids[0]
+		}
+		if level == 0 {
+			break
+		}
+	}
+	w.n--
+	return c
+}
+
+// Access returns the symbol at position i.
+func (w *Wavelet) Access(i int) byte {
+	if i < 0 || i >= w.n {
+		panic("dynseq: Wavelet.Access out of range")
+	}
+	var c byte
+	nd := w.root
+	for level := 7; level >= 0; level-- {
+		bit := nd.bv.Get(i)
+		if bit {
+			c |= 1 << uint(level)
+			i = nd.bv.Rank1(i)
+			nd = nd.kids[1]
+		} else {
+			i -= nd.bv.Rank1(i)
+			nd = nd.kids[0]
+		}
+		if level == 0 {
+			break
+		}
+	}
+	return c
+}
+
+// Rank returns the number of occurrences of c in positions [0, i).
+func (w *Wavelet) Rank(c byte, i int) int {
+	if i <= 0 || w.root == nil {
+		return 0
+	}
+	if i > w.n {
+		i = w.n
+	}
+	nd := w.root
+	for level := 7; level >= 0; level-- {
+		if nd == nil {
+			return 0
+		}
+		if c>>uint(level)&1 == 1 {
+			i = nd.bv.Rank1(i)
+			nd = nd.kids[1]
+		} else {
+			i -= nd.bv.Rank1(i)
+			nd = nd.kids[0]
+		}
+		if i == 0 {
+			return 0
+		}
+		if level == 0 {
+			break
+		}
+	}
+	return i
+}
+
+// Select returns the position of the k-th occurrence of c (0-based), or
+// -1 if there are at most k occurrences.
+func (w *Wavelet) Select(c byte, k int) int {
+	if w.root == nil || k < 0 {
+		return -1
+	}
+	return wsel(w.root, c, k, 7)
+}
+
+func wsel(nd *wnode, c byte, k, level int) int {
+	if nd == nil {
+		return -1
+	}
+	bit := c>>uint(level)&1 == 1
+	if level > 0 {
+		b := 0
+		if bit {
+			b = 1
+		}
+		k = wsel(nd.kids[b], c, k, level-1)
+		if k < 0 {
+			return -1
+		}
+	}
+	if bit {
+		return nd.bv.Select1(k)
+	}
+	return nd.bv.Select0(k)
+}
+
+// SizeBits estimates the memory footprint in bits.
+func (w *Wavelet) SizeBits() int64 {
+	var total int64
+	var walk func(nd *wnode)
+	walk = func(nd *wnode) {
+		if nd == nil {
+			return
+		}
+		total += nd.bv.SizeBits() + 3*64
+		walk(nd.kids[0])
+		walk(nd.kids[1])
+	}
+	walk(w.root)
+	return total
+}

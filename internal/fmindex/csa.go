@@ -1,0 +1,313 @@
+package fmindex
+
+import (
+	"fmt"
+	"sort"
+
+	"dyncoll/internal/bitvec"
+	"dyncoll/internal/sa"
+)
+
+// CSA is a compressed suffix array in the style of Sadakane (Table 1 row
+// [39]): instead of the BWT it stores the Ψ function — Ψ(i) is the
+// suffix-array row of the suffix one position *later* in the text — in a
+// delta-compressed form, plus the C array and sampled SA/ISA entries.
+//
+//   - Range-finding: binary search over suffix-array rows, comparing the
+//     pattern against a suffix by walking Ψ (O(|P| log n)).
+//   - Locate: walk Ψ forward to the next sampled row (O(s)).
+//   - Extract: jump to an ISA sample, then one symbol per Ψ step
+//     (O(s + ℓ)).
+//
+// Ψ is increasing within each first-symbol run, so its deltas are small
+// on compressible text; they are stored varint-encoded in blocks with
+// absolute samples, giving a compressed representation that needs no
+// rank/select machinery at all — a genuinely different index family from
+// the FM-index, exercising the framework's index-agnosticism.
+type CSA struct {
+	n int // rows (total symbols including separators)
+
+	c [257]int32 // c[b] = first row whose suffix starts with symbol b
+
+	// Ψ storage: blocks of psiBlock entries; psiSamples holds the
+	// absolute value at each block start, psiDeltas the varint-encoded
+	// positive deltas within a block (Ψ restarts are encoded absolutely
+	// via a zero marker since Ψ only decreases across first-symbol runs).
+	psiSamples []int32
+	psiDeltas  []byte
+	psiOffsets []int32 // byte offset of each block in psiDeltas
+
+	s        int // sampling rate
+	saSamp   []int32
+	saMarked *bitvec.Vector
+	isaSamp  []int32
+
+	docStarts []int32
+	docIDs    []uint64
+	symbols   int
+}
+
+const psiBlock = 64
+
+// BuildCSA constructs the compressed suffix array over docs.
+func BuildCSA(docs []Doc, opts Options) *CSA {
+	opts = opts.withDefaults()
+	total := 0
+	for _, d := range docs {
+		total += len(d.Data) + 1
+	}
+	text := make([]byte, 0, total)
+	x := &CSA{s: opts.SampleRate}
+	for _, d := range docs {
+		if !d.Valid() {
+			panic("fmindex: document contains the reserved byte 0x00")
+		}
+		x.docStarts = append(x.docStarts, int32(len(text)))
+		x.docIDs = append(x.docIDs, d.ID)
+		x.symbols += len(d.Data)
+		text = append(text, d.Data...)
+		text = append(text, 0)
+	}
+	x.n = len(text)
+	if x.n == 0 {
+		x.saMarked = bitvec.New(0)
+		x.saMarked.Seal()
+		return x
+	}
+
+	suf := sa.SuffixArray(text)
+	inv := make([]int32, x.n)
+	for i, p := range suf {
+		inv[p] = int32(i)
+	}
+
+	// C array over the first column.
+	var counts [257]int32
+	for _, b := range text {
+		counts[b]++
+	}
+	var acc int32
+	for b := 0; b < 257; b++ {
+		x.c[b] = acc
+		if b < 256 {
+			acc += counts[b]
+		}
+	}
+
+	// Ψ[i] = inv[suf[i]+1], wrapping each position to row of the suffix
+	// one later; the last text position wraps to the row of suffix 0 so
+	// every walk stays total (never followed across separators in
+	// practice because samples stop it first).
+	psi := make([]int32, x.n)
+	for i := 0; i < x.n; i++ {
+		p := int(suf[i]) + 1
+		if p == x.n {
+			p = 0
+		}
+		psi[i] = inv[p]
+	}
+	x.encodePsi(psi)
+
+	// SA samples at text positions ≡ 0 (mod s), marked per row so Locate
+	// can stop its Ψ walk, plus ISA samples for every s-th text position.
+	marked := bitvec.New(0)
+	for i := 0; i < x.n; i++ {
+		sampled := int(suf[i])%x.s == 0
+		if sampled {
+			x.saSamp = append(x.saSamp, suf[i])
+		}
+		marked.AppendBit(sampled)
+	}
+	marked.Seal()
+	x.saMarked = marked
+
+	x.isaSamp = make([]int32, (x.n+x.s-1)/x.s)
+	for p := 0; p < x.n; p += x.s {
+		x.isaSamp[p/x.s] = inv[p]
+	}
+	return x
+}
+
+// encodePsi delta-encodes Ψ in blocks.
+func (x *CSA) encodePsi(psi []int32) {
+	for i, v := range psi {
+		if i%psiBlock == 0 {
+			x.psiSamples = append(x.psiSamples, v)
+			x.psiOffsets = append(x.psiOffsets, int32(len(x.psiDeltas)))
+			continue
+		}
+		prev := psi[i-1]
+		delta := int64(v) - int64(prev)
+		// ZigZag so occasional decreases (run boundaries) stay compact.
+		u := uint64(delta<<1) ^ uint64(delta>>63)
+		for u >= 0x80 {
+			x.psiDeltas = append(x.psiDeltas, byte(u)|0x80)
+			u >>= 7
+		}
+		x.psiDeltas = append(x.psiDeltas, byte(u))
+	}
+}
+
+// Psi returns Ψ(row): the row of the suffix starting one text position
+// later. It decodes the row's block up to the requested entry (O(psiBlock)
+// byte operations, a constant).
+func (x *CSA) Psi(row int) int {
+	if row < 0 || row >= x.n {
+		panic(fmt.Sprintf("fmindex: Psi(%d) out of range", row))
+	}
+	b := row / psiBlock
+	v := int64(x.psiSamples[b])
+	pos := int(x.psiOffsets[b])
+	for i := b*psiBlock + 1; i <= row; i++ {
+		var u uint64
+		shift := 0
+		for {
+			c := x.psiDeltas[pos]
+			pos++
+			u |= uint64(c&0x7f) << shift
+			if c < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		delta := int64(u>>1) ^ -int64(u&1)
+		v += delta
+	}
+	return int(v)
+}
+
+// firstSymbol returns the first symbol of the suffix at the given row.
+func (x *CSA) firstSymbol(row int) byte {
+	b := sort.Search(256, func(b int) bool { return x.c[b+1] > int32(row) })
+	return byte(b)
+}
+
+// SALen reports the number of suffix-array rows.
+func (x *CSA) SALen() int { return x.n }
+
+// SymbolCount reports total payload symbols.
+func (x *CSA) SymbolCount() int { return x.symbols }
+
+// DocCount reports the number of documents.
+func (x *CSA) DocCount() int { return len(x.docIDs) }
+
+// DocID returns the application ID of the i-th document.
+func (x *CSA) DocID(i int) uint64 { return x.docIDs[i] }
+
+// DocLen returns the payload length of the i-th document.
+func (x *CSA) DocLen(i int) int {
+	end := x.n
+	if i+1 < len(x.docStarts) {
+		end = int(x.docStarts[i+1])
+	}
+	return end - int(x.docStarts[i]) - 1
+}
+
+// SampleRate reports the sampling rate s.
+func (x *CSA) SampleRate() int { return x.s }
+
+// compareSuffix lexicographically compares pattern against the suffix at
+// row, reading suffix symbols by walking Ψ. Separators (symbol 0)
+// terminate the suffix as smallest.
+func (x *CSA) compareSuffix(pattern []byte, row int) int {
+	r := row
+	for i := 0; i < len(pattern); i++ {
+		c := x.firstSymbol(r)
+		if c == 0 {
+			return +1 // suffix exhausted → suffix < pattern
+		}
+		if pattern[i] != c {
+			if pattern[i] < c {
+				return -1
+			}
+			return +1
+		}
+		r = x.Psi(r)
+	}
+	return 0
+}
+
+// Range returns the half-open row interval of suffixes starting with
+// pattern via two binary searches (O(|P| log n) Ψ steps).
+func (x *CSA) Range(pattern []byte) (lo, hi int) {
+	if len(pattern) == 0 {
+		return 0, x.n
+	}
+	lo = sort.Search(x.n, func(i int) bool { return x.compareSuffix(pattern, i) <= 0 })
+	hi = sort.Search(x.n, func(i int) bool { return x.compareSuffix(pattern, i) < 0 })
+	return lo, hi
+}
+
+// Locate maps a row to (document index, offset) by walking Ψ to the next
+// sampled row (at most s-1 steps).
+func (x *CSA) Locate(row int) (doc, off int) {
+	steps := 0
+	r := row
+	for !x.saMarked.Get(r) {
+		r = x.Psi(r)
+		steps++
+	}
+	pos := int(x.saSamp[x.saMarked.Rank1(r)]) - steps
+	if pos < 0 {
+		pos += x.n
+	}
+	return x.posToDoc(pos)
+}
+
+func (x *CSA) posToDoc(pos int) (doc, off int) {
+	d := sort.Search(len(x.docStarts), func(i int) bool { return int(x.docStarts[i]) > pos }) - 1
+	return d, pos - int(x.docStarts[d])
+}
+
+// SuffixRank returns the row of the suffix starting at (doc, off): jump
+// to the preceding ISA sample and walk Ψ forward (at most s-1 steps).
+func (x *CSA) SuffixRank(doc, off int) int {
+	pos := int(x.docStarts[doc]) + off
+	if pos < 0 || pos >= x.n {
+		panic(fmt.Sprintf("fmindex: SuffixRank position %d out of range", pos))
+	}
+	r := int(x.isaSamp[pos/x.s])
+	for i := pos / x.s * x.s; i < pos; i++ {
+		r = x.Psi(r)
+	}
+	return r
+}
+
+// Psi walks move forward in the text, so the framework's fast-deletion
+// hook (which needs backward LF) is not available; SemiDynamic falls back
+// to per-offset SuffixRank walks of O(s) each.
+
+// Extract returns length payload symbols of doc starting at off: one ISA
+// jump then one Ψ step per symbol (O(s + ℓ)).
+func (x *CSA) Extract(doc, off, length int) []byte {
+	dl := x.DocLen(doc)
+	if off < 0 {
+		off = 0
+	}
+	if off > dl {
+		off = dl
+	}
+	if off+length > dl {
+		length = dl - off
+	}
+	if length <= 0 {
+		return nil
+	}
+	r := x.SuffixRank(doc, off)
+	out := make([]byte, length)
+	for i := 0; i < length; i++ {
+		out[i] = x.firstSymbol(r)
+		r = x.Psi(r)
+	}
+	return out
+}
+
+// SizeBits estimates the index footprint.
+func (x *CSA) SizeBits() int64 {
+	total := int64(len(x.psiSamples))*32 + int64(len(x.psiDeltas))*8 +
+		int64(len(x.psiOffsets))*32 +
+		int64(len(x.saSamp))*32 + int64(len(x.isaSamp))*32 +
+		int64(len(x.docStarts))*32 + int64(len(x.docIDs))*64 + 257*32
+	total += x.saMarked.SizeBits()
+	return total
+}

@@ -1,0 +1,325 @@
+// Package fmindex implements the static compressed indexes that plug into
+// the paper's static-to-dynamic transformations.
+//
+// Index is an FM-index over a document collection: the Burrows–Wheeler
+// transform of the concatenated documents stored in a Huffman-shaped
+// wavelet tree, plus suffix-array and inverse-suffix-array samples with
+// sampling rate s. It answers
+//
+//   - Range (range-finding): the suffix-array interval of a pattern via
+//     backward search, O(|P|) rank operations;
+//   - Locate: the (document, offset) of one suffix-array row, O(s) rank
+//     operations (tlocate = O(s));
+//   - Extract: ℓ symbols of any document, O(s + ℓ) rank operations
+//     (textract = O(s + ℓ));
+//   - SuffixRank: the suffix-array row of a given text position, O(s)
+//     rank operations (tSA = O(s)).
+//
+// This is the interface contract the paper demands of the static index Is
+// ("range-finding and locating", plus tSA; Section 2). The concrete index
+// stands in for the mmphf-based indexes of Belazzougui–Navarro and Barbay
+// et al. — see DESIGN.md §2 for the substitution argument.
+//
+// Documents may contain any byte except 0x00, which is reserved as the
+// document separator. The public API in package dyncoll enforces this.
+package fmindex
+
+import (
+	"fmt"
+	"sort"
+
+	"dyncoll/internal/bitvec"
+	"dyncoll/internal/doc"
+	"dyncoll/internal/sa"
+	"dyncoll/internal/wavelet"
+)
+
+// Sep is the reserved document separator byte.
+const Sep byte = 0
+
+// Doc is one document: an application-assigned identifier and its payload.
+type Doc = doc.Doc
+
+// Index is a static FM-index over a document collection.
+type Index struct {
+	n       int // total length of the concatenation (symbols + one separator per doc)
+	s       int // SA sampling rate
+	bwt     *wavelet.Tree
+	c       [257]int // c[b] = number of BWT symbols < b; c[256] = n
+	marked  *bitvec.Vector
+	saSamp  []int32 // SA values at marked rows, ordered by row
+	isaSamp []int32 // rows of positions 0, s, 2s, …, and n-1
+
+	// Separator rows need explicit LF targets: with a shared separator
+	// byte, the rank-based LF formula can be off by one at rows whose BWT
+	// character is the separator (the cyclic wrap row does not in general
+	// sort first among them). sepRows lists those rows in increasing
+	// order; sepTargets[i] is the true LF target of sepRows[i].
+	sepRows    []int32
+	sepTargets []int32
+
+	docStarts []int32 // global start offset of each document
+	docIDs    []uint64
+	symbols   int // total document symbols, excluding separators
+}
+
+// Options configure index construction.
+type Options struct {
+	// SampleRate is the suffix-array sampling rate s; locate costs O(s)
+	// rank operations and the samples take O(n/s·log n) bits. Default 16.
+	SampleRate int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleRate <= 0 {
+		o.SampleRate = 16
+	}
+	return o
+}
+
+// Build constructs the index over the given documents. Document data must
+// not contain the separator byte 0x00.
+func Build(docs []Doc, opts Options) *Index {
+	opts = opts.withDefaults()
+	total := 0
+	for _, d := range docs {
+		total += len(d.Data) + 1
+	}
+	text := make([]byte, 0, total)
+	idx := &Index{
+		s:         opts.SampleRate,
+		docStarts: make([]int32, len(docs)),
+		docIDs:    make([]uint64, len(docs)),
+	}
+	for i, d := range docs {
+		idx.docStarts[i] = int32(len(text))
+		idx.docIDs[i] = d.ID
+		for _, b := range d.Data {
+			if b == Sep {
+				panic("fmindex: document contains the reserved separator byte 0x00")
+			}
+		}
+		text = append(text, d.Data...)
+		text = append(text, Sep)
+		idx.symbols += len(d.Data)
+	}
+	idx.n = len(text)
+	if idx.n == 0 {
+		idx.bwt = wavelet.NewHuffmanBytes(nil, 256)
+		idx.marked = bitvec.FromBools(nil)
+		return idx
+	}
+
+	suff := sa.SuffixArray(text)
+	// Cyclic BWT over the concatenation itself (its last byte is a
+	// separator, so suffix order is well defined; see package comment).
+	bwtBytes := make([]byte, idx.n)
+	for i, p := range suff {
+		if p == 0 {
+			bwtBytes[i] = text[idx.n-1]
+		} else {
+			bwtBytes[i] = text[p-1]
+		}
+	}
+	idx.bwt = wavelet.NewHuffmanBytes(bwtBytes, 256)
+
+	var counts [256]int
+	for _, b := range bwtBytes {
+		counts[b]++
+	}
+	sum := 0
+	for b := 0; b < 256; b++ {
+		idx.c[b] = sum
+		sum += counts[b]
+	}
+	idx.c[256] = sum
+
+	// SA samples at rows whose suffix position is ≡ 0 (mod s).
+	mv := bitvec.New(idx.n)
+	for _, p := range suff {
+		mv.AppendBit(int(p)%idx.s == 0)
+	}
+	mv.Seal()
+	idx.marked = mv
+	idx.saSamp = make([]int32, 0, idx.n/idx.s+1)
+	for _, p := range suff {
+		if int(p)%idx.s == 0 {
+			idx.saSamp = append(idx.saSamp, p)
+		}
+	}
+
+	// ISA samples at positions 0, s, 2s, … and n-1.
+	idx.isaSamp = make([]int32, (idx.n-1)/idx.s+2)
+	for row, p := range suff {
+		if int(p)%idx.s == 0 {
+			idx.isaSamp[int(p)/idx.s] = int32(row)
+		}
+		if int(p) == idx.n-1 {
+			idx.isaSamp[len(idx.isaSamp)-1] = int32(row)
+		}
+	}
+
+	// Exact LF targets for separator rows, via the inverse suffix array.
+	isa := sa.Inverse(suff)
+	for row, b := range bwtBytes {
+		if b == Sep {
+			idx.sepRows = append(idx.sepRows, int32(row))
+			prev := (int(suff[row]) + idx.n - 1) % idx.n
+			idx.sepTargets = append(idx.sepTargets, isa[prev])
+		}
+	}
+	return idx
+}
+
+// SALen reports the number of suffix-array rows (the universe of the
+// deletion bitmap kept by the semi-dynamic wrapper).
+func (x *Index) SALen() int { return x.n }
+
+// SymbolCount reports the total number of document symbols, excluding
+// separators.
+func (x *Index) SymbolCount() int { return x.symbols }
+
+// DocCount reports the number of documents in the index.
+func (x *Index) DocCount() int { return len(x.docIDs) }
+
+// DocID returns the application identifier of the i-th document.
+func (x *Index) DocID(i int) uint64 { return x.docIDs[i] }
+
+// DocLen returns the payload length of the i-th document.
+func (x *Index) DocLen(i int) int {
+	end := x.n
+	if i+1 < len(x.docStarts) {
+		end = int(x.docStarts[i+1])
+	}
+	return end - int(x.docStarts[i]) - 1
+}
+
+// SampleRate reports the SA sampling rate s.
+func (x *Index) SampleRate() int { return x.s }
+
+// lf is the last-to-first mapping: the row of the suffix starting one
+// position earlier in the text (cyclically).
+// LF maps a suffix-array row to the row of the suffix starting one text
+// position earlier (the classic last-to-first mapping). Exposed so
+// deletion machinery can clear a document's rows in one O(len) walk
+// instead of len separate O(s) SuffixRank calls.
+func (x *Index) LF(row int) int { return x.lf(row) }
+
+func (x *Index) lf(row int) int {
+	b := byte(x.bwt.Access(row))
+	if b == Sep {
+		i := sort.Search(len(x.sepRows), func(i int) bool {
+			return x.sepRows[i] >= int32(row)
+		})
+		return int(x.sepTargets[i])
+	}
+	return x.c[b] + x.bwt.Rank(uint32(b), row)
+}
+
+// Range returns the half-open suffix-array interval [lo, hi) of rows
+// whose suffixes start with pattern, via backward search. An empty
+// pattern yields the full interval; an absent pattern yields lo == hi.
+// Patterns containing the separator byte never match.
+func (x *Index) Range(pattern []byte) (lo, hi int) {
+	lo, hi = 0, x.n
+	for i := len(pattern) - 1; i >= 0 && lo < hi; i-- {
+		b := pattern[i]
+		lo = x.c[b] + x.bwt.Rank(uint32(b), lo)
+		hi = x.c[b] + x.bwt.Rank(uint32(b), hi)
+	}
+	return lo, hi
+}
+
+// Locate maps a suffix-array row to the document index and offset of the
+// suffix start. Offsets equal to DocLen(doc) denote the document's
+// trailing separator.
+func (x *Index) Locate(row int) (doc, off int) {
+	if row < 0 || row >= x.n {
+		panic(fmt.Sprintf("fmindex: Locate(%d) out of range [0,%d)", row, x.n))
+	}
+	steps := 0
+	for !x.marked.Get(row) {
+		row = x.lf(row)
+		steps++
+	}
+	pos := int(x.saSamp[x.marked.Rank1(row)]) + steps
+	return x.posToDoc(pos)
+}
+
+func (x *Index) posToDoc(pos int) (doc, off int) {
+	doc = sort.Search(len(x.docStarts), func(i int) bool {
+		return int(x.docStarts[i]) > pos
+	}) - 1
+	return doc, pos - int(x.docStarts[doc])
+}
+
+// SuffixRank returns the suffix-array row of the suffix starting at the
+// given document offset (tSA in the paper). off may equal DocLen(doc),
+// addressing the trailing separator.
+func (x *Index) SuffixRank(doc, off int) int {
+	pos := int(x.docStarts[doc]) + off
+	if pos < 0 || pos >= x.n {
+		panic(fmt.Sprintf("fmindex: SuffixRank position %d out of range", pos))
+	}
+	// Start from the nearest ISA sample at or after pos and walk LF.
+	j := (pos + x.s - 1) / x.s * x.s
+	var row int
+	if j >= x.n {
+		j = x.n - 1
+		row = int(x.isaSamp[len(x.isaSamp)-1])
+	} else {
+		row = int(x.isaSamp[j/x.s])
+	}
+	for ; j > pos; j-- {
+		row = x.lf(row)
+	}
+	return row
+}
+
+// charAtRow returns the first character of the suffix at the given row.
+func (x *Index) charAtRow(row int) byte {
+	// Binary search over the C array: the symbol b with c[b] ≤ row < c[b+1].
+	b := sort.Search(256, func(b int) bool { return x.c[b+1] > row })
+	return byte(b)
+}
+
+// Extract returns length symbols of document doc starting at offset off.
+// It clamps the range to the document payload.
+func (x *Index) Extract(doc, off, length int) []byte {
+	dl := x.DocLen(doc)
+	if off < 0 {
+		off = 0
+	}
+	if off > dl {
+		off = dl
+	}
+	if off+length > dl {
+		length = dl - off
+	}
+	if length <= 0 {
+		return nil
+	}
+	// Walk LF from the row of the last wanted position, emitting text
+	// right to left.
+	row := x.SuffixRank(doc, off+length-1)
+	out := make([]byte, length)
+	for i := length - 1; i >= 0; i-- {
+		out[i] = x.charAtRow(row)
+		if i > 0 {
+			row = x.lf(row)
+		}
+	}
+	return out
+}
+
+// SizeBits estimates the index footprint in bits for space accounting.
+func (x *Index) SizeBits() int64 {
+	var total int64
+	total += x.bwt.SizeBits()
+	total += x.marked.SizeBits()
+	total += int64(len(x.saSamp)+len(x.isaSamp)) * 32
+	total += int64(len(x.sepRows)+len(x.sepTargets)) * 32
+	total += int64(len(x.docStarts))*32 + int64(len(x.docIDs))*64
+	total += 257 * 64
+	return total
+}

@@ -1,0 +1,318 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// collection is a reference model over a set of documents.
+type collection []Doc
+
+// occurrences finds all (docIdx, offset) pairs where pattern occurs.
+func (c collection) occurrences(pattern []byte) [][2]int {
+	var out [][2]int
+	for d, doc := range c {
+		for off := 0; off+len(pattern) <= len(doc.Data); off++ {
+			if bytes.Equal(doc.Data[off:off+len(pattern)], pattern) {
+				out = append(out, [2]int{d, off})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func randomDocs(rng *rand.Rand, nDocs, maxLen, sigma int) collection {
+	docs := make(collection, nDocs)
+	for i := range docs {
+		data := make([]byte, 1+rng.Intn(maxLen))
+		for j := range data {
+			data[j] = byte(1 + rng.Intn(sigma))
+		}
+		docs[i] = Doc{ID: uint64(i + 1), Data: data}
+	}
+	return docs
+}
+
+// searcher is the common query interface of Index and SAIndex.
+type searcher interface {
+	SALen() int
+	SymbolCount() int
+	DocCount() int
+	DocID(i int) uint64
+	DocLen(i int) int
+	Range(pattern []byte) (lo, hi int)
+	Locate(row int) (doc, off int)
+	SuffixRank(doc, off int) int
+	Extract(doc, off, length int) []byte
+	SizeBits() int64
+}
+
+var indexBuilders = map[string]func(docs []Doc) searcher{
+	"fm":  func(docs []Doc) searcher { return Build(docs, Options{SampleRate: 4}) },
+	"fm1": func(docs []Doc) searcher { return Build(docs, Options{SampleRate: 1}) },
+	"sa":  func(docs []Doc) searcher { return BuildSA(docs) },
+}
+
+// findAll runs range + locate and returns sorted (doc, off) pairs,
+// filtering out any separator hits (there should be none for non-empty
+// patterns).
+func findAll(x searcher, pattern []byte) [][2]int {
+	lo, hi := x.Range(pattern)
+	var out [][2]int
+	for row := lo; row < hi; row++ {
+		d, off := x.Locate(row)
+		out = append(out, [2]int{d, off})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func pairsEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyIndex(t *testing.T) {
+	for name, mk := range indexBuilders {
+		x := mk(nil)
+		if x.SALen() != 0 || x.DocCount() != 0 || x.SymbolCount() != 0 {
+			t.Fatalf("%s: empty index has content", name)
+		}
+		lo, hi := x.Range([]byte("a"))
+		if lo != hi {
+			t.Fatalf("%s: empty index matched a pattern", name)
+		}
+	}
+}
+
+func TestSingleDoc(t *testing.T) {
+	docs := collection{{ID: 9, Data: []byte("banana")}}
+	for name, mk := range indexBuilders {
+		x := mk(docs)
+		if x.DocCount() != 1 || x.DocID(0) != 9 || x.DocLen(0) != 6 {
+			t.Fatalf("%s: doc metadata wrong", name)
+		}
+		if x.SymbolCount() != 6 || x.SALen() != 7 {
+			t.Fatalf("%s: sizes wrong: symbols=%d salen=%d", name, x.SymbolCount(), x.SALen())
+		}
+		got := findAll(x, []byte("ana"))
+		want := [][2]int{{0, 1}, {0, 3}}
+		if !pairsEqual(got, want) {
+			t.Fatalf("%s: ana occurrences = %v, want %v", name, got, want)
+		}
+		if got := findAll(x, []byte("nab")); len(got) != 0 {
+			t.Fatalf("%s: phantom match %v", name, got)
+		}
+		if got := x.Extract(0, 1, 4); !bytes.Equal(got, []byte("anan")) {
+			t.Fatalf("%s: Extract = %q", name, got)
+		}
+	}
+}
+
+func TestMultiDocAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, mk := range indexBuilders {
+		for _, sigma := range []int{2, 4, 26} {
+			docs := randomDocs(rng, 20, 200, sigma)
+			x := mk(docs)
+			for trial := 0; trial < 60; trial++ {
+				// Half planted patterns, half random.
+				var pattern []byte
+				if trial%2 == 0 {
+					d := rng.Intn(len(docs))
+					data := docs[d].Data
+					off := rng.Intn(len(data))
+					l := 1 + rng.Intn(min(6, len(data)-off))
+					pattern = append([]byte{}, data[off:off+l]...)
+				} else {
+					pattern = make([]byte, 1+rng.Intn(5))
+					for j := range pattern {
+						pattern[j] = byte(1 + rng.Intn(sigma))
+					}
+				}
+				got := findAll(x, pattern)
+				want := docs.occurrences(pattern)
+				if !pairsEqual(got, want) {
+					t.Fatalf("%s σ=%d: pattern %q: got %v, want %v", name, sigma, pattern, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternSpanningDocsNeverMatches(t *testing.T) {
+	docs := collection{
+		{ID: 1, Data: []byte("abc")},
+		{ID: 2, Data: []byte("def")},
+	}
+	for name, mk := range indexBuilders {
+		x := mk(docs)
+		if got := findAll(x, []byte("cd")); len(got) != 0 {
+			t.Fatalf("%s: cross-document match %v", name, got)
+		}
+		if got := findAll(x, []byte("cdef")); len(got) != 0 {
+			t.Fatalf("%s: cross-document match %v", name, got)
+		}
+	}
+}
+
+func TestEmptyPatternMatchesEverything(t *testing.T) {
+	docs := collection{{ID: 1, Data: []byte("xy")}}
+	for name, mk := range indexBuilders {
+		x := mk(docs)
+		lo, hi := x.Range(nil)
+		if hi-lo != x.SALen() {
+			t.Fatalf("%s: empty pattern range [%d,%d)", name, lo, hi)
+		}
+	}
+}
+
+func TestSuffixRankRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	docs := randomDocs(rng, 10, 100, 8)
+	for name, mk := range indexBuilders {
+		x := mk(docs)
+		for d := 0; d < x.DocCount(); d++ {
+			for off := 0; off <= x.DocLen(d); off += 1 + off/7 {
+				row := x.SuffixRank(d, off)
+				gd, goff := x.Locate(row)
+				if gd != d || goff != off {
+					t.Fatalf("%s: SuffixRank/Locate round trip (%d,%d) → row %d → (%d,%d)",
+						name, d, off, row, gd, goff)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractFullDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	docs := randomDocs(rng, 15, 150, 26)
+	for name, mk := range indexBuilders {
+		x := mk(docs)
+		for d, doc := range docs {
+			if got := x.Extract(d, 0, len(doc.Data)); !bytes.Equal(got, doc.Data) {
+				t.Fatalf("%s: full extract of doc %d wrong", name, d)
+			}
+		}
+	}
+}
+
+func TestExtractClamping(t *testing.T) {
+	docs := collection{{ID: 1, Data: []byte("hello")}}
+	for name, mk := range indexBuilders {
+		x := mk(docs)
+		if got := x.Extract(0, 3, 100); !bytes.Equal(got, []byte("lo")) {
+			t.Fatalf("%s: clamped extract = %q", name, got)
+		}
+		if got := x.Extract(0, 10, 5); got != nil {
+			t.Fatalf("%s: out-of-range extract = %q", name, got)
+		}
+		if got := x.Extract(0, 2, 0); got != nil {
+			t.Fatalf("%s: zero-length extract = %q", name, got)
+		}
+	}
+}
+
+func TestSeparatorInDocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build([]Doc{{ID: 1, Data: []byte{1, 0, 2}}}, Options{})
+}
+
+func TestQuickFMvsSA(t *testing.T) {
+	// Property: FM-index and suffix-array index agree on every query.
+	f := func(seed int64, sigmaRaw uint8) bool {
+		sigma := int(sigmaRaw)%30 + 1
+		rng := rand.New(rand.NewSource(seed))
+		docs := randomDocs(rng, 1+rng.Intn(8), 80, sigma)
+		fm := Build(docs, Options{SampleRate: 3})
+		sx := BuildSA(docs)
+		for trial := 0; trial < 10; trial++ {
+			pattern := make([]byte, 1+rng.Intn(4))
+			for j := range pattern {
+				pattern[j] = byte(1 + rng.Intn(sigma))
+			}
+			if !pairsEqual(findAll(fm, pattern), findAll(sx, pattern)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleRateSpaceTradeoff(t *testing.T) {
+	// Larger s must shrink the sample arrays (Table 1 space column).
+	rng := rand.New(rand.NewSource(4))
+	docs := randomDocs(rng, 5, 4000, 26)
+	s4 := Build(docs, Options{SampleRate: 4})
+	s64 := Build(docs, Options{SampleRate: 64})
+	if s64.SizeBits() >= s4.SizeBits() {
+		t.Fatalf("s=64 index (%d bits) not smaller than s=4 (%d bits)",
+			s64.SizeBits(), s4.SizeBits())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkFMRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	docs := randomDocs(rng, 50, 4000, 26)
+	x := Build(docs, Options{SampleRate: 16})
+	pats := make([][]byte, 64)
+	for i := range pats {
+		d := rng.Intn(len(docs))
+		off := rng.Intn(len(docs[d].Data) - 8)
+		pats[i] = docs[d].Data[off : off+8]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Range(pats[i&63])
+	}
+}
+
+func BenchmarkFMLocate(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	docs := randomDocs(rng, 50, 4000, 26)
+	x := Build(docs, Options{SampleRate: 16})
+	rows := make([]int, 1024)
+	for i := range rows {
+		rows[i] = rng.Intn(x.SALen())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Locate(rows[i&1023])
+	}
+}

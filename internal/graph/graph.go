@@ -1,0 +1,116 @@
+// Package graph implements Theorem 3 of the paper: a compressed dynamic
+// directed graph. A digraph is the binary relation between nodes in which
+// an edge u→v relates object u to label v, so the whole representation —
+// compressed sub-collections, lazy deletions, O(log^ε n) updates — is
+// inherited from package binrel.
+package graph
+
+import "dyncoll/internal/binrel"
+
+// relation is the slice of the binrel API the graph needs; both the
+// amortized Relation and the WorstCaseRelation satisfy it.
+type relation interface {
+	Add(object, label uint64) bool
+	Delete(object, label uint64) bool
+	Related(object, label uint64) bool
+	LabelsOf(object uint64, fn func(label uint64) bool)
+	ObjectsOf(label uint64, fn func(object uint64) bool)
+	Labels(object uint64) []uint64
+	Objects(label uint64) []uint64
+	CountLabels(object uint64) int
+	CountObjects(label uint64) int
+	Pairs() []binrel.Pair
+	Len() int
+	SizeBits() int64
+}
+
+var (
+	_ relation = (*binrel.Relation)(nil)
+	_ relation = (*binrel.WorstCaseRelation)(nil)
+)
+
+// Graph is a compressed dynamic directed graph. Nodes are arbitrary
+// uint64 identifiers; a node exists while it has at least one incident
+// edge (the paper removes empty labels/objects from the alphabets the
+// same way).
+type Graph struct {
+	rel relation
+	wc  *binrel.WorstCaseRelation // non-nil when WorstCase updates chosen
+}
+
+// Options configure a graph.
+type Options struct {
+	// Tau, Epsilon, MinCapacity as in binrel.Options.
+	Tau         int
+	Epsilon     float64
+	MinCapacity int
+	// WorstCase selects Transformation 2-style update scheduling
+	// (bounded foreground work, background rebuilds) instead of the
+	// amortized cascades.
+	WorstCase bool
+	// Inline forces worst-case background builds to run synchronously.
+	Inline bool
+}
+
+// New creates an empty dynamic graph.
+func New(opts Options) *Graph {
+	if opts.WorstCase {
+		wc := binrel.NewWorstCase(binrel.WCOptions{
+			Tau: opts.Tau, Epsilon: opts.Epsilon,
+			MinCapacity: opts.MinCapacity, Inline: opts.Inline,
+		})
+		return &Graph{rel: wc, wc: wc}
+	}
+	return &Graph{rel: binrel.New(binrel.Options{
+		Tau: opts.Tau, Epsilon: opts.Epsilon, MinCapacity: opts.MinCapacity,
+	})}
+}
+
+// AddEdge inserts the edge u→v; false if already present.
+func (g *Graph) AddEdge(u, v uint64) bool { return g.rel.Add(u, v) }
+
+// DeleteEdge removes the edge u→v; false if absent.
+func (g *Graph) DeleteEdge(u, v uint64) bool { return g.rel.Delete(u, v) }
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Graph) HasEdge(u, v uint64) bool { return g.rel.Related(u, v) }
+
+// EdgeCount reports the number of edges.
+func (g *Graph) EdgeCount() int { return g.rel.Len() }
+
+// NeighborsFunc streams the out-neighbors of u; stops when fn returns
+// false.
+func (g *Graph) NeighborsFunc(u uint64, fn func(v uint64) bool) {
+	g.rel.LabelsOf(u, fn)
+}
+
+// ReverseNeighborsFunc streams the in-neighbors of v.
+func (g *Graph) ReverseNeighborsFunc(v uint64, fn func(u uint64) bool) {
+	g.rel.ObjectsOf(v, fn)
+}
+
+// Neighbors returns the sorted out-neighbors of u.
+func (g *Graph) Neighbors(u uint64) []uint64 { return g.rel.Labels(u) }
+
+// ReverseNeighbors returns the sorted in-neighbors of v.
+func (g *Graph) ReverseNeighbors(v uint64) []uint64 { return g.rel.Objects(v) }
+
+// OutDegree counts the out-neighbors of u.
+func (g *Graph) OutDegree(u uint64) int { return g.rel.CountLabels(u) }
+
+// InDegree counts the in-neighbors of v.
+func (g *Graph) InDegree(v uint64) int { return g.rel.CountObjects(v) }
+
+// Edges returns every edge as (object=u, label=v) pairs.
+func (g *Graph) Edges() []binrel.Pair { return g.rel.Pairs() }
+
+// WaitIdle blocks until background rebuilds (WorstCase scheduling only)
+// have completed; otherwise it returns immediately.
+func (g *Graph) WaitIdle() {
+	if g.wc != nil {
+		g.wc.WaitIdle()
+	}
+}
+
+// SizeBits estimates the total footprint.
+func (g *Graph) SizeBits() int64 { return g.rel.SizeBits() }

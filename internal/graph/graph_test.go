@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type edge struct{ u, v uint64 }
+
+// gModel is the brute-force digraph reference.
+type gModel struct{ edges map[edge]bool }
+
+func newGModel() *gModel { return &gModel{edges: map[edge]bool{}} }
+
+func (m *gModel) add(u, v uint64) bool {
+	e := edge{u, v}
+	if m.edges[e] {
+		return false
+	}
+	m.edges[e] = true
+	return true
+}
+
+func (m *gModel) del(u, v uint64) bool {
+	e := edge{u, v}
+	if !m.edges[e] {
+		return false
+	}
+	delete(m.edges, e)
+	return true
+}
+
+func (m *gModel) out(u uint64) []uint64 {
+	var out []uint64
+	for e := range m.edges {
+		if e.u == u {
+			out = append(out, e.v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *gModel) in(v uint64) []uint64 {
+	var out []uint64
+	for e := range m.edges {
+		if e.v == v {
+			out = append(out, e.u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func eq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func graphVariants() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"amortized", Options{}},
+		{"worstcase-inline", Options{WorstCase: true, Inline: true}},
+		{"worstcase-bg", Options{WorstCase: true}},
+	}
+}
+
+func TestGraphRandomOpsAllEngines(t *testing.T) {
+	for _, v := range graphVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			g := New(v.opts)
+			m := newGModel()
+			const nodes = 40
+			for step := 0; step < 2500; step++ {
+				u := uint64(rng.Intn(nodes))
+				vv := uint64(rng.Intn(nodes))
+				if rng.Float64() < 0.6 {
+					if g.AddEdge(u, vv) != m.add(u, vv) {
+						t.Fatalf("step %d: AddEdge disagreement", step)
+					}
+				} else {
+					if g.DeleteEdge(u, vv) != m.del(u, vv) {
+						t.Fatalf("step %d: DeleteEdge disagreement", step)
+					}
+				}
+				if step%151 == 0 {
+					u := uint64(rng.Intn(nodes))
+					if !eq(g.Neighbors(u), m.out(u)) {
+						t.Fatalf("step %d: Neighbors(%d) mismatch", step, u)
+					}
+				}
+			}
+			g.WaitIdle()
+			if g.EdgeCount() != len(m.edges) {
+				t.Fatalf("EdgeCount = %d, want %d", g.EdgeCount(), len(m.edges))
+			}
+			for u := uint64(0); u < nodes; u++ {
+				if !eq(g.Neighbors(u), m.out(u)) || !eq(g.ReverseNeighbors(u), m.in(u)) {
+					t.Fatalf("final adjacency mismatch at %d", u)
+				}
+			}
+		})
+	}
+}
+
+func TestGraphRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := New(Options{})
+	m := newGModel()
+	const nodes = 60
+	for step := 0; step < 5000; step++ {
+		u := uint64(rng.Intn(nodes))
+		v := uint64(rng.Intn(nodes))
+		if rng.Float64() < 0.6 {
+			if g.AddEdge(u, v) != m.add(u, v) {
+				t.Fatalf("step %d: AddEdge(%d,%d) disagreement", step, u, v)
+			}
+		} else {
+			if g.DeleteEdge(u, v) != m.del(u, v) {
+				t.Fatalf("step %d: DeleteEdge(%d,%d) disagreement", step, u, v)
+			}
+		}
+		if g.EdgeCount() != len(m.edges) {
+			t.Fatalf("step %d: EdgeCount = %d, want %d", step, g.EdgeCount(), len(m.edges))
+		}
+		if step%101 == 0 {
+			u := uint64(rng.Intn(nodes))
+			if !eq(g.Neighbors(u), m.out(u)) {
+				t.Fatalf("step %d: Neighbors(%d) = %v, want %v", step, u, g.Neighbors(u), m.out(u))
+			}
+			if !eq(g.ReverseNeighbors(u), m.in(u)) {
+				t.Fatalf("step %d: ReverseNeighbors(%d) mismatch", step, u)
+			}
+			if g.OutDegree(u) != len(m.out(u)) || g.InDegree(u) != len(m.in(u)) {
+				t.Fatalf("step %d: degree mismatch at %d", step, u)
+			}
+		}
+	}
+	for u := uint64(0); u < nodes; u++ {
+		if !eq(g.Neighbors(u), m.out(u)) || !eq(g.ReverseNeighbors(u), m.in(u)) {
+			t.Fatalf("final adjacency mismatch at %d", u)
+		}
+	}
+}
+
+func TestGraphSelfLoops(t *testing.T) {
+	g := New(Options{})
+	if !g.AddEdge(3, 3) {
+		t.Fatal("self loop add failed")
+	}
+	if !g.HasEdge(3, 3) {
+		t.Fatal("self loop missing")
+	}
+	if g.OutDegree(3) != 1 || g.InDegree(3) != 1 {
+		t.Fatal("self loop degrees wrong")
+	}
+	if !g.DeleteEdge(3, 3) || g.HasEdge(3, 3) {
+		t.Fatal("self loop delete failed")
+	}
+}
+
+func TestGraphPowerLaw(t *testing.T) {
+	// Preferential-attachment-ish digraph: hubs with high in-degree, the
+	// shape of web/RDF graphs the paper motivates.
+	rng := rand.New(rand.NewSource(13))
+	g := New(Options{})
+	m := newGModel()
+	var targets []uint64
+	targets = append(targets, 0)
+	for u := uint64(1); u < 800; u++ {
+		for d := 0; d < 3; d++ {
+			v := targets[rng.Intn(len(targets))]
+			if g.AddEdge(u, v) != m.add(u, v) {
+				t.Fatalf("AddEdge(%d,%d) disagreement", u, v)
+			}
+			targets = append(targets, v) // preferential attachment
+		}
+		targets = append(targets, u)
+	}
+	// Node 0 should be a hub; verify its in-neighborhood exactly.
+	if g.InDegree(0) != len(m.in(0)) {
+		t.Fatalf("hub InDegree = %d, want %d", g.InDegree(0), len(m.in(0)))
+	}
+	if !eq(g.ReverseNeighbors(0), m.in(0)) {
+		t.Fatal("hub in-neighbors mismatch")
+	}
+	// Churn: delete a third of the edges, re-verify.
+	all := g.Edges()
+	for i, e := range all {
+		if i%3 == 0 {
+			g.DeleteEdge(e.Object, e.Label)
+			m.del(e.Object, e.Label)
+		}
+	}
+	for u := uint64(0); u < 50; u++ {
+		if !eq(g.Neighbors(u), m.out(u)) {
+			t.Fatalf("post-churn Neighbors(%d) mismatch", u)
+		}
+	}
+}
+
+func TestGraphEarlyStop(t *testing.T) {
+	g := New(Options{})
+	for v := uint64(0); v < 50; v++ {
+		g.AddEdge(1, v)
+	}
+	n := 0
+	g.NeighborsFunc(1, func(uint64) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestGraphQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		g := New(Options{MinCapacity: 8})
+		m := newGModel()
+		for _, op := range ops {
+			u := uint64(op>>8) % 12
+			v := uint64(op) % 12
+			if op%3 == 0 {
+				if g.DeleteEdge(u, v) != m.del(u, v) {
+					return false
+				}
+			} else {
+				if g.AddEdge(u, v) != m.add(u, v) {
+					return false
+				}
+			}
+		}
+		if g.EdgeCount() != len(m.edges) {
+			return false
+		}
+		for u := uint64(0); u < 12; u++ {
+			if !eq(g.Neighbors(u), m.out(u)) || !eq(g.ReverseNeighbors(u), m.in(u)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphSizeBits(t *testing.T) {
+	g := New(Options{})
+	for i := 0; i < 500; i++ {
+		g.AddEdge(uint64(i%40), uint64(i%37))
+	}
+	if g.SizeBits() <= 0 {
+		t.Fatal("SizeBits not positive")
+	}
+}

@@ -1,0 +1,229 @@
+// Package huffman provides canonical Huffman codes and empirical-entropy
+// estimators.
+//
+// The paper's space bounds are stated in terms of the k-th order empirical
+// entropy Hk of the stored text (Manzini, J.ACM 2001). This package
+// supplies:
+//
+//   - code-length computation and canonical code assignment used by the
+//     Huffman-shaped wavelet tree in package wavelet, which compresses a
+//     sequence to |S|·(H0(S)+1) + o(·) bits;
+//   - H0 and Hk estimators used by the space-accounting experiments in
+//     EXPERIMENTS.md to report bits-per-symbol against the entropy
+//     baseline.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Code describes the canonical Huffman code of one symbol.
+type Code struct {
+	Symbol int
+	Len    int    // code length in bits; 0 if the symbol does not occur
+	Bits   uint64 // code value, MSB-first in the low Len bits
+}
+
+// item is a Huffman heap node.
+type item struct {
+	weight int64
+	index  int // tree node index
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].index < h[j].index
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// CodeLengths returns the Huffman code length for each symbol given its
+// frequency. Symbols with zero frequency get length 0. If exactly one
+// symbol occurs it is assigned length 1.
+func CodeLengths(freq []int64) []int {
+	lens := make([]int, len(freq))
+	var h itemHeap
+	parent := make([]int, 0, 2*len(freq))
+	for s, f := range freq {
+		if f < 0 {
+			panic(fmt.Sprintf("huffman: negative frequency for symbol %d", s))
+		}
+		if f > 0 {
+			parent = append(parent, -1)
+			heap.Push(&h, item{weight: f, index: len(parent) - 1})
+		}
+	}
+	nLeaves := len(parent)
+	if nLeaves == 0 {
+		return lens
+	}
+	if nLeaves == 1 {
+		for s, f := range freq {
+			if f > 0 {
+				lens[s] = 1
+			}
+		}
+		return lens
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(item)
+		b := heap.Pop(&h).(item)
+		parent = append(parent, -1)
+		ni := len(parent) - 1
+		parent[a.index] = ni
+		parent[b.index] = ni
+		heap.Push(&h, item{weight: a.weight + b.weight, index: ni})
+	}
+	// Depth of each leaf = code length.
+	depth := make([]int, len(parent))
+	for i := len(parent) - 2; i >= 0; i-- {
+		depth[i] = depth[parent[i]] + 1
+	}
+	li := 0
+	for s, f := range freq {
+		if f > 0 {
+			lens[s] = depth[li]
+			li++
+		}
+	}
+	return lens
+}
+
+// Canonical assigns canonical code values to the given code lengths.
+// The returned slice is indexed by symbol and contains only symbols with
+// non-zero length (others have Len 0).
+func Canonical(lens []int) []Code {
+	codes := make([]Code, len(lens))
+	type sl struct{ sym, l int }
+	var order []sl
+	for s, l := range lens {
+		codes[s].Symbol = s
+		if l > 0 {
+			order = append(order, sl{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	var code uint64
+	prevLen := 0
+	for _, e := range order {
+		code <<= uint(e.l - prevLen)
+		prevLen = e.l
+		codes[e.sym] = Code{Symbol: e.sym, Len: e.l, Bits: code}
+		code++
+	}
+	return codes
+}
+
+// Build computes canonical Huffman codes for the given frequencies.
+func Build(freq []int64) []Code {
+	return Canonical(CodeLengths(freq))
+}
+
+// Freq counts byte frequencies of s over an alphabet of size sigma.
+// Bytes ≥ sigma panic.
+func Freq(s []byte, sigma int) []int64 {
+	f := make([]int64, sigma)
+	for _, b := range s {
+		if int(b) >= sigma {
+			panic(fmt.Sprintf("huffman: symbol %d outside alphabet of size %d", b, sigma))
+		}
+		f[b]++
+	}
+	return f
+}
+
+// H0 returns the zero-order empirical entropy of the frequency vector in
+// bits per symbol.
+func H0(freq []int64) float64 {
+	var n int64
+	for _, f := range freq {
+		n += f
+	}
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	for _, f := range freq {
+		if f > 0 {
+			p := float64(f) / float64(n)
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// H0Bytes returns the zero-order empirical entropy of s in bits/symbol.
+func H0Bytes(s []byte) float64 {
+	return H0(Freq(s, 256))
+}
+
+// Hk returns the k-th order empirical entropy of s in bits per symbol:
+// the weighted average of the zero-order entropies of the symbol
+// distributions following each length-k context.
+func Hk(s []byte, k int) float64 {
+	if k <= 0 {
+		return H0Bytes(s)
+	}
+	if len(s) <= k {
+		return 0
+	}
+	ctx := make(map[string]map[byte]int64)
+	for i := k; i < len(s); i++ {
+		c := string(s[i-k : i])
+		m := ctx[c]
+		if m == nil {
+			m = make(map[byte]int64)
+			ctx[c] = m
+		}
+		m[s[i]]++
+	}
+	var total float64
+	for _, m := range ctx {
+		var n int64
+		for _, f := range m {
+			n += f
+		}
+		var h float64
+		for _, f := range m {
+			p := float64(f) / float64(n)
+			h -= p * math.Log2(p)
+		}
+		total += h * float64(n)
+	}
+	return total / float64(len(s))
+}
+
+// AverageLen returns the expected code length in bits per symbol of the
+// given codes under the given frequencies — the compressed size the
+// Huffman-shaped wavelet tree will achieve, up to redundancy.
+func AverageLen(codes []Code, freq []int64) float64 {
+	var n, bits int64
+	for s, f := range freq {
+		n += f
+		bits += f * int64(codes[s].Len)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(bits) / float64(n)
+}

@@ -1,0 +1,256 @@
+package sa
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSA sorts suffixes directly.
+func naiveSA(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return bytes.Compare(text[sa[a]:], text[sa[b]:]) < 0
+	})
+	return sa
+}
+
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomText(rng *rand.Rand, n, sigma int) []byte {
+	t := make([]byte, n)
+	for i := range t {
+		t[i] = byte(1 + rng.Intn(sigma))
+	}
+	return t
+}
+
+func TestSuffixArrayKnown(t *testing.T) {
+	cases := []struct {
+		text string
+		want []int32
+	}{
+		{"", nil},
+		{"a", []int32{0}},
+		{"aa", []int32{1, 0}},
+		{"ab", []int32{0, 1}},
+		{"ba", []int32{1, 0}},
+		{"banana", []int32{5, 3, 1, 0, 4, 2}},
+		{"mississippi", []int32{10, 7, 4, 1, 0, 9, 8, 6, 3, 5, 2}},
+		{"abracadabra", []int32{10, 7, 0, 3, 5, 8, 1, 4, 6, 9, 2}},
+	}
+	for _, c := range cases {
+		got := SuffixArray([]byte(c.text))
+		if !equal32(got, c.want) {
+			t.Errorf("SuffixArray(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestSuffixArrayAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 10, 100, 1000, 5000} {
+		for _, sigma := range []int{1, 2, 4, 26, 255} {
+			text := randomText(rng, n, sigma)
+			got := SuffixArray(text)
+			want := naiveSA(text)
+			if !equal32(got, want) {
+				t.Fatalf("n=%d sigma=%d: SA-IS disagrees with naive\ntext=%q", n, sigma, text)
+			}
+		}
+	}
+}
+
+func TestDoublingAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 10, 500, 2000} {
+		for _, sigma := range []int{1, 2, 26} {
+			text := randomText(rng, n, sigma)
+			if !equal32(SuffixArrayDoubling(text), naiveSA(text)) {
+				t.Fatalf("n=%d sigma=%d: doubling disagrees with naive", n, sigma)
+			}
+		}
+	}
+}
+
+func TestQuickSAISvsDoubling(t *testing.T) {
+	f := func(seed int64, nRaw uint16, sigmaRaw uint8) bool {
+		n := int(nRaw)%3000 + 1
+		sigma := int(sigmaRaw)%255 + 1
+		text := randomText(rand.New(rand.NewSource(seed)), n, sigma)
+		return equal32(SuffixArray(text), SuffixArrayDoubling(text))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathologicalTexts(t *testing.T) {
+	texts := [][]byte{
+		bytes.Repeat([]byte{7}, 4096),                       // unary
+		bytes.Repeat([]byte{1, 2}, 2048),                    // period 2
+		bytes.Repeat([]byte{1, 1, 2}, 1365),                 // period 3
+		append(bytes.Repeat([]byte{9}, 2000), 1),            // run then drop
+		append([]byte{1}, bytes.Repeat([]byte{9}, 2000)...), // rise then run
+	}
+	// Fibonacci string (highly repetitive, stresses LMS recursion).
+	fa, fb := []byte("a"), []byte("ab")
+	for len(fb) < 4000 {
+		fa, fb = fb, append(append([]byte{}, fb...), fa...)
+	}
+	texts = append(texts, fb)
+	for i, text := range texts {
+		if !equal32(SuffixArray(text), naiveSA(text)) {
+			t.Fatalf("pathological text %d: SA-IS wrong", i)
+		}
+	}
+}
+
+func TestSuffixArrayInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sigma := range []int{2, 300, 100000} {
+		n := 2000
+		text := make([]int32, n)
+		bytesRep := make([]int, n)
+		for i := range text {
+			v := rng.Intn(sigma)
+			text[i] = int32(v)
+			bytesRep[i] = v
+		}
+		got := SuffixArrayInts(text, sigma)
+		// Naive check via slice comparison.
+		want := make([]int32, n)
+		for i := range want {
+			want[i] = int32(i)
+		}
+		less := func(a, b int32) bool {
+			for x, y := int(a), int(b); ; x, y = x+1, y+1 {
+				if x == n {
+					return true
+				}
+				if y == n {
+					return false
+				}
+				if text[x] != text[y] {
+					return text[x] < text[y]
+				}
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return less(want[i], want[j]) })
+		if !equal32(got, want) {
+			t.Fatalf("sigma=%d: SuffixArrayInts wrong", sigma)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	text := []byte("the quick brown fox jumps over the lazy dog")
+	sa := SuffixArray(text)
+	inv := Inverse(sa)
+	for i, p := range sa {
+		if inv[p] != int32(i) {
+			t.Fatalf("inverse broken at %d", i)
+		}
+	}
+}
+
+func TestLCPAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, sigma := range []int{1, 2, 4, 26} {
+		text := randomText(rng, 1500, sigma)
+		saArr := SuffixArray(text)
+		lcp := LCP(text, saArr)
+		for i := 1; i < len(saArr); i++ {
+			a, b := text[saArr[i-1]:], text[saArr[i]:]
+			want := 0
+			for want < len(a) && want < len(b) && a[want] == b[want] {
+				want++
+			}
+			if int(lcp[i]) != want {
+				t.Fatalf("sigma=%d: lcp[%d]=%d, want %d", sigma, i, lcp[i], want)
+			}
+		}
+		if lcp[0] != 0 {
+			t.Fatal("lcp[0] must be 0")
+		}
+	}
+}
+
+func TestBWTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	texts := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("banana"),
+		[]byte("mississippi"),
+		randomText(rng, 1000, 4),
+		randomText(rng, 1000, 255),
+		bytes.Repeat([]byte{42}, 500),
+	}
+	for i, text := range texts {
+		row, bwt := BWT(text)
+		back := InverseBWT(row, bwt)
+		if !bytes.Equal(back, text) {
+			t.Fatalf("text %d: BWT round trip failed: got %q want %q", i, back, text)
+		}
+	}
+}
+
+func TestBWTKnown(t *testing.T) {
+	// BWT of "banana" with sentinel: annb$aa where $ is byte 0.
+	row, bwt := BWT([]byte("banana"))
+	want := []byte{'a', 'n', 'n', 'b', 0, 'a', 'a'}
+	if !bytes.Equal(bwt, want) {
+		t.Fatalf("BWT(banana) = %q, want %q", bwt, want)
+	}
+	if bwt[row] != 0 {
+		t.Fatalf("sentinel row %d does not hold sentinel", row)
+	}
+}
+
+func TestQuickBWTRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, sigmaRaw uint8) bool {
+		n := int(nRaw) % 3000
+		sigma := int(sigmaRaw)%255 + 1
+		text := randomText(rand.New(rand.NewSource(seed)), n, sigma)
+		row, bwt := BWT(text)
+		return bytes.Equal(InverseBWT(row, bwt), text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSAIS(b *testing.B) {
+	text := randomText(rand.New(rand.NewSource(6)), 1<<20, 64)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SuffixArray(text)
+	}
+}
+
+func BenchmarkDoubling(b *testing.B) {
+	text := randomText(rand.New(rand.NewSource(7)), 1<<16, 64)
+	b.SetBytes(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SuffixArrayDoubling(text)
+	}
+}

@@ -1,0 +1,412 @@
+// Package suffixtree implements a generalized suffix tree over a dynamic
+// document collection — the uncompressed data structure the paper keeps
+// for the sub-collection C0 (Section A.2).
+//
+// Documents are inserted with Ukkonen's online algorithm in O(|T|)
+// amortized time; each document is terminated with a per-document unique
+// symbol so every suffix corresponds to exactly one leaf. Pattern queries
+// descend from the root in O(|P|) and report occurrences in O(1) per
+// occurrence by walking the locus subtree.
+//
+// Deletion follows the paper's lazy strategy for C0's small size budget:
+// a deleted document is unlinked from the live set immediately (queries
+// skip its leaves) and the tree is rebuilt from live documents once
+// deleted symbols outnumber live ones, giving O(1) amortized work per
+// deleted symbol. DESIGN.md §2 records this substitution for the
+// McCreight leaf-surgery deletion sketched in the paper.
+//
+// Child dictionaries are Go maps — the hashing variant the paper itself
+// prescribes for large alphabets (randomized update costs, Section A.2).
+package suffixtree
+
+import (
+	"fmt"
+
+	"dyncoll/internal/doc"
+)
+
+// termBase is the first terminator symbol; document bytes occupy [1,255].
+const termBase int32 = 256
+
+// Tree is a generalized suffix tree over a dynamic document collection.
+type Tree struct {
+	root *node
+	docs []*docEntry // indexed by sequence number
+	byID map[uint64]int
+
+	liveSymbols    int // payload symbols of live documents
+	deletedSymbols int // payload symbols of deleted documents
+}
+
+type docEntry struct {
+	id      uint64
+	data    []int32 // payload symbols plus trailing terminator
+	rawLen  int     // payload length (len(data)-1)
+	deleted bool
+}
+
+type node struct {
+	// Edge label: docs[doc].data[start:end]; end == -1 denotes
+	// "to the growing end" during the owning document's construction.
+	doc   int32
+	start int32
+	end   int32
+
+	children    map[int32]*node
+	link        *node
+	suffixStart int32 // for leaves: start of the suffix; -1 for internal nodes
+}
+
+func (n *node) isLeaf() bool { return n.suffixStart >= 0 }
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{
+		root: &node{suffixStart: -1, children: make(map[int32]*node)},
+		byID: make(map[uint64]int),
+	}
+}
+
+// Len reports the number of live payload symbols.
+func (t *Tree) Len() int { return t.liveSymbols }
+
+// DeletedSymbols reports the number of payload symbols belonging to
+// deleted documents still referenced by the tree.
+func (t *Tree) DeletedSymbols() int { return t.deletedSymbols }
+
+// DocCount reports the number of live documents.
+func (t *Tree) DocCount() int { return len(t.byID) }
+
+// Has reports whether a live document with the given ID is present.
+func (t *Tree) Has(id uint64) bool {
+	_, ok := t.byID[id]
+	return ok
+}
+
+// Insert adds a document. It panics if the ID is already present or the
+// payload contains the reserved byte 0x00.
+func (t *Tree) Insert(d doc.Doc) {
+	if _, dup := t.byID[d.ID]; dup {
+		panic(fmt.Sprintf("suffixtree: duplicate document ID %d", d.ID))
+	}
+	if !d.Valid() {
+		panic("suffixtree: document contains the reserved byte 0x00")
+	}
+	seq := len(t.docs)
+	data := make([]int32, len(d.Data)+1)
+	for i, b := range d.Data {
+		data[i] = int32(b)
+	}
+	data[len(d.Data)] = termBase + int32(seq)
+	e := &docEntry{id: d.ID, data: data, rawLen: len(d.Data)}
+	t.docs = append(t.docs, e)
+	t.byID[d.ID] = seq
+	t.liveSymbols += e.rawLen
+	t.ukkonen(seq)
+}
+
+// Delete removes the document with the given ID, reporting whether it was
+// present. The tree is rebuilt once deleted symbols outnumber live ones.
+func (t *Tree) Delete(id uint64) bool {
+	seq, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	e := t.docs[seq]
+	e.deleted = true
+	delete(t.byID, id)
+	t.liveSymbols -= e.rawLen
+	t.deletedSymbols += e.rawLen
+	if t.deletedSymbols > t.liveSymbols && t.deletedSymbols > 64 {
+		t.rebuild()
+	}
+	return true
+}
+
+// rebuild reconstructs the tree from live documents only.
+func (t *Tree) rebuild() {
+	live := t.LiveDocs()
+	fresh := New()
+	for _, d := range live {
+		fresh.Insert(d)
+	}
+	*t = *fresh
+}
+
+// LiveDocs returns the live documents in insertion order. Payload slices
+// are fresh copies.
+func (t *Tree) LiveDocs() []doc.Doc {
+	out := make([]doc.Doc, 0, len(t.byID))
+	for _, e := range t.docs {
+		if e.deleted {
+			continue
+		}
+		data := make([]byte, e.rawLen)
+		for i := 0; i < e.rawLen; i++ {
+			data[i] = byte(e.data[i])
+		}
+		out = append(out, doc.Doc{ID: e.id, Data: data})
+	}
+	return out
+}
+
+// Extract returns length payload bytes of the live document id starting
+// at offset off, clamped to the payload; ok is false if the document is
+// not present.
+func (t *Tree) Extract(id uint64, off, length int) (data []byte, ok bool) {
+	seq, ok := t.byID[id]
+	if !ok {
+		return nil, false
+	}
+	e := t.docs[seq]
+	if off < 0 {
+		off = 0
+	}
+	if off > e.rawLen {
+		off = e.rawLen
+	}
+	if off+length > e.rawLen {
+		length = e.rawLen - off
+	}
+	if length <= 0 {
+		return nil, true
+	}
+	out := make([]byte, length)
+	for i := 0; i < length; i++ {
+		out[i] = byte(e.data[off+i])
+	}
+	return out, true
+}
+
+// DocLen returns the payload length of the live document id; ok is false
+// if the document is not present.
+func (t *Tree) DocLen(id uint64) (n int, ok bool) {
+	seq, ok := t.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return t.docs[seq].rawLen, true
+}
+
+// Occurrence is one pattern match: the document ID and the offset of the
+// match within the document payload.
+type Occurrence struct {
+	DocID uint64
+	Off   int
+}
+
+// Find reports every occurrence of pattern in every live document.
+// An empty pattern matches at every position of every live document.
+func (t *Tree) Find(pattern []byte) []Occurrence {
+	var out []Occurrence
+	t.FindFunc(pattern, func(o Occurrence) bool {
+		out = append(out, o)
+		return true
+	})
+	return out
+}
+
+// FindFunc calls fn for every occurrence of pattern; if fn returns false
+// enumeration stops early.
+func (t *Tree) FindFunc(pattern []byte, fn func(Occurrence) bool) {
+	locus := t.locus(pattern)
+	if locus == nil {
+		return
+	}
+	t.collect(locus, len(pattern), fn)
+}
+
+// Count returns the number of occurrences of pattern in live documents.
+func (t *Tree) Count(pattern []byte) int {
+	n := 0
+	t.FindFunc(pattern, func(Occurrence) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// locus returns the highest node whose path covers pattern, or nil if the
+// pattern does not occur. A locus in the middle of an edge is represented
+// by the edge's lower node.
+func (t *Tree) locus(pattern []byte) *node {
+	nd := t.root
+	i := 0
+	for i < len(pattern) {
+		child := nd.children[int32(pattern[i])]
+		if child == nil {
+			return nil
+		}
+		label := t.label(child)
+		for j := 0; j < len(label); j++ {
+			if i == len(pattern) {
+				return child
+			}
+			if label[j] != int32(pattern[i]) {
+				return nil
+			}
+			i++
+		}
+		nd = child
+	}
+	return nd
+}
+
+// label returns the (frozen) edge label of nd.
+func (t *Tree) label(nd *node) []int32 {
+	e := t.docs[nd.doc]
+	end := nd.end
+	if end < 0 {
+		end = int32(len(e.data))
+	}
+	return e.data[nd.start:end]
+}
+
+// collect walks the subtree of nd reporting live leaves whose suffix has
+// at least patLen payload symbols before the terminator.
+func (t *Tree) collect(nd *node, patLen int, fn func(Occurrence) bool) bool {
+	if nd.isLeaf() {
+		e := t.docs[nd.doc]
+		if e.deleted {
+			return true
+		}
+		off := int(nd.suffixStart)
+		// A match must start inside the payload and fit before the
+		// terminator; the off < rawLen guard excludes the terminator-only
+		// suffix when the pattern is empty.
+		if off < e.rawLen && off+patLen <= e.rawLen {
+			return fn(Occurrence{DocID: e.id, Off: off})
+		}
+		return true
+	}
+	for _, child := range nd.children {
+		if !t.collect(child, patLen, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// ukkonen inserts all suffixes of docs[seq] with Ukkonen's algorithm.
+func (t *Tree) ukkonen(seq int) {
+	data := t.docs[seq].data
+	var leaves []*node
+	active := t.root
+	activeEdge := 0 // index into data
+	activeLength := 0
+	remaining := 0
+
+	for pos := 0; pos < len(data); pos++ {
+		remaining++
+		var lastNew *node
+		for remaining > 0 {
+			if activeLength == 0 {
+				activeEdge = pos
+			}
+			first := data[activeEdge]
+			next := active.children[first]
+			if next == nil {
+				leaf := &node{
+					doc:         int32(seq),
+					start:       int32(activeEdge),
+					end:         -1,
+					suffixStart: int32(pos - remaining + 1),
+				}
+				active.children[first] = leaf
+				leaves = append(leaves, leaf)
+				if lastNew != nil {
+					lastNew.link = active
+					lastNew = nil
+				}
+			} else {
+				el := t.edgeLen(next, pos)
+				if activeLength >= el {
+					activeEdge += el
+					activeLength -= el
+					active = next
+					continue
+				}
+				if t.symAt(next, activeLength) == data[pos] {
+					activeLength++
+					if lastNew != nil {
+						lastNew.link = active
+						lastNew = nil
+					}
+					break
+				}
+				// Split the edge.
+				split := &node{
+					doc:         next.doc,
+					start:       next.start,
+					end:         next.start + int32(activeLength),
+					children:    make(map[int32]*node, 2),
+					suffixStart: -1,
+				}
+				active.children[first] = split
+				leaf := &node{
+					doc:         int32(seq),
+					start:       int32(pos),
+					end:         -1,
+					suffixStart: int32(pos - remaining + 1),
+				}
+				split.children[data[pos]] = leaf
+				leaves = append(leaves, leaf)
+				next.start += int32(activeLength)
+				split.children[t.symAt(next, 0)] = next
+				if lastNew != nil {
+					lastNew.link = split
+				}
+				lastNew = split
+			}
+			remaining--
+			if active == t.root && activeLength > 0 {
+				activeLength--
+				activeEdge = pos - remaining + 1
+			} else if active != t.root {
+				if active.link != nil {
+					active = active.link
+				} else {
+					active = t.root
+				}
+			}
+		}
+	}
+	// Freeze the leaves created for this document.
+	for _, leaf := range leaves {
+		leaf.end = int32(len(data))
+	}
+}
+
+// edgeLen returns the current length of nd's edge during phase pos of the
+// owning document's construction.
+func (t *Tree) edgeLen(nd *node, pos int) int {
+	if nd.end >= 0 {
+		return int(nd.end - nd.start)
+	}
+	return pos + 1 - int(nd.start)
+}
+
+// symAt returns the k-th symbol of nd's edge label.
+func (t *Tree) symAt(nd *node, k int) int32 {
+	return t.docs[nd.doc].data[int(nd.start)+k]
+}
+
+// SizeBits roughly estimates the memory footprint in bits: documents plus
+// a constant number of words per node.
+func (t *Tree) SizeBits() int64 {
+	var nodes int64
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		nodes++
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	var symbols int64
+	for _, e := range t.docs {
+		symbols += int64(len(e.data))
+	}
+	// ~6 words per node (label, link, map header) + 32 bits per symbol.
+	return nodes*6*64 + symbols*32
+}

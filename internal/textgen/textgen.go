@@ -1,0 +1,272 @@
+// Package textgen generates synthetic document collections and query
+// workloads for the benchmark harness.
+//
+// The paper's bounds are parameterised only by the collection size n, the
+// alphabet size σ, the empirical entropy Hk, the pattern length |P|, the
+// number of occurrences occ, and the suffix-array sampling rate s. All of
+// them are directly controllable here:
+//
+//   - Markov sources of order k with a tunable skew produce text whose
+//     k-th order entropy ranges from ~log σ (skew 0, uniform) down to a
+//     fraction of a bit (high skew), standing in for the real text
+//     databases the paper targets;
+//   - document lengths follow a bounded Zipf distribution, as observed in
+//     real document collections;
+//   - patterns are sampled from the generated text (planted patterns, so
+//     occ > 0) or drawn uniformly at random (mostly absent patterns).
+//
+// All generators are deterministic given the seed, so every benchmark row
+// and test is reproducible.
+package textgen
+
+import (
+	"math"
+	"math/rand"
+
+	"dyncoll/internal/doc"
+)
+
+// Source generates text over an alphabet of size Sigma with a Markov
+// context of Order symbols. Skew ∈ [0, 1) biases the per-context symbol
+// distribution: 0 is uniform (Hk = log₂ σ), values close to 1 concentrate
+// the mass on few symbols (low Hk).
+type Source struct {
+	Sigma int     // alphabet size (2 … 255); output bytes are 1…Sigma
+	Order int     // Markov order k (0 = i.i.d. symbols)
+	Skew  float64 // 0 = uniform … →1 = highly repetitive
+
+	rng *rand.Rand
+	// perm maps (context hash, rank) to a symbol so that different
+	// contexts prefer different symbols, like real text.
+	perm []byte
+}
+
+// NewSource creates a deterministic Markov text source.
+func NewSource(sigma, order int, skew float64, seed int64) *Source {
+	if sigma < 2 {
+		sigma = 2
+	}
+	if sigma > 255 {
+		sigma = 255
+	}
+	if order < 0 {
+		order = 0
+	}
+	if skew < 0 {
+		skew = 0
+	}
+	if skew >= 1 {
+		skew = 0.999
+	}
+	s := &Source{
+		Sigma: sigma,
+		Order: order,
+		Skew:  skew,
+		rng:   rand.New(rand.NewSource(seed)),
+		perm:  make([]byte, sigma),
+	}
+	for i := range s.perm {
+		s.perm[i] = byte(i + 1)
+	}
+	s.rng.Shuffle(sigma, func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+	return s
+}
+
+// Generate produces n bytes of text. Bytes are in [1, Sigma]; the zero
+// byte is never emitted (it is the reserved document separator).
+func (s *Source) Generate(n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		// The context is a hash of exactly the last Order symbols, so the
+		// conditional distribution is fully determined by them — the
+		// defining property of an order-k source.
+		var ctx uint64
+		for j := i - s.Order; j < i; j++ {
+			var sym uint64
+			if j >= 0 {
+				sym = uint64(out[j])
+			}
+			ctx = ctx*131 + sym
+		}
+		out[i] = s.nextSymbol(ctx)
+	}
+	return out
+}
+
+// nextSymbol draws a symbol from the geometric-like distribution of the
+// given context.
+func (s *Source) nextSymbol(ctx uint64) byte {
+	if s.Skew == 0 {
+		return byte(s.rng.Intn(s.Sigma) + 1)
+	}
+	// Geometric rank: P(rank = r) ∝ skew^r. Sample by inversion.
+	r := 0
+	for s.rng.Float64() < s.Skew && r < s.Sigma-1 {
+		r++
+	}
+	// Rotate the preference order by the context so different contexts
+	// favour different symbols (otherwise Hk would equal H0).
+	idx := (r + int(ctx%uint64(s.Sigma))) % s.Sigma
+	return s.perm[idx]
+}
+
+// Collection describes a synthetic document collection.
+type Collection struct {
+	Sigma    int
+	Docs     []doc.Doc
+	Total    int // total payload symbols
+	seed     int64
+	src      *Source
+	nextID   uint64
+	lenRng   *rand.Rand
+	zipfSkew float64
+	minLen   int
+	maxLen   int
+}
+
+// CollectionOptions configure NewCollection.
+type CollectionOptions struct {
+	Sigma   int     // alphabet size, default 64
+	Order   int     // Markov order, default 2
+	Skew    float64 // symbol skew, default 0.5
+	MinLen  int     // minimum document length, default 64
+	MaxLen  int     // maximum document length, default 4096
+	ZipfExp float64 // document-length Zipf exponent, default 1.2
+	Seed    int64
+}
+
+func (o CollectionOptions) withDefaults() CollectionOptions {
+	if o.Sigma == 0 {
+		o.Sigma = 64
+	}
+	if o.Order == 0 {
+		o.Order = 2
+	}
+	if o.Skew == 0 {
+		o.Skew = 0.5
+	}
+	if o.MinLen == 0 {
+		o.MinLen = 64
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 4096
+	}
+	if o.MaxLen < o.MinLen {
+		o.MaxLen = o.MinLen
+	}
+	if o.ZipfExp == 0 {
+		o.ZipfExp = 1.2
+	}
+	return o
+}
+
+// NewCollection creates an empty collection generator.
+func NewCollection(opts CollectionOptions) *Collection {
+	opts = opts.withDefaults()
+	return &Collection{
+		Sigma:    opts.Sigma,
+		seed:     opts.Seed,
+		src:      NewSource(opts.Sigma, opts.Order, opts.Skew, opts.Seed),
+		lenRng:   rand.New(rand.NewSource(opts.Seed ^ 0x7f4a7c15_9e3779b9)),
+		zipfSkew: opts.ZipfExp,
+		minLen:   opts.MinLen,
+		maxLen:   opts.MaxLen,
+		nextID:   1,
+	}
+}
+
+// NextDoc generates one more document with a Zipf-distributed length.
+func (c *Collection) NextDoc() doc.Doc {
+	n := c.zipfLen()
+	d := doc.Doc{ID: c.nextID, Data: c.src.Generate(n)}
+	c.nextID++
+	c.Docs = append(c.Docs, d)
+	c.Total += n
+	return d
+}
+
+// NextDocLen generates one more document of exactly n symbols.
+func (c *Collection) NextDocLen(n int) doc.Doc {
+	d := doc.Doc{ID: c.nextID, Data: c.src.Generate(n)}
+	c.nextID++
+	c.Docs = append(c.Docs, d)
+	c.Total += n
+	return d
+}
+
+// GenerateTotal appends documents until the total payload reaches at
+// least n symbols and returns the documents added by this call.
+func (c *Collection) GenerateTotal(n int) []doc.Doc {
+	start := len(c.Docs)
+	for c.Total < n {
+		c.NextDoc()
+	}
+	return c.Docs[start:]
+}
+
+// zipfLen draws a document length from a bounded Zipf distribution.
+func (c *Collection) zipfLen() int {
+	span := c.maxLen - c.minLen
+	if span <= 0 {
+		return c.minLen
+	}
+	// Inverse-transform sampling: ℓ = span^(1-u) concentrates mass on
+	// short documents with a heavy tail, the shape Zipf length models
+	// produce, while staying within [minLen, maxLen].
+	u := c.lenRng.Float64()
+	l := int(math.Pow(float64(span), 1-u))
+	if l < 1 {
+		l = 1
+	}
+	if l > span {
+		l = span
+	}
+	return c.minLen + l - 1
+}
+
+// PatternSampler draws query patterns from a collection.
+type PatternSampler struct {
+	docs []doc.Doc
+	rng  *rand.Rand
+}
+
+// NewPatternSampler samples patterns from docs deterministically.
+func NewPatternSampler(docs []doc.Doc, seed int64) *PatternSampler {
+	return &PatternSampler{docs: docs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Planted returns a pattern of the given length copied from a random
+// position of a random document, so it has at least one occurrence.
+func (p *PatternSampler) Planted(length int) []byte {
+	for tries := 0; tries < 64; tries++ {
+		d := p.docs[p.rng.Intn(len(p.docs))]
+		if len(d.Data) < length {
+			continue
+		}
+		off := p.rng.Intn(len(d.Data) - length + 1)
+		out := make([]byte, length)
+		copy(out, d.Data[off:off+length])
+		return out
+	}
+	// All documents shorter than length: fall back to a random pattern.
+	return p.Random(length, 4)
+}
+
+// Random returns a uniformly random pattern over [1, sigma], usually
+// absent from the collection.
+func (p *PatternSampler) Random(length, sigma int) []byte {
+	out := make([]byte, length)
+	for i := range out {
+		out[i] = byte(p.rng.Intn(sigma) + 1)
+	}
+	return out
+}
+
+// PlantedSet returns count planted patterns of the given length.
+func (p *PatternSampler) PlantedSet(count, length int) [][]byte {
+	out := make([][]byte, count)
+	for i := range out {
+		out[i] = p.Planted(length)
+	}
+	return out
+}

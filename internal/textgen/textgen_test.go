@@ -1,0 +1,193 @@
+package textgen
+
+import (
+	"bytes"
+	"testing"
+
+	"dyncoll/internal/huffman"
+)
+
+func TestSourceDeterministic(t *testing.T) {
+	a := NewSource(16, 2, 0.5, 42).Generate(1000)
+	b := NewSource(16, 2, 0.5, 42).Generate(1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different text")
+	}
+	c := NewSource(16, 2, 0.5, 43).Generate(1000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical text")
+	}
+}
+
+func TestSourceAlphabetRange(t *testing.T) {
+	for _, sigma := range []int{2, 4, 16, 64, 255} {
+		s := NewSource(sigma, 1, 0.3, 7)
+		text := s.Generate(5000)
+		seen := make(map[byte]bool)
+		for _, b := range text {
+			if b == 0 || int(b) > sigma {
+				t.Fatalf("sigma=%d: symbol %d out of range [1,%d]", sigma, b, sigma)
+			}
+			seen[b] = true
+		}
+		if sigma <= 16 && len(seen) < sigma/2 {
+			t.Fatalf("sigma=%d: only %d distinct symbols used", sigma, len(seen))
+		}
+	}
+}
+
+func TestSkewLowersEntropy(t *testing.T) {
+	const n = 1 << 16
+	uniform := NewSource(64, 0, 0, 1).Generate(n)
+	skewed := NewSource(64, 0, 0.9, 1).Generate(n)
+	h0u := huffman.H0Bytes(uniform)
+	h0s := huffman.H0Bytes(skewed)
+	if h0u < 5.5 {
+		t.Fatalf("uniform σ=64 text should have H0 ≈ 6, got %.3f", h0u)
+	}
+	if h0s > h0u-1 {
+		t.Fatalf("skew 0.9 should lower H0 well below uniform: got %.3f vs %.3f", h0s, h0u)
+	}
+}
+
+func TestMarkovOrderLowersHk(t *testing.T) {
+	const n = 1 << 16
+	// σ=64 with skew 0.8: each context's geometric distribution carries
+	// ≈3.6 bits while the context-rotated marginal is ≈ log₂ 64 = 6 bits.
+	text := NewSource(64, 2, 0.8, 5).Generate(n)
+	h0 := huffman.H0Bytes(text)
+	h2 := huffman.Hk(text, 2)
+	if h2 > h0+1e-9 {
+		t.Fatalf("Hk must not exceed H0: H2=%.3f H0=%.3f", h2, h0)
+	}
+	// Conditioning on the full order-2 context must reveal the skewed
+	// per-context distribution, dropping the entropy well below H0.
+	if h2 > h0*0.75 {
+		t.Fatalf("order-2 source should show context structure: H2=%.3f H0=%.3f", h2, h0)
+	}
+}
+
+func TestCollectionTotals(t *testing.T) {
+	c := NewCollection(CollectionOptions{Sigma: 16, MinLen: 10, MaxLen: 100, Seed: 3})
+	added := c.GenerateTotal(10_000)
+	if c.Total < 10_000 {
+		t.Fatalf("GenerateTotal stopped at %d symbols", c.Total)
+	}
+	if len(added) != len(c.Docs) {
+		t.Fatalf("first GenerateTotal should report all docs: %d vs %d", len(added), len(c.Docs))
+	}
+	sum := 0
+	ids := make(map[uint64]bool)
+	for _, d := range c.Docs {
+		if len(d.Data) < 10 || len(d.Data) > 100 {
+			t.Fatalf("doc length %d outside [10,100]", len(d.Data))
+		}
+		if ids[d.ID] {
+			t.Fatalf("duplicate doc ID %d", d.ID)
+		}
+		ids[d.ID] = true
+		if !d.Valid() {
+			t.Fatal("generated doc contains the reserved zero byte")
+		}
+		sum += len(d.Data)
+	}
+	if sum != c.Total {
+		t.Fatalf("Total mismatch: %d vs %d", sum, c.Total)
+	}
+}
+
+func TestNextDocLen(t *testing.T) {
+	c := NewCollection(CollectionOptions{Seed: 9})
+	d := c.NextDocLen(123)
+	if len(d.Data) != 123 {
+		t.Fatalf("NextDocLen(123) returned %d bytes", len(d.Data))
+	}
+}
+
+func TestZipfLengthsSkewShort(t *testing.T) {
+	c := NewCollection(CollectionOptions{MinLen: 1, MaxLen: 1000, Seed: 11})
+	short, long := 0, 0
+	for i := 0; i < 2000; i++ {
+		d := c.NextDoc()
+		if len(d.Data) <= 100 {
+			short++
+		} else if len(d.Data) >= 500 {
+			long++
+		}
+	}
+	if short <= long {
+		t.Fatalf("Zipf lengths should favour short docs: short=%d long=%d", short, long)
+	}
+}
+
+func TestPlantedPatternOccurs(t *testing.T) {
+	c := NewCollection(CollectionOptions{Sigma: 8, Seed: 21})
+	c.GenerateTotal(20_000)
+	ps := NewPatternSampler(c.Docs, 99)
+	for _, l := range []int{1, 4, 8, 32} {
+		p := ps.Planted(l)
+		if len(p) != l {
+			t.Fatalf("pattern length %d != %d", len(p), l)
+		}
+		found := false
+		for _, d := range c.Docs {
+			if bytes.Contains(d.Data, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("planted pattern %v not found in collection", p)
+		}
+	}
+}
+
+func TestPlantedFallsBackWhenTooLong(t *testing.T) {
+	docs := NewCollection(CollectionOptions{Sigma: 4, MinLen: 5, MaxLen: 5, Seed: 2})
+	docs.NextDoc()
+	ps := NewPatternSampler(docs.Docs, 1)
+	p := ps.Planted(50) // longer than every document
+	if len(p) != 50 {
+		t.Fatalf("fallback pattern has length %d", len(p))
+	}
+}
+
+func TestRandomPatternRange(t *testing.T) {
+	ps := NewPatternSampler(nil, 5)
+	p := ps.Random(100, 4)
+	for _, b := range p {
+		if b < 1 || b > 4 {
+			t.Fatalf("random pattern byte %d outside [1,4]", b)
+		}
+	}
+}
+
+func TestPlantedSet(t *testing.T) {
+	c := NewCollection(CollectionOptions{Seed: 31})
+	c.GenerateTotal(5000)
+	ps := NewPatternSampler(c.Docs, 7)
+	set := ps.PlantedSet(10, 6)
+	if len(set) != 10 {
+		t.Fatalf("PlantedSet returned %d patterns", len(set))
+	}
+	for _, p := range set {
+		if len(p) != 6 {
+			t.Fatalf("pattern length %d", len(p))
+		}
+	}
+}
+
+func TestSourceParameterClamping(t *testing.T) {
+	s := NewSource(1, -5, -1, 0) // all out of range
+	if s.Sigma != 2 || s.Order != 0 || s.Skew != 0 {
+		t.Fatalf("clamping failed: %+v", s)
+	}
+	s2 := NewSource(500, 0, 2, 0)
+	if s2.Sigma != 255 || s2.Skew >= 1 {
+		t.Fatalf("upper clamping failed: %+v", s2)
+	}
+	text := s2.Generate(100)
+	if len(text) != 100 {
+		t.Fatal("generation after clamping failed")
+	}
+}

@@ -1,0 +1,269 @@
+// Package wavelet implements static wavelet trees over integer alphabets,
+// providing Access, Rank and Select in O(code length) bit-vector
+// operations per query.
+//
+// Two shapes are supported:
+//
+//   - Balanced: every symbol gets a ⌈log₂ σ⌉-bit code; queries cost
+//     O(log σ).
+//   - Huffman: symbols get canonical Huffman codes computed from their
+//     frequencies, so the tree stores |S|·(H0(S)+1) + o(·) bits and
+//     queries on symbol c cost O(len(code(c))) — the compressed sequence
+//     representation required by the paper's space bounds (Table 1 space
+//     column, and the string S of Section 5).
+//
+// The tree is immutable; the dynamic sequence needed by the *baseline*
+// (prior-art) index lives in internal/baseline.
+package wavelet
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dyncoll/internal/bitvec"
+	"dyncoll/internal/huffman"
+)
+
+// Tree is a static wavelet tree over symbols in [0, sigma).
+type Tree struct {
+	sigma int
+	n     int
+	root  *node
+	codes []huffman.Code // per-symbol path from the root; Len==0 → absent
+}
+
+type node struct {
+	bits *bitvec.Vector
+	zero *node
+	one  *node
+	leaf int // symbol at this leaf; -1 for internal nodes
+}
+
+// NewBalanced builds a balanced wavelet tree of s over alphabet [0, sigma).
+func NewBalanced(s []uint32, sigma int) *Tree {
+	if sigma < 1 {
+		panic("wavelet: sigma must be ≥ 1")
+	}
+	w := bits.Len(uint(sigma - 1))
+	codes := make([]huffman.Code, sigma)
+	for c := range codes {
+		codes[c] = huffman.Code{Symbol: c, Len: w, Bits: uint64(c)}
+	}
+	if w == 0 {
+		// Single-symbol alphabet: zero-length codes, leaf-only tree.
+		for c := range codes {
+			codes[c].Len = 0
+		}
+	}
+	return build(s, sigma, codes)
+}
+
+// NewHuffman builds a Huffman-shaped wavelet tree of s over [0, sigma);
+// code lengths follow symbol frequencies in s.
+func NewHuffman(s []uint32, sigma int) *Tree {
+	if sigma < 1 {
+		panic("wavelet: sigma must be ≥ 1")
+	}
+	freq := make([]int64, sigma)
+	for _, c := range s {
+		if int(c) >= sigma {
+			panic(fmt.Sprintf("wavelet: symbol %d outside alphabet [0,%d)", c, sigma))
+		}
+		freq[c]++
+	}
+	codes := huffman.Build(freq)
+	return build(s, sigma, codes)
+}
+
+// NewBalancedBytes builds a balanced tree over a byte string with
+// alphabet [0, sigma).
+func NewBalancedBytes(s []byte, sigma int) *Tree {
+	return NewBalanced(bytesToSyms(s), sigma)
+}
+
+// NewHuffmanBytes builds a Huffman-shaped tree over a byte string with
+// alphabet [0, sigma).
+func NewHuffmanBytes(s []byte, sigma int) *Tree {
+	return NewHuffman(bytesToSyms(s), sigma)
+}
+
+func bytesToSyms(s []byte) []uint32 {
+	out := make([]uint32, len(s))
+	for i, b := range s {
+		out[i] = uint32(b)
+	}
+	return out
+}
+
+func build(s []uint32, sigma int, codes []huffman.Code) *Tree {
+	for _, c := range s {
+		if int(c) >= sigma {
+			panic(fmt.Sprintf("wavelet: symbol %d outside alphabet [0,%d)", c, sigma))
+		}
+	}
+	t := &Tree{sigma: sigma, n: len(s), codes: codes}
+	t.root = buildNode(s, codes, 0)
+	return t
+}
+
+// buildNode recursively partitions s by code bit at the given depth.
+// Code bits are consumed MSB-first.
+func buildNode(s []uint32, codes []huffman.Code, depth int) *node {
+	if len(s) == 0 {
+		return nil
+	}
+	// Leaf when the first symbol's code is exhausted; all symbols in s
+	// share the code prefix, so they are all the same symbol here.
+	first := codes[s[0]]
+	if first.Len == depth || first.Len == 0 {
+		return &node{leaf: int(s[0])}
+	}
+	nd := &node{leaf: -1}
+	v := bitvec.New(len(s))
+	var zeros, ones []uint32
+	for _, c := range s {
+		code := codes[c]
+		bit := code.Bits>>(uint(code.Len-depth-1))&1 == 1
+		v.AppendBit(bit)
+		if bit {
+			ones = append(ones, c)
+		} else {
+			zeros = append(zeros, c)
+		}
+	}
+	v.Seal()
+	nd.bits = v
+	nd.zero = buildNode(zeros, codes, depth+1)
+	nd.one = buildNode(ones, codes, depth+1)
+	return nd
+}
+
+// Len reports the sequence length.
+func (t *Tree) Len() int { return t.n }
+
+// Sigma reports the alphabet size.
+func (t *Tree) Sigma() int { return t.sigma }
+
+// Access returns the symbol at position i.
+func (t *Tree) Access(i int) uint32 {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("wavelet: Access(%d) out of range [0,%d)", i, t.n))
+	}
+	nd := t.root
+	for nd.leaf < 0 {
+		if nd.bits.Get(i) {
+			i = nd.bits.Rank1(i)
+			nd = nd.one
+		} else {
+			i = nd.bits.Rank0(i)
+			nd = nd.zero
+		}
+	}
+	return uint32(nd.leaf)
+}
+
+// Rank returns the number of occurrences of symbol c in positions [0, i).
+// i may equal Len().
+func (t *Tree) Rank(c uint32, i int) int {
+	if i < 0 || i > t.n {
+		panic(fmt.Sprintf("wavelet: Rank(_, %d) out of range [0,%d]", i, t.n))
+	}
+	if int(c) >= t.sigma {
+		return 0
+	}
+	code := t.codes[c]
+	if code.Len == 0 && t.sigma > 1 {
+		return 0 // symbol never occurs (Huffman shape)
+	}
+	nd := t.root
+	for depth := 0; nd != nil && nd.leaf < 0; depth++ {
+		if code.Bits>>(uint(code.Len-depth-1))&1 == 1 {
+			i = nd.bits.Rank1(i)
+			nd = nd.one
+		} else {
+			i = nd.bits.Rank0(i)
+			nd = nd.zero
+		}
+	}
+	if nd == nil || nd.leaf != int(c) {
+		return 0
+	}
+	return i
+}
+
+// Select returns the position of the k-th occurrence (1-based) of symbol
+// c, or -1 if c occurs fewer than k times.
+func (t *Tree) Select(c uint32, k int) int {
+	if k < 1 || int(c) >= t.sigma {
+		return -1
+	}
+	code := t.codes[c]
+	if code.Len == 0 && t.sigma > 1 {
+		return -1
+	}
+	// Walk down recording the path, then walk back up with Select.
+	type step struct {
+		nd  *node
+		bit bool
+	}
+	var path []step
+	nd := t.root
+	for depth := 0; nd != nil && nd.leaf < 0; depth++ {
+		bit := code.Bits>>(uint(code.Len-depth-1))&1 == 1
+		path = append(path, step{nd, bit})
+		if bit {
+			nd = nd.one
+		} else {
+			nd = nd.zero
+		}
+	}
+	if nd == nil || nd.leaf != int(c) {
+		return -1
+	}
+	// Count of c at the leaf.
+	leafSize := t.n
+	if len(path) > 0 {
+		last := path[len(path)-1]
+		if last.bit {
+			leafSize = last.nd.bits.Ones()
+		} else {
+			leafSize = last.nd.bits.Zeros()
+		}
+	}
+	if k > leafSize {
+		return -1
+	}
+	pos := k - 1 // position within the leaf's virtual sequence
+	for i := len(path) - 1; i >= 0; i-- {
+		st := path[i]
+		if st.bit {
+			pos = st.nd.bits.Select1(pos + 1)
+		} else {
+			pos = st.nd.bits.Select0(pos + 1)
+		}
+	}
+	return pos
+}
+
+// Count returns the number of occurrences of symbol c in the whole
+// sequence.
+func (t *Tree) Count(c uint32) int { return t.Rank(c, t.n) }
+
+// SizeBits estimates the memory footprint of all node bit vectors in bits
+// (excluding Go pointer overhead), for space-accounting experiments.
+func (t *Tree) SizeBits() int64 {
+	var total int64
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if nd.bits != nil {
+			total += nd.bits.SizeBits()
+		}
+		walk(nd.zero)
+		walk(nd.one)
+	}
+	walk(t.root)
+	return total
+}
