@@ -3,7 +3,8 @@ package dyncoll
 // Benchmarks regenerating the paper's tables as Go testing.B targets.
 // Each BenchmarkTableN / BenchmarkFigN group corresponds to one table or
 // figure of the paper; cmd/benchtables prints the same measurements as
-// formatted rows, and EXPERIMENTS.md records the mapping. Run with:
+// formatted rows, and DESIGN.md records how the implementation maps onto
+// the paper. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -78,7 +79,7 @@ func BenchmarkTable1Extract(b *testing.B) {
 // --- Table 2: dynamic count/locate/update, ours vs baseline ---
 
 type bench2Index interface {
-	Insert(doc.Doc)
+	Insert(doc.Doc) error
 	Count([]byte) int
 }
 
@@ -252,12 +253,15 @@ func BenchmarkFig23UpdateLatency(b *testing.B) {
 // --- Theorem 2: binary relation operations ---
 
 func BenchmarkTheorem2Relation(b *testing.B) {
-	r := NewRelation(RelationOptions{})
+	r, err := NewRelation()
+	if err != nil {
+		b.Fatal(err)
+	}
 	src := textgen.NewSource(255, 0, 0.7, 12)
 	stream := src.Generate(1 << 18)
 	added := 0
 	for i := 0; added < 1<<16 && i < len(stream); i++ {
-		if r.Add(uint64(i%(1<<13)), uint64(stream[i])) {
+		if r.Add(uint64(i%(1<<13)), uint64(stream[i])) == nil {
 			added++
 		}
 	}
@@ -288,14 +292,17 @@ func BenchmarkTheorem2Relation(b *testing.B) {
 // --- Theorem 3: graph operations ---
 
 func BenchmarkTheorem3Graph(b *testing.B) {
-	g := NewGraph(GraphOptions{})
+	g, err := NewGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
 	src := textgen.NewSource(255, 0, 0.6, 13)
 	stream := src.Generate(1 << 18)
 	added := 0
 	for i := 0; added < 1<<15 && i+1 < len(stream); i += 2 {
 		u := uint64(stream[i]) << 4
 		v := uint64(stream[i+1]) + uint64(i%16)<<8
-		if g.AddEdge(u, v) {
+		if g.AddEdge(u, v) == nil {
 			added++
 		}
 	}
@@ -344,4 +351,46 @@ func BenchmarkTable1CSAExtract(b *testing.B) {
 			csa.Extract(i%csa.DocCount(), 8, 64)
 		}
 	})
+}
+
+// --- v2 API: batch ingest vs looped single inserts ---
+
+// BenchmarkInsertBatch measures the headline batch win: one InsertBatch
+// call validates up front and triggers at most one rebuild cascade,
+// where the equivalent Insert loop pays a cascade per document.
+func BenchmarkInsertBatch(b *testing.B) {
+	for _, nDocs := range []int{256, 1024} {
+		gen := textgen.NewCollection(textgen.CollectionOptions{
+			Sigma: 16, MinLen: 64, MaxLen: 256, Seed: 31,
+		})
+		docs := make([]Document, nDocs)
+		syms := 0
+		for i := range docs {
+			docs[i] = gen.NextDoc()
+			syms += len(docs[i].Data)
+		}
+		for _, mode := range []string{"looped", "batch"} {
+			b.Run(fmt.Sprintf("%s/docs=%d", mode, nDocs), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c, err := NewCollection(WithSyncRebuilds())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == "batch" {
+						if err := c.InsertBatch(docs); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						for _, d := range docs {
+							if err := c.Insert(d); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+					c.WaitIdle()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(syms), "ns/symbol")
+			})
+		}
+	}
 }

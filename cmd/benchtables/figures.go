@@ -15,7 +15,7 @@ import (
 
 // updatable is the slice of the collection API the latency churn needs.
 type updatable interface {
-	Insert(d doc.Doc)
+	Insert(d doc.Doc) error
 	Delete(id uint64) bool
 }
 

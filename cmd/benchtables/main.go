@@ -4,8 +4,8 @@
 // structural figures (Figs. 1–3) plus Theorems 2–3 — so each experiment
 // here measures the corresponding quantity empirically and prints rows
 // whose *shape* (who wins, how costs grow with n, σ, s, |P|) can be
-// compared against the paper's bounds. EXPERIMENTS.md records the
-// mapping and the measured outcomes.
+// compared against the paper's bounds. DESIGN.md records how the
+// implementation maps onto the paper.
 //
 // Usage:
 //

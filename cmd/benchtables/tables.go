@@ -126,7 +126,7 @@ func table1(quick bool) {
 // ----------------------------------------------------------------------
 
 type dynIndex interface {
-	Insert(doc.Doc)
+	Insert(doc.Doc) error
 	Delete(id uint64) bool
 	Count(pattern []byte) int
 	Find(pattern []byte) []baseline.Occurrence
@@ -135,7 +135,7 @@ type dynIndex interface {
 
 // coreAdapter adapts core collections to dynIndex.
 type coreAdapter struct {
-	ins  func(doc.Doc)
+	ins  func(doc.Doc) error
 	del  func(uint64) bool
 	cnt  func([]byte) int
 	find func([]byte, func(core.Occurrence) bool)
@@ -143,10 +143,10 @@ type coreAdapter struct {
 	size func() int64
 }
 
-func (a coreAdapter) Insert(d doc.Doc)      { a.ins(d) }
-func (a coreAdapter) Delete(id uint64) bool { return a.del(id) }
-func (a coreAdapter) Count(p []byte) int    { return a.cnt(p) }
-func (a coreAdapter) Len() int              { return a.ln() }
+func (a coreAdapter) Insert(d doc.Doc) error { return a.ins(d) }
+func (a coreAdapter) Delete(id uint64) bool  { return a.del(id) }
+func (a coreAdapter) Count(p []byte) int     { return a.cnt(p) }
+func (a coreAdapter) Len() int               { return a.ln() }
 func (a coreAdapter) Find(p []byte) []baseline.Occurrence {
 	var out []baseline.Occurrence
 	a.find(p, func(o core.Occurrence) bool {
@@ -189,8 +189,7 @@ func table2(quick bool) {
 		}},
 		{"DynFM (baseline, dyn-rank)", func() dynIndex { return baseline.NewDynFM(s) }},
 		{"SuffixTree (O(n log n) bits)", func() dynIndex {
-			st := baseline.NewSTIndex()
-			return st
+			return baseline.NewSTIndex()
 		}},
 	}
 

@@ -29,7 +29,7 @@ import (
 func main() {
 	var (
 		transform = flag.String("transform", "worstcase", "transformation: amortized | worstcase | fastinsert")
-		index     = flag.String("index", "fm", "static index: fm (compressed) | sa (plain suffix array)")
+		index     = flag.String("index", "fm", "static index by registry name: fm | sa | csa | any RegisterIndex name")
 		sample    = flag.Int("s", 16, "suffix-array sample rate s (locate cost)")
 		tau       = flag.Int("tau", 0, "lazy-deletion parameter τ (0 = automatic)")
 		counting  = flag.Bool("counting", false, "enable Theorem 1 counting structures")
@@ -37,33 +37,31 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := dyncoll.CollectionOptions{
-		SampleRate: *sample,
-		Tau:        *tau,
-		Counting:   *counting,
+	opts := []dyncoll.Option{
+		dyncoll.WithIndex(*index),
+		dyncoll.WithSampleRate(*sample),
+		dyncoll.WithTau(*tau),
+	}
+	if *counting {
+		opts = append(opts, dyncoll.WithCounting())
 	}
 	switch *transform {
 	case "amortized":
-		opts.Transformation = dyncoll.Amortized
+		opts = append(opts, dyncoll.WithTransformation(dyncoll.Amortized))
 	case "fastinsert":
-		opts.Transformation = dyncoll.AmortizedFastInsert
+		opts = append(opts, dyncoll.WithTransformation(dyncoll.AmortizedFastInsert))
 	case "worstcase":
-		opts.Transformation = dyncoll.WorstCase
+		opts = append(opts, dyncoll.WithTransformation(dyncoll.WorstCase))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown transformation %q\n", *transform)
 		os.Exit(2)
 	}
-	switch *index {
-	case "fm":
-		opts.Index = dyncoll.CompressedFM
-	case "sa":
-		opts.Index = dyncoll.PlainSA
-	default:
-		fmt.Fprintf(os.Stderr, "unknown index %q\n", *index)
+
+	c, err := dyncoll.NewCollection(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	c := dyncoll.NewCollection(opts)
 
 	in := os.Stdin
 	if *script != "" {
@@ -114,10 +112,9 @@ func run(c *dyncoll.Collection, cmd, rest string) error {
 		if err != nil {
 			return err
 		}
-		if c.Has(id) {
-			return fmt.Errorf("document %d already exists", id)
+		if err := c.Insert(dyncoll.Document{ID: id, Data: []byte(parts[1])}); err != nil {
+			return err
 		}
-		c.Insert(dyncoll.Document{ID: id, Data: []byte(parts[1])})
 		fmt.Printf("added %d (%d bytes)\n", id, len(parts[1]))
 
 	case "addfile":
@@ -133,15 +130,9 @@ func run(c *dyncoll.Collection, cmd, rest string) error {
 		if err != nil {
 			return err
 		}
-		if c.Has(id) {
-			return fmt.Errorf("document %d already exists", id)
+		if err := c.Insert(dyncoll.Document{ID: id, Data: data}); err != nil {
+			return err
 		}
-		for i, b := range data {
-			if b == 0 {
-				return fmt.Errorf("file contains reserved zero byte at offset %d", i)
-			}
-		}
-		c.Insert(dyncoll.Document{ID: id, Data: data})
 		fmt.Printf("added %d (%d bytes)\n", id, len(data))
 
 	case "del":
@@ -149,8 +140,8 @@ func run(c *dyncoll.Collection, cmd, rest string) error {
 		if err != nil {
 			return err
 		}
-		if !c.Delete(id) {
-			return fmt.Errorf("no document %d", id)
+		if err := c.Delete(id); err != nil {
+			return err
 		}
 		fmt.Printf("deleted %d\n", id)
 

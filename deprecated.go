@@ -1,0 +1,138 @@
+package dyncoll
+
+import (
+	"dyncoll/internal/binrel"
+	"dyncoll/internal/graph"
+)
+
+// This file keeps thin shims over the v1 option structs: the struct
+// types and their constructors remain available under new
+// …FromOptions names. Method signatures are NOT shimmed — v1
+// bool-returning updates (Insert, Delete, Add, AddEdge) now return
+// typed errors, so v1 call sites testing those results need the
+// one-line migration to errors.Is. New code should use the functional
+// options (NewCollection, NewRelation, NewGraph with With… options).
+
+// IndexKind selects the static index that compressed sub-collections are
+// built from.
+//
+// Deprecated: static indexes are now chosen by registry name — use
+// WithIndex with IndexFM, IndexSA, IndexCSA, or any name added via
+// RegisterIndex.
+type IndexKind int
+
+const (
+	// CompressedFM is the nHk-space FM-index.
+	//
+	// Deprecated: use WithIndex(IndexFM).
+	CompressedFM IndexKind = iota
+	// PlainSA is the O(n log σ)-bit suffix-array index.
+	//
+	// Deprecated: use WithIndex(IndexSA).
+	PlainSA
+	// CompressedCSA is the Ψ-based compressed suffix array.
+	//
+	// Deprecated: use WithIndex(IndexCSA).
+	CompressedCSA
+)
+
+// name maps the v1 enum onto the registry namespace.
+func (k IndexKind) name() string {
+	switch k {
+	case PlainSA:
+		return IndexSA
+	case CompressedCSA:
+		return IndexCSA
+	default:
+		return IndexFM
+	}
+}
+
+// CollectionOptions is the v1 option struct for NewCollectionFromOptions.
+// The zero value gives the paper's defaults: Transformation 2 over the
+// compressed FM-index with automatic τ.
+//
+// Deprecated: use NewCollection with functional options.
+type CollectionOptions struct {
+	// Transformation picks the update-cost regime. Default WorstCase.
+	Transformation Transformation
+	// Index picks the underlying static index. Default CompressedFM.
+	Index IndexKind
+	// SampleRate is the suffix-array sampling rate s of the FM-index.
+	SampleRate int
+	// Tau is the paper's lazy-deletion parameter τ; 0 = automatic.
+	Tau int
+	// Counting attaches Theorem 1's counting structures.
+	Counting bool
+	// SyncRebuilds forces WorstCase background rebuilds to complete
+	// synchronously.
+	SyncRebuilds bool
+}
+
+// NewCollectionFromOptions creates a collection from the v1 option
+// struct. All v1 configurations are valid, so no error is possible.
+//
+// Deprecated: use NewCollection with functional options.
+func NewCollectionFromOptions(o CollectionOptions) *Collection {
+	c, err := newCollection(config{
+		kind:           kindCollection,
+		transformation: o.Transformation,
+		index:          o.Index.name(),
+		sampleRate:     o.SampleRate,
+		tau:            o.Tau,
+		counting:       o.Counting,
+		syncRebuilds:   o.SyncRebuilds,
+	})
+	if err != nil {
+		panic(err) // unreachable: built-in index names always resolve
+	}
+	return c
+}
+
+// RelationOptions is the v1 option struct for NewRelationFromOptions.
+//
+// Deprecated: use NewRelation with functional options.
+type RelationOptions = binrel.Options
+
+// NewRelationFromOptions creates an amortized relation from the v1
+// option struct.
+//
+// Deprecated: use NewRelation with functional options.
+func NewRelationFromOptions(o RelationOptions) *Relation {
+	return &Relation{rel: binrel.New(o)}
+}
+
+// WorstCaseRelation is a Relation with Transformation 2-style update
+// scheduling: bounded foreground work per update, rebuilds in the
+// background (the paper's Theorem 2 update bound).
+//
+// Deprecated: use NewRelation(WithTransformation(WorstCase)); the
+// unified Relation exposes WaitIdle for quiescing.
+type WorstCaseRelation = Relation
+
+// WorstCaseRelationOptions is the v1 option struct for
+// NewWorstCaseRelation.
+//
+// Deprecated: use NewRelation with functional options.
+type WorstCaseRelationOptions = binrel.WCOptions
+
+// NewWorstCaseRelation creates an empty worst-case dynamic relation from
+// the v1 option struct.
+//
+// Deprecated: use NewRelation(WithTransformation(WorstCase), …).
+func NewWorstCaseRelation(o WorstCaseRelationOptions) *WorstCaseRelation {
+	wc := binrel.NewWorstCase(o)
+	return &Relation{rel: wc, wc: wc}
+}
+
+// GraphOptions is the v1 option struct for NewGraphFromOptions.
+//
+// Deprecated: use NewGraph with functional options.
+type GraphOptions = graph.Options
+
+// NewGraphFromOptions creates a graph from the v1 option struct.
+//
+// Deprecated: use NewGraph with functional options.
+func NewGraphFromOptions(o GraphOptions) *Graph {
+	return &Graph{g: graph.New(o)}
+}

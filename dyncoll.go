@@ -14,27 +14,37 @@
 // The top-level API:
 //
 //   - Collection — a dynamic compressed document collection: Insert,
-//     Delete, Find/FindFunc, Count, Extract.
+//     InsertBatch, Delete, DeleteBatch, Find/FindIter, Count, Extract.
 //   - Relation — a dynamic compressed binary relation (Theorem 2).
 //   - Graph — a dynamic compressed directed graph (Theorem 3).
 //
+// Update operations return typed errors (ErrDuplicateID,
+// ErrReservedByte, ErrNotFound, …) matched with errors.Is; no exported
+// entry point panics on user input. The static index backing a
+// Collection is pluggable: any type satisfying StaticIndex can be
+// registered by name with RegisterIndex and selected with WithIndex,
+// which is the paper's index-agnosticism made concrete.
+//
 // Quick start:
 //
-//	c := dyncoll.NewCollection(dyncoll.CollectionOptions{})
-//	c.Insert(dyncoll.Document{ID: 1, Data: []byte("abracadabra")})
-//	occs := c.Find([]byte("bra")) // → [{1 1} {1 8}]
+//	c, err := dyncoll.NewCollection()
+//	if err != nil { ... }
+//	if err := c.Insert(dyncoll.Document{ID: 1, Data: []byte("abracadabra")}); err != nil { ... }
+//	for occ := range c.FindIter([]byte("bra")) {
+//		fmt.Println(occ) // {1 1}, {1 8}
+//	}
 //
-// See the examples directory for runnable programs and DESIGN.md /
-// EXPERIMENTS.md for how the implementation maps onto the paper.
+// See the examples directory for runnable programs and DESIGN.md for how
+// the implementation maps onto the paper's theorems.
 package dyncoll
 
 import (
+	"fmt"
+	"iter"
+
 	"dyncoll/internal/baseline"
-	"dyncoll/internal/binrel"
 	"dyncoll/internal/core"
 	"dyncoll/internal/doc"
-	"dyncoll/internal/fmindex"
-	"dyncoll/internal/graph"
 )
 
 // Document is one document: an application-chosen ID and a byte payload.
@@ -48,71 +58,30 @@ type Document = doc.Doc
 type Occurrence = core.Occurrence
 
 // Transformation selects which of the paper's static-to-dynamic
-// transformations backs a Collection.
+// transformations backs a structure.
 type Transformation int
 
 const (
+	// WorstCase is Transformation 2 (the default): bounded foreground
+	// work per update (rebuilds run in the background); range-finding
+	// visits O(τ) more sub-collections.
+	WorstCase Transformation = iota
 	// Amortized is Transformation 1: updates cost O(u(n)·logᵋ n)
 	// amortized per symbol; queries match the static index exactly.
-	Amortized Transformation = iota
-	// WorstCase is Transformation 2: bounded foreground work per update
-	// (rebuilds run in the background); range-finding visits O(τ) more
-	// sub-collections.
-	WorstCase
+	Amortized
 	// AmortizedFastInsert is Transformation 3: O(log log n) levels make
 	// insertions cheaper (O(u(n)·log log n) amortized) at an
 	// O(log log n) query fan-out factor.
 	AmortizedFastInsert
 )
 
-// IndexKind selects the static index that compressed sub-collections are
-// built from.
-type IndexKind int
-
-const (
-	// CompressedFM is the nHk-space FM-index (wavelet tree over the BWT;
-	// the stand-in for the Belazzougui–Navarro / Barbay et al. indexes of
-	// Tables 1–2). Locate costs O(s) with sampling parameter SampleRate.
-	CompressedFM IndexKind = iota
-	// PlainSA is the O(n log σ)-bit suffix-array index (the Grossi–Vitter
-	// stand-in of Table 3): faster queries, more space.
-	PlainSA
-	// CompressedCSA is the Ψ-based compressed suffix array (Sadakane
-	// flavour, Table 1 row [39]): no rank/select machinery at all,
-	// trange = O(|P| log n), tlocate = O(s). Exists to demonstrate the
-	// framework's index-agnosticism with a second compressed family.
-	CompressedCSA
-)
-
-// CollectionOptions configure NewCollection. The zero value gives the
-// paper's defaults: Transformation 2 over the compressed FM-index with
-// automatic τ.
-type CollectionOptions struct {
-	// Transformation picks the update-cost regime. Default WorstCase.
-	Transformation Transformation
-	// Index picks the underlying static index. Default CompressedFM.
-	Index IndexKind
-	// SampleRate is the suffix-array sampling rate s of the FM-index:
-	// locate costs O(s), the samples cost O(n/s·log n) bits. Default 16.
-	SampleRate int
-	// Tau is the paper's τ: a sub-collection is purged once a 1/τ
-	// fraction of it is dead, costing O(n·log τ/τ) bits of bookkeeping.
-	// 0 = automatic (log n / log log n).
-	Tau int
-	// Counting attaches Theorem 1's structures so Count answers in
-	// O(tcount) without enumerating matches, at +O(log n/log log n)
-	// update cost per symbol.
-	Counting bool
-	// SyncRebuilds forces WorstCase background rebuilds to complete
-	// synchronously (deterministic, single-threaded behaviour).
-	SyncRebuilds bool
-}
-
 // Collection is a dynamic compressed document collection.
 type Collection struct {
 	impl interface {
-		Insert(doc.Doc)
+		Insert(doc.Doc) error
+		InsertBatch([]doc.Doc) error
 		Delete(id uint64) bool
+		DeleteBatch(ids []uint64) int
 		Has(id uint64) bool
 		DocIDs() []uint64
 		Find(pattern []byte) []core.Occurrence
@@ -127,31 +96,42 @@ type Collection struct {
 	wc *core.WorstCase // non-nil when Transformation == WorstCase
 }
 
-// NewCollection creates an empty dynamic document collection.
-func NewCollection(opts CollectionOptions) *Collection {
-	var b core.Builder
-	switch opts.Index {
-	case PlainSA:
-		b = func(docs []doc.Doc) core.StaticIndex { return fmindex.BuildSA(docs) }
-	case CompressedCSA:
-		rate := opts.SampleRate
-		b = func(docs []doc.Doc) core.StaticIndex {
-			return fmindex.BuildCSA(docs, fmindex.Options{SampleRate: rate})
-		}
-	default:
-		rate := opts.SampleRate
-		b = func(docs []doc.Doc) core.StaticIndex {
-			return fmindex.Build(docs, fmindex.Options{SampleRate: rate})
-		}
+// NewCollection creates an empty dynamic document collection. The zero
+// configuration gives the paper's defaults — Transformation 2 over the
+// compressed FM-index with automatic τ — and options adjust it:
+//
+//	c, err := dyncoll.NewCollection(
+//		dyncoll.WithIndex(dyncoll.IndexSA),
+//		dyncoll.WithTau(8),
+//		dyncoll.WithCounting(),
+//	)
+//
+// It fails with ErrUnknownIndex when WithIndex names an unregistered
+// index, and ErrInvalidOption on out-of-range option values.
+func NewCollection(opts ...Option) (*Collection, error) {
+	cfg, err := newConfig(kindCollection, opts)
+	if err != nil {
+		return nil, err
 	}
+	return newCollection(cfg)
+}
+
+func newCollection(cfg config) (*Collection, error) {
+	builder, err := lookupIndex(cfg.index)
+	if err != nil {
+		return nil, err
+	}
+	icfg := IndexConfig{SampleRate: cfg.sampleRate}
 	co := core.Options{
-		Builder:  b,
-		Tau:      opts.Tau,
-		Counting: opts.Counting,
-		Inline:   opts.SyncRebuilds,
+		Builder:     func(docs []doc.Doc) core.StaticIndex { return builder(docs, icfg) },
+		Tau:         cfg.tau,
+		Epsilon:     cfg.epsilon,
+		MinCapacity: cfg.minCapacity,
+		Counting:    cfg.counting,
+		Inline:      cfg.syncRebuilds,
 	}
 	c := &Collection{}
-	switch opts.Transformation {
+	switch cfg.transformation {
 	case Amortized:
 		c.impl = core.NewAmortized(co)
 	case AmortizedFastInsert:
@@ -162,22 +142,62 @@ func NewCollection(opts CollectionOptions) *Collection {
 		c.impl = w
 		c.wc = w
 	}
-	return c
+	return c, nil
 }
 
-// Insert adds a document. It panics on a duplicate ID or a payload
-// containing the reserved byte 0x00.
-func (c *Collection) Insert(d Document) { c.impl.Insert(d) }
+// Insert adds a document. It fails with ErrDuplicateID if the ID is
+// already live and ErrReservedByte if the payload contains 0x00.
+func (c *Collection) Insert(d Document) error { return c.impl.Insert(d) }
 
-// Delete removes the document with the given ID, reporting whether it was
-// present.
-func (c *Collection) Delete(id uint64) bool { return c.impl.Delete(id) }
+// InsertBatch adds many documents in one ingest: the whole batch is
+// validated up front (on error nothing is inserted) and placed with at
+// most one rebuild cascade, instead of the cascade-per-document cost of
+// looped Insert calls. It fails with ErrDuplicateID — also for IDs
+// repeated within the batch — or ErrReservedByte.
+func (c *Collection) InsertBatch(docs []Document) error { return c.impl.InsertBatch(docs) }
+
+// Delete removes the document with the given ID. It fails with
+// ErrNotFound if no such document is live.
+func (c *Collection) Delete(id uint64) error {
+	if c.impl.Delete(id) {
+		return nil
+	}
+	return fmt.Errorf("dyncoll: delete id %d: %w", id, ErrNotFound)
+}
+
+// DeleteBatch removes every listed document that is live and returns the
+// number actually removed; IDs that are absent (or repeated) are
+// skipped. Purge checks and rebuild triggers run once for the whole
+// batch.
+func (c *Collection) DeleteBatch(ids []uint64) int { return c.impl.DeleteBatch(ids) }
 
 // Has reports whether a live document with the given ID exists.
 func (c *Collection) Has(id uint64) bool { return c.impl.Has(id) }
 
 // Find returns every occurrence of pattern across all live documents.
+// For large result sets prefer FindIter, which never materializes the
+// slice.
 func (c *Collection) Find(pattern []byte) []Occurrence { return c.impl.Find(pattern) }
+
+// FindIter returns a single-use iterator over the occurrences of
+// pattern. Enumeration is lazy — breaking out of the range loop stops
+// the underlying search — so huge result sets cost only what is
+// consumed:
+//
+//	for occ := range c.FindIter(pattern) {
+//		if enough(occ) { break }
+//	}
+//
+// The collection must not be touched from the loop body or another
+// goroutine until iteration completes: under the WorstCase
+// transformation the iterator holds the collection's internal lock
+// while yielding, so even a read re-entering the same collection would
+// self-deadlock.
+func (c *Collection) FindIter(pattern []byte) iter.Seq[Occurrence] {
+	return func(yield func(Occurrence) bool) {
+		c.impl.FindFunc(pattern, yield)
+	}
+}
 
 // FindFunc streams occurrences of pattern; enumeration stops when fn
 // returns false.
@@ -266,46 +286,61 @@ func (c *Collection) Stats() IndexStats {
 	return IndexStats{}
 }
 
-// Relation is a dynamic compressed binary relation between uint64 objects
-// and uint64 labels (Theorem 2).
-type Relation = binrel.Relation
-
-// RelationOptions configure NewRelation.
-type RelationOptions = binrel.Options
-
-// Pair is one (object, label) element of a Relation.
-type Pair = binrel.Pair
-
-// NewRelation creates an empty dynamic compressed binary relation.
-func NewRelation(opts RelationOptions) *Relation { return binrel.New(opts) }
-
-// WorstCaseRelation is a Relation with Transformation 2-style update
-// scheduling: bounded foreground work per update, rebuilds in the
-// background (the paper's Theorem 2 update bound).
-type WorstCaseRelation = binrel.WorstCaseRelation
-
-// WorstCaseRelationOptions configure NewWorstCaseRelation.
-type WorstCaseRelationOptions = binrel.WCOptions
-
-// NewWorstCaseRelation creates an empty worst-case dynamic relation.
-func NewWorstCaseRelation(opts WorstCaseRelationOptions) *WorstCaseRelation {
-	return binrel.NewWorstCase(opts)
-}
-
-// Graph is a dynamic compressed directed graph (Theorem 3).
-type Graph = graph.Graph
-
-// GraphOptions configure NewGraph.
-type GraphOptions = graph.Options
-
-// NewGraph creates an empty dynamic compressed directed graph.
-func NewGraph(opts GraphOptions) *Graph { return graph.New(opts) }
-
 // BaselineCollection is the pre-paper state of the art: a dynamic
 // FM-index whose every query symbol costs a dynamic rank (Θ(log n)).
 // It exists for comparison benchmarks; prefer Collection.
-type BaselineCollection = baseline.DynFM
+type BaselineCollection struct {
+	fm *baseline.DynFM
+}
 
 // NewBaselineCollection creates the dynamic-rank baseline index with
 // suffix-array sample rate s.
-func NewBaselineCollection(s int) *BaselineCollection { return baseline.NewDynFM(s) }
+func NewBaselineCollection(s int) *BaselineCollection {
+	return &BaselineCollection{fm: baseline.NewDynFM(s)}
+}
+
+// Insert adds a document. It fails with ErrDuplicateID or
+// ErrReservedByte on invalid input.
+func (b *BaselineCollection) Insert(d Document) error { return b.fm.Insert(d) }
+
+// Delete removes document id; ErrNotFound if absent.
+func (b *BaselineCollection) Delete(id uint64) error {
+	if b.fm.Delete(id) {
+		return nil
+	}
+	return fmt.Errorf("dyncoll: baseline delete id %d: %w", id, ErrNotFound)
+}
+
+// Has reports whether document id is live.
+func (b *BaselineCollection) Has(id uint64) bool { return b.fm.Has(id) }
+
+// Count returns the number of occurrences of pattern.
+func (b *BaselineCollection) Count(pattern []byte) int { return b.fm.Count(pattern) }
+
+// Find returns every occurrence of pattern.
+func (b *BaselineCollection) Find(pattern []byte) []Occurrence {
+	var out []Occurrence
+	b.fm.FindFunc(pattern, func(o baseline.Occurrence) bool {
+		out = append(out, Occurrence{DocID: o.DocID, Off: o.Off})
+		return true
+	})
+	return out
+}
+
+// FindIter returns a lazy iterator over the occurrences of pattern.
+func (b *BaselineCollection) FindIter(pattern []byte) iter.Seq[Occurrence] {
+	return func(yield func(Occurrence) bool) {
+		b.fm.FindFunc(pattern, func(o baseline.Occurrence) bool {
+			return yield(Occurrence{DocID: o.DocID, Off: o.Off})
+		})
+	}
+}
+
+// Len reports live payload symbols.
+func (b *BaselineCollection) Len() int { return b.fm.Len() }
+
+// DocCount reports the number of live documents.
+func (b *BaselineCollection) DocCount() int { return b.fm.DocCount() }
+
+// SizeBits estimates the index footprint in bits.
+func (b *BaselineCollection) SizeBits() int64 { return b.fm.SizeBits() }

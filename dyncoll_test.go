@@ -6,24 +6,41 @@ import (
 	"testing"
 )
 
+func mustCollection(t *testing.T, opts ...Option) *Collection {
+	t.Helper()
+	c, err := NewCollection(opts...)
+	if err != nil {
+		t.Fatalf("NewCollection: %v", err)
+	}
+	return c
+}
+
+func mustInsert(t *testing.T, c *Collection, d Document) {
+	t.Helper()
+	if err := c.Insert(d); err != nil {
+		t.Fatalf("Insert(%d): %v", d.ID, err)
+	}
+}
+
 func TestCollectionConfigurations(t *testing.T) {
-	cases := []CollectionOptions{
-		{},
-		{Transformation: Amortized},
-		{Transformation: AmortizedFastInsert},
-		{Transformation: WorstCase, SyncRebuilds: true},
-		{Index: PlainSA},
-		{Index: CompressedCSA},
-		{Index: CompressedCSA, Transformation: Amortized, SampleRate: 4},
-		{Counting: true, SyncRebuilds: true},
-		{SampleRate: 4, Tau: 8},
+	cases := [][]Option{
+		nil,
+		{WithTransformation(Amortized)},
+		{WithTransformation(AmortizedFastInsert)},
+		{WithTransformation(WorstCase), WithSyncRebuilds()},
+		{WithIndex(IndexSA)},
+		{WithIndex(IndexCSA)},
+		{WithIndex(IndexCSA), WithTransformation(Amortized), WithSampleRate(4)},
+		{WithCounting(), WithSyncRebuilds()},
+		{WithSampleRate(4), WithTau(8)},
+		{WithEpsilon(0.25), WithMinCapacity(32)},
 	}
 	for i, opts := range cases {
 		t.Run(fmt.Sprintf("cfg%d", i), func(t *testing.T) {
-			c := NewCollection(opts)
-			c.Insert(Document{ID: 1, Data: []byte("abracadabra")})
-			c.Insert(Document{ID: 2, Data: []byte("alakazam")})
-			c.Insert(Document{ID: 3, Data: []byte("abrakadabra")})
+			c := mustCollection(t, opts...)
+			mustInsert(t, c, Document{ID: 1, Data: []byte("abracadabra")})
+			mustInsert(t, c, Document{ID: 2, Data: []byte("alakazam")})
+			mustInsert(t, c, Document{ID: 3, Data: []byte("abrakadabra")})
 			c.WaitIdle()
 			if got := c.Count([]byte("abra")); got != 4 {
 				t.Fatalf("Count(abra) = %d, want 4", got)
@@ -32,8 +49,8 @@ func TestCollectionConfigurations(t *testing.T) {
 			if len(occs) != 2 {
 				t.Fatalf("Find(ka) = %v", occs)
 			}
-			if !c.Delete(3) {
-				t.Fatal("Delete(3) failed")
+			if err := c.Delete(3); err != nil {
+				t.Fatalf("Delete(3): %v", err)
 			}
 			c.WaitIdle()
 			if got := c.Count([]byte("abra")); got != 2 {
@@ -59,10 +76,63 @@ func TestCollectionConfigurations(t *testing.T) {
 	}
 }
 
-func TestCollectionFindFuncStream(t *testing.T) {
-	c := NewCollection(CollectionOptions{SyncRebuilds: true})
+func TestCollectionBatchFacade(t *testing.T) {
+	for _, tr := range []Transformation{Amortized, WorstCase, AmortizedFastInsert} {
+		c := mustCollection(t, WithTransformation(tr), WithSyncRebuilds())
+		var batch []Document
+		for i := uint64(1); i <= 50; i++ {
+			batch = append(batch, Document{ID: i, Data: []byte("payload number x")})
+		}
+		if err := c.InsertBatch(batch); err != nil {
+			t.Fatalf("transform %d: InsertBatch: %v", tr, err)
+		}
+		c.WaitIdle()
+		if c.DocCount() != 50 {
+			t.Fatalf("transform %d: DocCount = %d, want 50", tr, c.DocCount())
+		}
+		if got := c.Count([]byte("number")); got != 50 {
+			t.Fatalf("transform %d: Count = %d, want 50", tr, got)
+		}
+		if n := c.DeleteBatch([]uint64{1, 2, 3, 777}); n != 3 {
+			t.Fatalf("transform %d: DeleteBatch removed %d, want 3", tr, n)
+		}
+		c.WaitIdle()
+		if got := c.Count([]byte("number")); got != 47 {
+			t.Fatalf("transform %d: Count after DeleteBatch = %d, want 47", tr, got)
+		}
+	}
+}
+
+func TestCollectionFindIter(t *testing.T) {
+	c := mustCollection(t, WithSyncRebuilds())
 	for i := 1; i <= 30; i++ {
-		c.Insert(Document{ID: uint64(i), Data: []byte("xyxyxy")})
+		mustInsert(t, c, Document{ID: uint64(i), Data: []byte("xyxyxy")})
+	}
+	// Full enumeration agrees with Find.
+	n := 0
+	for range c.FindIter([]byte("xy")) {
+		n++
+	}
+	if want := len(c.Find([]byte("xy"))); n != want {
+		t.Fatalf("FindIter visited %d, Find returned %d", n, want)
+	}
+	// Breaking out stops the underlying search early.
+	n = 0
+	for range c.FindIter([]byte("xy")) {
+		n++
+		if n == 10 {
+			break
+		}
+	}
+	if n != 10 {
+		t.Fatalf("early break visited %d", n)
+	}
+}
+
+func TestCollectionFindFuncStream(t *testing.T) {
+	c := mustCollection(t, WithSyncRebuilds())
+	for i := 1; i <= 30; i++ {
+		mustInsert(t, c, Document{ID: uint64(i), Data: []byte("xyxyxy")})
 	}
 	n := 0
 	c.FindFunc([]byte("xy"), func(Occurrence) bool {
@@ -75,27 +145,69 @@ func TestCollectionFindFuncStream(t *testing.T) {
 }
 
 func TestRelationFacade(t *testing.T) {
-	r := NewRelation(RelationOptions{})
-	r.Add(1, 100)
-	r.Add(1, 200)
-	r.Add(2, 100)
-	if !r.Related(1, 100) || r.Related(2, 200) {
-		t.Fatal("Related wrong")
-	}
-	if r.CountObjects(100) != 2 || r.CountLabels(1) != 2 {
-		t.Fatal("counts wrong")
-	}
-	r.Delete(1, 100)
-	if r.Related(1, 100) || r.Len() != 2 {
-		t.Fatal("delete wrong")
+	for _, wc := range []bool{false, true} {
+		opts := []Option{WithTransformation(Amortized)}
+		if wc {
+			opts = []Option{WithTransformation(WorstCase), WithSyncRebuilds()}
+		}
+		r, err := NewRelation(opts...)
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		for _, p := range []Pair{{Object: 1, Label: 100}, {Object: 1, Label: 200}, {Object: 2, Label: 100}} {
+			if err := r.Add(p.Object, p.Label); err != nil {
+				t.Fatalf("Add(%v): %v", p, err)
+			}
+		}
+		if !r.Related(1, 100) || r.Related(2, 200) {
+			t.Fatal("Related wrong")
+		}
+		if r.CountObjects(100) != 2 || r.CountLabels(1) != 2 {
+			t.Fatal("counts wrong")
+		}
+		// Iterator forms agree with the slice forms.
+		var labels []uint64
+		for l := range r.LabelsIter(1) {
+			labels = append(labels, l)
+		}
+		if len(labels) != 2 {
+			t.Fatalf("LabelsIter(1) = %v", labels)
+		}
+		var objects []uint64
+		for o := range r.ObjectsIter(100) {
+			objects = append(objects, o)
+			break // early break must not hang or panic
+		}
+		if len(objects) != 1 {
+			t.Fatalf("ObjectsIter early break = %v", objects)
+		}
+		np := 0
+		for range r.PairsIter() {
+			np++
+		}
+		if np != 3 {
+			t.Fatalf("PairsIter visited %d, want 3", np)
+		}
+		if err := r.Delete(1, 100); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if r.Related(1, 100) || r.Len() != 2 {
+			t.Fatal("delete wrong")
+		}
+		r.WaitIdle()
 	}
 }
 
 func TestGraphFacade(t *testing.T) {
-	g := NewGraph(GraphOptions{})
-	g.AddEdge(1, 2)
-	g.AddEdge(1, 3)
-	g.AddEdge(2, 3)
+	g, err := NewGraph()
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	for _, e := range [][2]uint64{{1, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
 	if g.OutDegree(1) != 2 || g.InDegree(3) != 2 {
 		t.Fatal("degrees wrong")
 	}
@@ -103,22 +215,86 @@ func TestGraphFacade(t *testing.T) {
 	if len(ns) != 2 || ns[0] != 2 || ns[1] != 3 {
 		t.Fatalf("Neighbors = %v", ns)
 	}
+	// Successor/predecessor iterators.
+	succ := map[uint64]bool{}
+	for v := range g.Successors(1) {
+		succ[v] = true
+	}
+	if !succ[2] || !succ[3] || len(succ) != 2 {
+		t.Fatalf("Successors(1) = %v", succ)
+	}
+	pred := map[uint64]bool{}
+	for u := range g.Predecessors(3) {
+		pred[u] = true
+	}
+	if !pred[1] || !pred[2] || len(pred) != 2 {
+		t.Fatalf("Predecessors(3) = %v", pred)
+	}
+	ne := 0
+	for range g.EdgesIter() {
+		ne++
+	}
+	if ne != g.EdgeCount() {
+		t.Fatalf("EdgesIter visited %d, EdgeCount %d", ne, g.EdgeCount())
+	}
+	if err := g.DeleteEdge(1, 2); err != nil {
+		t.Fatalf("DeleteEdge: %v", err)
+	}
+	if g.HasEdge(1, 2) || g.EdgeCount() != 2 {
+		t.Fatal("DeleteEdge wrong")
+	}
 }
 
 func TestBaselineFacade(t *testing.T) {
 	b := NewBaselineCollection(8)
-	b.Insert(Document{ID: 1, Data: []byte("banana")})
+	if err := b.Insert(Document{ID: 1, Data: []byte("banana")}); err != nil {
+		t.Fatal(err)
+	}
 	if got := b.Count([]byte("an")); got != 2 {
 		t.Fatalf("baseline Count = %d", got)
+	}
+	n := 0
+	for range b.FindIter([]byte("an")) {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("baseline FindIter visited %d", n)
+	}
+	if err := b.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Has(1) {
+		t.Fatal("baseline delete wrong")
+	}
+}
+
+func TestDeprecatedShims(t *testing.T) {
+	c := NewCollectionFromOptions(CollectionOptions{Index: PlainSA, SyncRebuilds: true})
+	mustInsert(t, c, Document{ID: 1, Data: []byte("shimmed")})
+	if c.Count([]byte("him")) != 1 {
+		t.Fatal("v1 collection shim broken")
+	}
+	r := NewRelationFromOptions(RelationOptions{})
+	if err := r.Add(1, 2); err != nil || !r.Related(1, 2) {
+		t.Fatal("v1 relation shim broken")
+	}
+	w := NewWorstCaseRelation(WorstCaseRelationOptions{Inline: true})
+	if err := w.Add(3, 4); err != nil || !w.Related(3, 4) {
+		t.Fatal("v1 worst-case relation shim broken")
+	}
+	w.WaitIdle()
+	g := NewGraphFromOptions(GraphOptions{})
+	if err := g.AddEdge(1, 2); err != nil || !g.HasEdge(1, 2) {
+		t.Fatal("v1 graph shim broken")
 	}
 }
 
 func ExampleCollection() {
-	c := NewCollection(CollectionOptions{SyncRebuilds: true})
-	c.Insert(Document{ID: 1, Data: []byte("the quick brown fox")})
-	c.Insert(Document{ID: 2, Data: []byte("the lazy dog")})
+	c, _ := NewCollection(WithSyncRebuilds())
+	_ = c.Insert(Document{ID: 1, Data: []byte("the quick brown fox")})
+	_ = c.Insert(Document{ID: 2, Data: []byte("the lazy dog")})
 	fmt.Println(c.Count([]byte("the")))
-	c.Delete(2)
+	_ = c.Delete(2)
 	fmt.Println(c.Count([]byte("the")))
 	// Output:
 	// 2
@@ -127,14 +303,16 @@ func ExampleCollection() {
 
 func TestCollectionDocIDs(t *testing.T) {
 	for _, tr := range []Transformation{Amortized, WorstCase, AmortizedFastInsert} {
-		c := NewCollection(CollectionOptions{Transformation: tr, SyncRebuilds: true})
+		c := mustCollection(t, WithTransformation(tr), WithSyncRebuilds())
 		want := map[uint64]bool{}
 		for i := uint64(1); i <= 40; i++ {
-			c.Insert(Document{ID: i, Data: []byte{byte(i%5 + 1), 2, 3}})
+			mustInsert(t, c, Document{ID: i, Data: []byte{byte(i%5 + 1), 2, 3}})
 			want[i] = true
 		}
 		for i := uint64(1); i <= 40; i += 3 {
-			c.Delete(i)
+			if err := c.Delete(i); err != nil {
+				t.Fatalf("Delete(%d): %v", i, err)
+			}
 			delete(want, i)
 		}
 		got := c.DocIDs()
@@ -150,14 +328,12 @@ func TestCollectionDocIDs(t *testing.T) {
 }
 
 func TestCollectionStats(t *testing.T) {
-	a := NewCollection(CollectionOptions{Transformation: Amortized})
-	w := NewCollection(CollectionOptions{Transformation: WorstCase, SyncRebuilds: true})
+	a := mustCollection(t, WithTransformation(Amortized))
+	w := mustCollection(t, WithTransformation(WorstCase), WithSyncRebuilds())
 	for i := uint64(1); i <= 120; i++ {
 		d := Document{ID: i, Data: []byte("some document payload for stats testing")}
-		a.Insert(d)
-		d2 := d
-		d2.ID = i
-		w.Insert(d2)
+		mustInsert(t, a, d)
+		mustInsert(t, w, d)
 	}
 	for _, c := range []*Collection{a, w} {
 		st := c.Stats()

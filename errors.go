@@ -1,0 +1,44 @@
+package dyncoll
+
+import (
+	"errors"
+
+	"dyncoll/internal/core"
+)
+
+// Typed errors returned by the v2 API. Match them with errors.Is; the
+// returned errors may wrap these sentinels with contextual detail (the
+// offending ID, index name, …).
+var (
+	// ErrDuplicateID reports a Collection insert whose document ID is
+	// already live (or repeated within one batch).
+	ErrDuplicateID = core.ErrDuplicateID
+
+	// ErrReservedByte reports a document payload containing the reserved
+	// separator byte 0x00.
+	ErrReservedByte = core.ErrReservedByte
+
+	// ErrNotFound reports a delete (or similar) naming a document, pair,
+	// or edge that is not live.
+	ErrNotFound = core.ErrNotFound
+
+	// ErrDuplicatePair reports a Relation.Add of a pair that is already
+	// related.
+	ErrDuplicatePair = errors.New("pair already present")
+
+	// ErrDuplicateEdge reports a Graph.AddEdge of an edge that already
+	// exists.
+	ErrDuplicateEdge = errors.New("edge already present")
+
+	// ErrUnknownIndex reports a static-index name with no registered
+	// builder.
+	ErrUnknownIndex = errors.New("unknown static index")
+
+	// ErrIndexExists reports RegisterIndex on a name that is already
+	// taken.
+	ErrIndexExists = errors.New("index name already registered")
+
+	// ErrInvalidOption reports a constructor option with an out-of-range
+	// value, or one that does not apply to the structure being built.
+	ErrInvalidOption = errors.New("invalid option")
+)

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
@@ -32,19 +33,26 @@ func synthChromosome(rng *rand.Rand, n int) []byte {
 func main() {
 	rng := rand.New(rand.NewSource(4))
 
-	// PlainSA is the Grossi–Vitter-style O(n log σ)-bit configuration:
+	// IndexSA is the Grossi–Vitter-style O(n log σ)-bit configuration:
 	// more space than the FM-index, queries nearly independent of |P|.
-	archive := dyncoll.NewCollection(dyncoll.CollectionOptions{
-		Index: dyncoll.PlainSA,
-	})
+	archive, err := dyncoll.NewCollection(dyncoll.WithIndex(dyncoll.IndexSA))
+	if err != nil {
+		log.Fatal(err)
+	}
 
+	// Bulk-load the genome in one batch: validated up front, built with
+	// one ingest pass instead of a rebuild cascade per chromosome.
 	const chromosomes = 24
 	const chromLen = 40_000
 	var genome [][]byte
+	var load []dyncoll.Document
 	for id := uint64(1); id <= chromosomes; id++ {
 		c := synthChromosome(rng, chromLen)
 		genome = append(genome, c)
-		archive.Insert(dyncoll.Document{ID: id, Data: c})
+		load = append(load, dyncoll.Document{ID: id, Data: c})
+	}
+	if err := archive.InsertBatch(load); err != nil {
+		log.Fatal(err)
 	}
 	archive.WaitIdle()
 	fmt.Printf("archive: %d chromosomes, %.1f Mbp, index ~%d KiB\n",
@@ -77,8 +85,12 @@ func main() {
 
 	// Assembly update: retire a chromosome, load a patched version.
 	patched := synthChromosome(rng, chromLen+500)
-	archive.Delete(7)
-	archive.Insert(dyncoll.Document{ID: 100, Data: patched})
+	if err := archive.Delete(7); err != nil {
+		log.Fatal(err)
+	}
+	if err := archive.Insert(dyncoll.Document{ID: 100, Data: patched}); err != nil {
+		log.Fatal(err)
+	}
 	archive.WaitIdle()
 	fmt.Printf("after patching chr7: %d chromosomes, %.1f Mbp\n",
 		archive.DocCount(), float64(archive.Len())/1e6)

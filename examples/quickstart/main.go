@@ -4,22 +4,34 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dyncoll"
 )
 
 func main() {
-	c := dyncoll.NewCollection(dyncoll.CollectionOptions{})
+	c, err := dyncoll.NewCollection()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Insert a few documents. IDs are yours to choose; payloads are raw
-	// bytes (anything except 0x00).
-	c.Insert(dyncoll.Document{ID: 1, Data: []byte("the quick brown fox jumps over the lazy dog")})
-	c.Insert(dyncoll.Document{ID: 2, Data: []byte("pack my box with five dozen liquor jugs")})
-	c.Insert(dyncoll.Document{ID: 3, Data: []byte("the five boxing wizards jump quickly")})
+	// bytes (anything except 0x00). A batch ingest validates everything
+	// up front and triggers at most one rebuild cascade.
+	err = c.InsertBatch([]dyncoll.Document{
+		{ID: 1, Data: []byte("the quick brown fox jumps over the lazy dog")},
+		{ID: 2, Data: []byte("pack my box with five dozen liquor jugs")},
+		{ID: 3, Data: []byte("the five boxing wizards jump quickly")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Substring search across every live document. Occurrences carry the
-	// document ID and the offset within that document.
-	for _, occ := range c.Find([]byte("five")) {
+	// Substring search across every live document, streamed: the range
+	// loop pulls occurrences lazily, so huge result sets never
+	// materialize. Occurrences carry the document ID and the offset
+	// within that document.
+	for occ := range c.FindIter([]byte("five")) {
 		fmt.Printf("'five' occurs in doc %d at offset %d\n", occ.DocID, occ.Off)
 	}
 
@@ -28,7 +40,9 @@ func main() {
 
 	// Deleting a document removes its matches; offsets in the other
 	// documents are unaffected (they are document-relative).
-	c.Delete(3)
+	if err := c.Delete(3); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("after deleting doc 3: 'five' occurs %d times\n", c.Count([]byte("five")))
 
 	// Extract a substring of a stored document without decompressing the

@@ -12,7 +12,9 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"log"
 
 	"dyncoll"
 )
@@ -29,9 +31,13 @@ type TripleStore struct {
 }
 
 func NewTripleStore() *TripleStore {
+	subjectPreds, err := dyncoll.NewRelation()
+	if err != nil {
+		log.Fatal(err)
+	}
 	return &TripleStore{
 		byPredicate:  make(map[uint64]*dyncoll.Relation),
-		subjectPreds: dyncoll.NewRelation(dyncoll.RelationOptions{}),
+		subjectPreds: subjectPreds,
 		names:        make(map[uint64]string),
 	}
 }
@@ -53,19 +59,32 @@ func (ts *TripleStore) Add(subj, pred, obj string) {
 	s, p, o := ts.id(subj), ts.id(pred), ts.id(obj)
 	rel, ok := ts.byPredicate[p]
 	if !ok {
-		rel = dyncoll.NewRelation(dyncoll.RelationOptions{})
+		var err error
+		rel, err = dyncoll.NewRelation()
+		if err != nil {
+			log.Fatal(err)
+		}
 		ts.byPredicate[p] = rel
 	}
-	rel.Add(s, o)
-	ts.subjectPreds.Add(s, p)
+	// Re-adding a triple is a no-op, so a duplicate-pair error is fine.
+	if err := rel.Add(s, o); err != nil && !errors.Is(err, dyncoll.ErrDuplicatePair) {
+		log.Fatal(err)
+	}
+	if err := ts.subjectPreds.Add(s, p); err != nil && !errors.Is(err, dyncoll.ErrDuplicatePair) {
+		log.Fatal(err)
+	}
 }
 
 func (ts *TripleStore) Delete(subj, pred, obj string) {
 	s, p, o := ts.id(subj), ts.id(pred), ts.id(obj)
 	if rel, ok := ts.byPredicate[p]; ok {
-		rel.Delete(s, o)
+		if err := rel.Delete(s, o); err != nil {
+			return // triple was not in the store
+		}
 		if rel.CountLabels(s) == 0 {
-			ts.subjectPreds.Delete(s, p)
+			if err := ts.subjectPreds.Delete(s, p); err != nil && !errors.Is(err, dyncoll.ErrNotFound) {
+				log.Fatal(err)
+			}
 		}
 	}
 }
@@ -74,13 +93,13 @@ func (ts *TripleStore) Delete(subj, pred, obj string) {
 func (ts *TripleStore) TriplesOfSubject(subj string) [][2]string {
 	s := ts.id(subj)
 	var out [][2]string
-	ts.subjectPreds.LabelsOf(s, func(p uint64) bool {
-		ts.byPredicate[p].LabelsOf(s, func(o uint64) bool {
+	// Nested range-over-func iterators: both loops pull lazily from the
+	// compressed relations.
+	for p := range ts.subjectPreds.LabelsIter(s) {
+		for o := range ts.byPredicate[p].LabelsIter(s) {
 			out = append(out, [2]string{ts.names[p], ts.names[o]})
-			return true
-		})
-		return true
-	})
+		}
+	}
 	return out
 }
 
@@ -92,10 +111,9 @@ func (ts *TripleStore) ObjectsOf(subj, pred string) []string {
 		return nil
 	}
 	var out []string
-	rel.LabelsOf(s, func(o uint64) bool {
+	for o := range rel.LabelsIter(s) {
 		out = append(out, ts.names[o])
-		return true
-	})
+	}
 	return out
 }
 
@@ -107,10 +125,9 @@ func (ts *TripleStore) SubjectsWith(pred, obj string) []string {
 		return nil
 	}
 	var out []string
-	rel.ObjectsOf(o, func(s uint64) bool {
+	for s := range rel.ObjectsIter(o) {
 		out = append(out, ts.names[s])
-		return true
-	})
+	}
 	return out
 }
 
@@ -147,14 +164,19 @@ func main() {
 
 	// The same machinery as a directed graph (Theorem 3): the "knows"
 	// relation viewed as edges.
-	g := dyncoll.NewGraph(dyncoll.GraphOptions{})
+	g, err := dyncoll.NewGraph()
+	if err != nil {
+		log.Fatal(err)
+	}
 	edges := [][2]string{{"alice", "bob"}, {"alice", "carol"}, {"bob", "carol"}, {"dave", "alice"}}
 	for _, e := range edges {
-		g.AddEdge(ts.id(e[0]), ts.id(e[1]))
+		if err := g.AddEdge(ts.id(e[0]), ts.id(e[1])); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("carol's in-degree in the knows-graph: %d\n", g.InDegree(ts.id("carol")))
 	fmt.Print("who does dave reach in one hop? ")
-	for _, v := range g.Neighbors(ts.id("dave")) {
+	for v := range g.Successors(ts.id("dave")) {
 		fmt.Printf("%s ", ts.names[v])
 	}
 	fmt.Println()

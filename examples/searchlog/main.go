@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 )
 
@@ -30,16 +31,22 @@ func synthURL(rng *rand.Rand) []byte {
 
 func main() {
 	rng := rand.New(rand.NewSource(2015))
-	c := dyncoll.NewCollection(dyncoll.CollectionOptions{
-		Counting: true, // Theorem 1: counting without enumeration
-	})
+	// Theorem 1: counting without enumeration.
+	c, err := dyncoll.NewCollection(dyncoll.WithCounting())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const window = 4000
 	var nextID uint64 = 1
 
-	// Fill the initial window.
+	// Fill the initial window with one batch ingest.
+	batch := make([]dyncoll.Document, 0, window)
 	for ; nextID <= window; nextID++ {
-		c.Insert(dyncoll.Document{ID: nextID, Data: synthURL(rng)})
+		batch = append(batch, dyncoll.Document{ID: nextID, Data: synthURL(rng)})
+	}
+	if err := c.InsertBatch(batch); err != nil {
+		log.Fatal(err)
 	}
 
 	queries := [][]byte{
@@ -58,8 +65,12 @@ func main() {
 	// Stream: every new entry evicts the oldest one. The index absorbs
 	// the churn with bounded per-update work (Transformation 2).
 	for i := 0; i < 3*window; i++ {
-		c.Insert(dyncoll.Document{ID: nextID, Data: synthURL(rng)})
-		c.Delete(nextID - window)
+		if err := c.Insert(dyncoll.Document{ID: nextID, Data: synthURL(rng)}); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Delete(nextID - window); err != nil {
+			log.Fatal(err)
+		}
 		nextID++
 	}
 	c.WaitIdle()

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"strings"
 
@@ -22,24 +23,26 @@ type column struct {
 }
 
 func newColumn() *column {
-	return &column{
-		idx: dyncoll.NewCollection(dyncoll.CollectionOptions{
-			Counting: true, // O(log n) exact counts per sub-collection
-		}),
-		nextID: 1,
+	// O(log n) exact counts per sub-collection.
+	idx, err := dyncoll.NewCollection(dyncoll.WithCounting())
+	if err != nil {
+		log.Fatal(err)
 	}
+	return &column{idx: idx, nextID: 1}
 }
 
 func (c *column) insert(value string) uint64 {
 	id := c.nextID
 	c.nextID++
-	c.idx.Insert(dyncoll.Document{ID: id, Data: []byte(value)})
+	if err := c.idx.Insert(dyncoll.Document{ID: id, Data: []byte(value)}); err != nil {
+		log.Fatal(err)
+	}
 	c.rows++
 	return id
 }
 
 func (c *column) delete(id uint64) {
-	if c.idx.Delete(id) {
+	if c.idx.Delete(id) == nil {
 		c.rows--
 	}
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
 	"time"
@@ -29,7 +30,9 @@ func churn(c *dyncoll.Collection, docs int) (p50, p99, max time.Duration) {
 	for i := 0; i < docs; i++ {
 		d := gen.NextDoc()
 		start := time.Now()
-		c.Insert(d)
+		if err := c.Insert(d); err != nil {
+			log.Fatal(err)
+		}
 		lat = append(lat, time.Since(start))
 		live = append(live, d.ID)
 
@@ -38,7 +41,9 @@ func churn(c *dyncoll.Collection, docs int) (p50, p99, max time.Duration) {
 			id := live[j]
 			live = append(live[:j], live[j+1:]...)
 			start = time.Now()
-			c.Delete(id)
+			if err := c.Delete(id); err != nil {
+				log.Fatal(err)
+			}
 			lat = append(lat, time.Since(start))
 		}
 	}
@@ -50,12 +55,14 @@ func churn(c *dyncoll.Collection, docs int) (p50, p99, max time.Duration) {
 func main() {
 	const docs = 1500
 
-	amortized := dyncoll.NewCollection(dyncoll.CollectionOptions{
-		Transformation: dyncoll.Amortized,
-	})
-	worstCase := dyncoll.NewCollection(dyncoll.CollectionOptions{
-		Transformation: dyncoll.WorstCase,
-	})
+	amortized, err := dyncoll.NewCollection(dyncoll.WithTransformation(dyncoll.Amortized))
+	if err != nil {
+		log.Fatal(err)
+	}
+	worstCase, err := dyncoll.NewCollection(dyncoll.WithTransformation(dyncoll.WorstCase))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("churning %d documents through each index...\n\n", docs)
 

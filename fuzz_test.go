@@ -5,6 +5,7 @@ package dyncoll
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -15,7 +16,10 @@ func FuzzCollectionOps(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{3, 1, 2}, 40))
 	f.Fuzz(func(t *testing.T, program []byte) {
-		c := NewCollection(CollectionOptions{SyncRebuilds: true, SampleRate: 3})
+		c, err := NewCollection(WithSyncRebuilds(), WithSampleRate(3))
+		if err != nil {
+			t.Fatal(err)
+		}
 		docs := map[uint64][]byte{}
 		var nextID uint64 = 1
 		i := 0
@@ -36,14 +40,20 @@ func FuzzCollectionOps(f *testing.F) {
 				for j := range data {
 					data[j] = next()%4 + 1
 				}
-				c.Insert(Document{ID: nextID, Data: data})
+				if err := c.Insert(Document{ID: nextID, Data: data}); err != nil {
+					t.Fatalf("Insert(%d): %v", nextID, err)
+				}
 				docs[nextID] = data
 				nextID++
 			case 2: // delete some id (may be absent)
 				id := uint64(next()) % (nextID + 1)
 				_, present := docs[id]
-				if c.Delete(id) != present {
-					t.Fatalf("Delete(%d) disagreement", id)
+				err := c.Delete(id)
+				if present && err != nil {
+					t.Fatalf("Delete(%d) of live doc: %v", id, err)
+				}
+				if !present && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("Delete(%d) of missing doc: got %v, want ErrNotFound", id, err)
 				}
 				delete(docs, id)
 			}
@@ -70,20 +80,31 @@ func FuzzRelationOps(f *testing.F) {
 	f.Add([]byte{1, 2, 0, 1, 2, 1, 3, 4, 0})
 	f.Add(bytes.Repeat([]byte{5, 6, 0}, 30))
 	f.Fuzz(func(t *testing.T, program []byte) {
-		r := NewRelation(RelationOptions{MinCapacity: 8})
+		r, err := NewRelation(WithMinCapacity(8))
+		if err != nil {
+			t.Fatal(err)
+		}
 		model := map[[2]uint64]bool{}
 		for i := 0; i+2 < len(program); i += 3 {
 			o := uint64(program[i]) % 16
 			l := uint64(program[i+1]) % 16
 			k := [2]uint64{o, l}
 			if program[i+2]%2 == 0 {
-				if r.Add(o, l) == model[k] {
-					t.Fatalf("Add(%d,%d) disagreement", o, l)
+				err := r.Add(o, l)
+				if model[k] && !errors.Is(err, ErrDuplicatePair) {
+					t.Fatalf("Add(%d,%d) of present pair: got %v", o, l, err)
+				}
+				if !model[k] && err != nil {
+					t.Fatalf("Add(%d,%d) of fresh pair: %v", o, l, err)
 				}
 				model[k] = true
 			} else {
-				if r.Delete(o, l) != model[k] {
-					t.Fatalf("Delete(%d,%d) disagreement", o, l)
+				err := r.Delete(o, l)
+				if model[k] && err != nil {
+					t.Fatalf("Delete(%d,%d) of present pair: %v", o, l, err)
+				}
+				if !model[k] && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("Delete(%d,%d) of missing pair: got %v", o, l, err)
 				}
 				delete(model, k)
 			}
@@ -112,8 +133,13 @@ func FuzzPatternSearch(f *testing.F) {
 		for i, b := range raw {
 			data[i] = b%7 + 1
 		}
-		c := NewCollection(CollectionOptions{SyncRebuilds: true})
-		c.Insert(Document{ID: 1, Data: data})
+		c, err := NewCollection(WithSyncRebuilds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(Document{ID: 1, Data: data}); err != nil {
+			t.Fatal(err)
+		}
 		off := int(offRaw) % len(data)
 		l := int(lenRaw)%8 + 1
 		if off+l > len(data) {

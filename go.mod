@@ -1,0 +1,3 @@
+module dyncoll
+
+go 1.23

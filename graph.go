@@ -1,0 +1,118 @@
+package dyncoll
+
+import (
+	"fmt"
+	"iter"
+
+	"dyncoll/internal/graph"
+)
+
+// Graph is a dynamic compressed directed graph (Theorem 3). A digraph is
+// the binary relation between nodes in which an edge u→v relates object
+// u to label v, so the representation — compressed sub-collections, lazy
+// deletions, O(log^ε n) updates — is inherited from Relation.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph creates an empty dynamic compressed directed graph. The
+// default uses the amortized cascades; WithTransformation(WorstCase)
+// selects bounded foreground work per update with background rebuilds.
+func NewGraph(opts ...Option) (*Graph, error) {
+	cfg, err := newConfig(kindGraph, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: graph.New(graph.Options{
+		Tau:         cfg.tau,
+		Epsilon:     cfg.epsilon,
+		MinCapacity: cfg.minCapacity,
+		WorstCase:   cfg.transformation == WorstCase,
+		Inline:      cfg.syncRebuilds,
+	})}, nil
+}
+
+// AddEdge inserts the edge u→v. It fails with ErrDuplicateEdge if the
+// edge already exists.
+func (g *Graph) AddEdge(u, v uint64) error {
+	if g.g.AddEdge(u, v) {
+		return nil
+	}
+	return fmt.Errorf("dyncoll: add edge %d→%d: %w", u, v, ErrDuplicateEdge)
+}
+
+// DeleteEdge removes the edge u→v. It fails with ErrNotFound if the edge
+// does not exist.
+func (g *Graph) DeleteEdge(u, v uint64) error {
+	if g.g.DeleteEdge(u, v) {
+		return nil
+	}
+	return fmt.Errorf("dyncoll: delete edge %d→%d: %w", u, v, ErrNotFound)
+}
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Graph) HasEdge(u, v uint64) bool { return g.g.HasEdge(u, v) }
+
+// EdgeCount reports the number of edges.
+func (g *Graph) EdgeCount() int { return g.g.EdgeCount() }
+
+// Successors returns a lazy iterator over the out-neighbors of u;
+// breaking out of the range loop stops the underlying enumeration.
+// The graph must not be touched from the loop body or another goroutine
+// until iteration completes: under WorstCase scheduling the iterator
+// holds the graph's internal lock while yielding, so even a read
+// re-entering the same graph would self-deadlock.
+func (g *Graph) Successors(u uint64) iter.Seq[uint64] {
+	return func(yield func(uint64) bool) {
+		g.g.NeighborsFunc(u, yield)
+	}
+}
+
+// Predecessors returns a lazy iterator over the in-neighbors of v. The
+// same re-entrancy rule as Successors applies.
+func (g *Graph) Predecessors(v uint64) iter.Seq[uint64] {
+	return func(yield func(uint64) bool) {
+		g.g.ReverseNeighborsFunc(v, yield)
+	}
+}
+
+// EdgesIter returns a lazy iterator over every edge as (object=u,
+// label=v) pairs; breaking out of the range loop stops the underlying
+// enumeration without materializing the edge set. The same re-entrancy
+// rule as Successors applies.
+func (g *Graph) EdgesIter() iter.Seq[Pair] {
+	return func(yield func(Pair) bool) {
+		g.g.EdgesFunc(yield)
+	}
+}
+
+// NeighborsFunc streams the out-neighbors of u; stops when fn returns
+// false.
+func (g *Graph) NeighborsFunc(u uint64, fn func(v uint64) bool) { g.g.NeighborsFunc(u, fn) }
+
+// ReverseNeighborsFunc streams the in-neighbors of v.
+func (g *Graph) ReverseNeighborsFunc(v uint64, fn func(u uint64) bool) {
+	g.g.ReverseNeighborsFunc(v, fn)
+}
+
+// Neighbors returns the sorted out-neighbors of u.
+func (g *Graph) Neighbors(u uint64) []uint64 { return g.g.Neighbors(u) }
+
+// ReverseNeighbors returns the sorted in-neighbors of v.
+func (g *Graph) ReverseNeighbors(v uint64) []uint64 { return g.g.ReverseNeighbors(v) }
+
+// OutDegree counts the out-neighbors of u.
+func (g *Graph) OutDegree(u uint64) int { return g.g.OutDegree(u) }
+
+// InDegree counts the in-neighbors of v.
+func (g *Graph) InDegree(v uint64) int { return g.g.InDegree(v) }
+
+// Edges returns every edge as (object=u, label=v) pairs.
+func (g *Graph) Edges() []Pair { return g.g.Edges() }
+
+// WaitIdle blocks until background rebuilds (WorstCase scheduling only)
+// have completed; otherwise it returns immediately.
+func (g *Graph) WaitIdle() { g.g.WaitIdle() }
+
+// SizeBits estimates the total footprint.
+func (g *Graph) SizeBits() int64 { return g.g.SizeBits() }

@@ -2,11 +2,13 @@ package baseline
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
 
+	"dyncoll/internal/core"
 	"dyncoll/internal/doc"
 	"dyncoll/internal/textgen"
 )
@@ -14,7 +16,7 @@ import (
 // index is the interface both baselines satisfy, so the conformance suite
 // runs over each.
 type index interface {
-	Insert(doc.Doc)
+	Insert(doc.Doc) error
 	Delete(id uint64) bool
 	Has(id uint64) bool
 	Count(pattern []byte) int
@@ -260,25 +262,21 @@ func TestDynFMExtractWindows(t *testing.T) {
 	}
 }
 
-func TestDynFMDuplicatePanics(t *testing.T) {
+func TestDynFMDuplicateErrors(t *testing.T) {
 	x := NewDynFM(4)
-	x.Insert(doc.Doc{ID: 1, Data: []byte{1}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate insert did not panic")
-		}
-	}()
-	x.Insert(doc.Doc{ID: 1, Data: []byte{2}})
+	if err := x.Insert(doc.Doc{ID: 1, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Insert(doc.Doc{ID: 1, Data: []byte{2}}); !errors.Is(err, core.ErrDuplicateID) {
+		t.Fatalf("duplicate insert: got %v, want ErrDuplicateID", err)
+	}
 }
 
-func TestDynFMZeroBytePanics(t *testing.T) {
+func TestDynFMZeroByteErrors(t *testing.T) {
 	x := NewDynFM(4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero byte did not panic")
-		}
-	}()
-	x.Insert(doc.Doc{ID: 1, Data: []byte{1, 0}})
+	if err := x.Insert(doc.Doc{ID: 1, Data: []byte{1, 0}}); !errors.Is(err, core.ErrReservedByte) {
+		t.Fatalf("zero byte: got %v, want ErrReservedByte", err)
+	}
 }
 
 func TestDynFMQuick(t *testing.T) {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dyncoll/internal/core"
 	"dyncoll/internal/doc"
 	"dyncoll/internal/dynseq"
 )
@@ -99,12 +100,12 @@ func (f *DynFM) lf(p int, c byte) int {
 // Insert adds a document by the textbook dynamic-BWT construction: the
 // separator row first, then one LF-guided insertion per symbol, right to
 // left. Each symbol costs O(log n · log σ) — the baseline's bottleneck.
-func (f *DynFM) Insert(d doc.Doc) {
+func (f *DynFM) Insert(d doc.Doc) error {
 	if _, dup := f.meta[d.ID]; dup {
-		panic(fmt.Sprintf("baseline: duplicate document ID %d", d.ID))
+		return fmt.Errorf("baseline: insert id %d: %w", d.ID, core.ErrDuplicateID)
 	}
 	if !d.Valid() {
-		panic("baseline: document contains the reserved byte 0x00")
+		return fmt.Errorf("baseline: insert id %d: %w", d.ID, core.ErrReservedByte)
 	}
 	m := len(d.Data)
 	slot := len(f.slots)
@@ -117,7 +118,7 @@ func (f *DynFM) Insert(d doc.Doc) {
 		p := len(f.sepDocs)
 		f.insertRow(p, 0, true, packSample(slot, 0))
 		f.sepDocs = append(f.sepDocs, d.ID)
-		return
+		return nil
 	}
 
 	// Row of the new separator suffix: append to the end of the $-block.
@@ -144,6 +145,7 @@ func (f *DynFM) Insert(d doc.Doc) {
 		f.insertRow(p, c, off%f.s == 0, packSample(slot, off))
 	}
 	f.length += m
+	return nil
 }
 
 // bwtSymbolFor returns the BWT symbol of the suffix starting at 1-based

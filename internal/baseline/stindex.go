@@ -1,6 +1,9 @@
 package baseline
 
 import (
+	"fmt"
+
+	"dyncoll/internal/core"
 	"dyncoll/internal/doc"
 	"dyncoll/internal/suffixtree"
 )
@@ -27,7 +30,16 @@ func (x *STIndex) DocCount() int { return x.t.DocCount() }
 func (x *STIndex) Has(id uint64) bool { return x.t.Has(id) }
 
 // Insert adds a document in O(|T|) time.
-func (x *STIndex) Insert(d doc.Doc) { x.t.Insert(d) }
+func (x *STIndex) Insert(d doc.Doc) error {
+	if x.t.Has(d.ID) {
+		return fmt.Errorf("baseline: insert id %d: %w", d.ID, core.ErrDuplicateID)
+	}
+	if !d.Valid() {
+		return fmt.Errorf("baseline: insert id %d: %w", d.ID, core.ErrReservedByte)
+	}
+	x.t.Insert(d)
+	return nil
+}
 
 // Delete removes document id.
 func (x *STIndex) Delete(id uint64) bool { return x.t.Delete(id) }

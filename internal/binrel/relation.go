@@ -395,14 +395,30 @@ func (r *Relation) CountObjects(label uint64) int {
 	return n
 }
 
-// Pairs returns every live pair (unspecified order).
-func (r *Relation) Pairs() []Pair {
-	out := r.c0.pairs()
-	for _, lvl := range r.levels {
-		if lvl != nil {
-			out = append(out, lvl.livePairs()...)
+// PairsFunc streams every live pair (unspecified order); enumeration
+// stops when fn returns false. Nothing is materialized.
+func (r *Relation) PairsFunc(fn func(Pair) bool) {
+	for o, ls := range r.c0.fwd {
+		for _, l := range ls {
+			if !fn(Pair{Object: o, Label: l}) {
+				return
+			}
 		}
 	}
+	for _, lvl := range r.levels {
+		if lvl != nil && !lvl.pairsFunc(fn) {
+			return
+		}
+	}
+}
+
+// Pairs returns every live pair (unspecified order).
+func (r *Relation) Pairs() []Pair {
+	out := make([]Pair, 0, r.live)
+	r.PairsFunc(func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 

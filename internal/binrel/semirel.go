@@ -233,11 +233,28 @@ func (r *semiRel) countObjects(label uint64) int {
 	return int(r.liveCount[a])
 }
 
+// pairsFunc streams the live pairs; stops when fn returns false,
+// reporting whether enumeration ran to completion.
+func (r *semiRel) pairsFunc(fn func(Pair) bool) bool {
+	if r.alive.Len() == 0 {
+		return true
+	}
+	ok := true
+	r.alive.Report(0, r.alive.Len()-1, func(pos int) bool {
+		if !fn(Pair{Object: r.objectAt(pos), Label: r.labels[r.s.Access(pos)]}) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
 // livePairs lists all live pairs (used by rebuilds).
 func (r *semiRel) livePairs() []Pair {
 	out := make([]Pair, 0, r.live)
-	r.alive.Report(0, r.alive.Len()-1, func(pos int) bool {
-		out = append(out, Pair{Object: r.objectAt(pos), Label: r.labels[r.s.Access(pos)]})
+	r.pairsFunc(func(p Pair) bool {
+		out = append(out, p)
 		return true
 	})
 	return out

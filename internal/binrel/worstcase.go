@@ -564,14 +564,32 @@ func (w *WorstCaseRelation) CountObjects(label uint64) int {
 	return n
 }
 
-// Pairs returns every live pair (unspecified order).
-func (w *WorstCaseRelation) Pairs() []Pair {
+// PairsFunc streams every live pair (unspecified order); enumeration
+// stops when fn returns false. Nothing is materialized.
+func (w *WorstCaseRelation) PairsFunc(fn func(Pair) bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	out := w.c0.pairs()
-	for _, lvl := range w.stores() {
-		out = append(out, lvl.livePairs()...)
+	for o, ls := range w.c0.fwd {
+		for _, l := range ls {
+			if !fn(Pair{Object: o, Label: l}) {
+				return
+			}
+		}
 	}
+	for _, lvl := range w.stores() {
+		if !lvl.pairsFunc(fn) {
+			return
+		}
+	}
+}
+
+// Pairs returns every live pair (unspecified order).
+func (w *WorstCaseRelation) Pairs() []Pair {
+	out := make([]Pair, 0, w.Len())
+	w.PairsFunc(func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 

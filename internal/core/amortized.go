@@ -132,21 +132,61 @@ func (a *Amortized) Has(id uint64) bool {
 	return ok
 }
 
-// Insert adds a document. It panics on duplicate IDs or payloads
-// containing the reserved byte 0x00.
-func (a *Amortized) Insert(d doc.Doc) {
-	if _, dup := a.owner[d.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate document ID %d", d.ID))
+// validateNew checks that a document may enter the collection: its ID is
+// not live (nor claimed earlier in the same batch, when seen is non-nil)
+// and its payload avoids the reserved separator byte.
+func (a *Amortized) validateNew(d doc.Doc, seen map[uint64]bool) error {
+	if _, dup := a.owner[d.ID]; dup || (seen != nil && seen[d.ID]) {
+		return fmt.Errorf("core: insert id %d: %w", d.ID, ErrDuplicateID)
 	}
 	if !d.Valid() {
-		panic("core: document contains the reserved byte 0x00")
+		return fmt.Errorf("core: insert id %d: %w", d.ID, ErrReservedByte)
 	}
-	// Find the first level j whose capacity absorbs the new document plus
-	// all smaller sub-collections.
-	prefix := a.c0.liveSymbols() + len(d.Data)
+	return nil
+}
+
+// Insert adds a document. It returns ErrDuplicateID or ErrReservedByte on
+// invalid input.
+func (a *Amortized) Insert(d doc.Doc) error {
+	if err := a.validateNew(d, nil); err != nil {
+		return err
+	}
+	a.insertBulk([]doc.Doc{d}, len(d.Data))
+	return nil
+}
+
+// InsertBatch adds many documents in one ingest. The whole batch is
+// validated first — on any ErrDuplicateID / ErrReservedByte nothing is
+// inserted — and then placed with at most one ladder rebuild cascade,
+// instead of the cascade-per-document cost of looped Insert calls.
+func (a *Amortized) InsertBatch(docs []doc.Doc) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	seen := make(map[uint64]bool, len(docs))
+	total := 0
+	for _, d := range docs {
+		if err := a.validateNew(d, seen); err != nil {
+			return err
+		}
+		seen[d.ID] = true
+		total += len(d.Data)
+	}
+	a.insertBulk(docs, total)
+	return nil
+}
+
+// insertBulk places validated documents: into C0 if they all fit,
+// otherwise into the first level whose capacity absorbs them together
+// with all smaller sub-collections (one rebuild), otherwise via a global
+// rebuild.
+func (a *Amortized) insertBulk(docs []doc.Doc, total int) {
+	prefix := a.c0.liveSymbols() + total
 	if prefix <= a.maxes[0] {
-		a.c0.insert(d)
-		a.owner[d.ID] = a.c0
+		for _, d := range docs {
+			a.c0.insert(d)
+			a.owner[d.ID] = a.c0
+		}
 		a.maybeGlobalRebuild()
 		return
 	}
@@ -155,17 +195,17 @@ func (a *Amortized) Insert(d doc.Doc) {
 			prefix += a.levels[j].liveSymbols()
 		}
 		if prefix <= a.maxes[j] {
-			a.mergeInto(j, d)
+			a.mergeInto(j, docs)
 			a.maybeGlobalRebuild()
 			return
 		}
 	}
-	// Nothing fits: global rebuild with the new document included.
-	a.globalRebuild(&d)
+	// Nothing fits: global rebuild with the new documents included.
+	a.globalRebuild(docs)
 }
 
-// mergeInto rebuilds level j from C0 ∪ C1 ∪ … ∪ Cj ∪ {d}.
-func (a *Amortized) mergeInto(j int, d doc.Doc) {
+// mergeInto rebuilds level j from C0 ∪ C1 ∪ … ∪ Cj ∪ extra.
+func (a *Amortized) mergeInto(j int, extra []doc.Doc) {
 	docs := a.c0.liveDocs()
 	a.c0 = newC0()
 	for i := 1; i <= j; i++ {
@@ -174,7 +214,7 @@ func (a *Amortized) mergeInto(j int, d doc.Doc) {
 			a.levels[i] = nil
 		}
 	}
-	docs = append(docs, d)
+	docs = append(docs, extra...)
 	lvl := buildSemi(a.opts.Builder, docs, a.tau, a.opts.Counting)
 	a.levels[j] = lvl
 	for _, dd := range docs {
@@ -194,9 +234,9 @@ func (a *Amortized) maybeGlobalRebuild() {
 	}
 }
 
-// globalRebuild moves every live document (plus extra, if non-nil) into
-// the top level and re-derives the capacity schedule.
-func (a *Amortized) globalRebuild(extra *doc.Doc) {
+// globalRebuild moves every live document (plus extra documents, if any)
+// into the top level and re-derives the capacity schedule.
+func (a *Amortized) globalRebuild(extra []doc.Doc) {
 	docs := a.c0.liveDocs()
 	for i, l := range a.levels {
 		if l != nil {
@@ -204,9 +244,7 @@ func (a *Amortized) globalRebuild(extra *doc.Doc) {
 			a.levels[i] = nil
 		}
 	}
-	if extra != nil {
-		docs = append(docs, *extra)
-	}
+	docs = append(docs, extra...)
 	n := 0
 	for _, d := range docs {
 		n += len(d.Data)
@@ -246,6 +284,37 @@ func (a *Amortized) Delete(id uint64) bool {
 	}
 	a.maybeGlobalRebuild()
 	return true
+}
+
+// DeleteBatch removes every listed document that is live, returning the
+// number actually removed. Dead-fraction purges and the global-rebuild
+// check run once after the whole batch instead of per deletion.
+func (a *Amortized) DeleteBatch(ids []uint64) int {
+	n := 0
+	touched := make(map[*SemiDynamic]bool)
+	for _, id := range ids {
+		st, ok := a.owner[id]
+		if !ok {
+			continue
+		}
+		st.delete(id)
+		delete(a.owner, id)
+		n++
+		if lvl, isLevel := st.(*SemiDynamic); isLevel {
+			touched[lvl] = true
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	for lvl := range touched {
+		total := lvl.liveSymbols() + lvl.deletedSymbols()
+		if total > 0 && lvl.deletedSymbols()*a.tau > total {
+			a.purgeLevel(lvl)
+		}
+	}
+	a.maybeGlobalRebuild()
+	return n
 }
 
 // purgeLevel rebuilds the given level without its deleted documents.

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dyncoll/internal/doc"
+	"dyncoll/internal/textgen"
+)
+
+// TestInsertBatchParity checks that a batch ingest yields exactly the
+// same query results as looped single inserts, across transformations.
+func TestInsertBatchParity(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			gen := textgen.NewCollection(textgen.CollectionOptions{
+				Sigma: 6, MinLen: 8, MaxLen: 120, Seed: 21,
+			})
+			var docs []doc.Doc
+			for i := 0; i < 150; i++ {
+				docs = append(docs, gen.NextDoc())
+			}
+
+			batch := v.mk()
+			if err := batch.InsertBatch(docs); err != nil {
+				t.Fatalf("InsertBatch: %v", err)
+			}
+			looped := v.mk()
+			for _, d := range docs {
+				if err := looped.Insert(d); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+			}
+			quiesce(batch)
+			quiesce(looped)
+
+			if batch.Len() != looped.Len() || batch.DocCount() != looped.DocCount() {
+				t.Fatalf("Len/DocCount diverge: %d/%d vs %d/%d",
+					batch.Len(), batch.DocCount(), looped.Len(), looped.DocCount())
+			}
+			for _, p := range [][]byte{{1}, {2, 3}, {1, 2, 3}, {4, 4}, nil} {
+				if b, l := batch.Count(p), looped.Count(p); b != l {
+					t.Fatalf("Count(%v): batch %d, looped %d", p, b, l)
+				}
+			}
+			got := batch.Find([]byte{1, 2})
+			want := looped.Find([]byte{1, 2})
+			if !sameOccs(got, want) {
+				t.Fatalf("Find diverges: %d vs %d occurrences", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestInsertBatchAtomicValidation checks that an invalid batch inserts
+// nothing at all.
+func TestInsertBatchAtomicValidation(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			d := v.mk()
+			if err := d.Insert(doc.Doc{ID: 7, Data: []byte{1, 2}}); err != nil {
+				t.Fatal(err)
+			}
+			batches := []struct {
+				docs []doc.Doc
+				want error
+			}{
+				{[]doc.Doc{{ID: 8, Data: []byte{3}}, {ID: 7, Data: []byte{4}}}, ErrDuplicateID},
+				{[]doc.Doc{{ID: 9, Data: []byte{5}}, {ID: 9, Data: []byte{6}}}, ErrDuplicateID},
+				{[]doc.Doc{{ID: 10, Data: []byte{7}}, {ID: 11, Data: []byte{0}}}, ErrReservedByte},
+			}
+			for _, b := range batches {
+				if err := d.InsertBatch(b.docs); !errors.Is(err, b.want) {
+					t.Fatalf("InsertBatch(%v): got %v, want %v", b.docs, err, b.want)
+				}
+			}
+			quiesce(d)
+			if d.DocCount() != 1 || d.Len() != 2 {
+				t.Fatalf("failed batches leaked documents: DocCount=%d Len=%d",
+					d.DocCount(), d.Len())
+			}
+		})
+	}
+}
+
+// TestInsertBatchSingleCascade checks the batch contract: one ingest
+// triggers at most one ladder rebuild cascade on the amortized
+// transformation, where looped inserts of the same data trigger many.
+func TestInsertBatchSingleCascade(t *testing.T) {
+	gen := textgen.NewCollection(textgen.CollectionOptions{
+		Sigma: 6, MinLen: 64, MaxLen: 256, Seed: 22,
+	})
+	var docs []doc.Doc
+	for i := 0; i < 200; i++ {
+		docs = append(docs, gen.NextDoc())
+	}
+
+	batch := NewAmortized(Options{Builder: fmBuilder})
+	if err := batch.InsertBatch(docs); err != nil {
+		t.Fatal(err)
+	}
+	bst := batch.Stats()
+	// One placement build (level merge or global rebuild), possibly
+	// followed by the post-ingest global-rebuild check firing once.
+	if builds := bst.LevelRebuilds + bst.GlobalRebuilds; builds > 2 {
+		t.Fatalf("batch ingest ran %d rebuilds (level %d + global %d), want ≤ 2",
+			builds, bst.LevelRebuilds, bst.GlobalRebuilds)
+	}
+
+	looped := NewAmortized(Options{Builder: fmBuilder})
+	for _, d := range docs {
+		if err := looped.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lst := looped.Stats()
+	if lb := lst.LevelRebuilds + lst.GlobalRebuilds; lb <= bst.LevelRebuilds+bst.GlobalRebuilds {
+		t.Fatalf("looped inserts ran %d rebuilds, expected more than batch's %d",
+			lb, bst.LevelRebuilds+bst.GlobalRebuilds)
+	}
+}
+
+// TestDeleteBatch checks counts, query results, and that missing IDs are
+// skipped rather than failing the batch.
+func TestDeleteBatch(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			d := v.mk()
+			var docs []doc.Doc
+			for i := uint64(1); i <= 60; i++ {
+				docs = append(docs, doc.Doc{ID: i, Data: []byte{1, 2, 3, byte(i%5 + 1)}})
+			}
+			if err := d.InsertBatch(docs); err != nil {
+				t.Fatal(err)
+			}
+			quiesce(d)
+
+			ids := []uint64{2, 4, 6, 999, 4} // 999 missing, 4 repeated
+			if n := d.DeleteBatch(ids); n != 3 {
+				t.Fatalf("DeleteBatch removed %d, want 3", n)
+			}
+			quiesce(d)
+			if d.DocCount() != 57 {
+				t.Fatalf("DocCount = %d, want 57", d.DocCount())
+			}
+			if got := d.Count([]byte{1, 2, 3}); got != 57 {
+				t.Fatalf("Count = %d, want 57", got)
+			}
+			if n := d.DeleteBatch(nil); n != 0 {
+				t.Fatalf("empty DeleteBatch removed %d", n)
+			}
+		})
+	}
+}

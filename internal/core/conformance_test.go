@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -304,31 +305,35 @@ func TestChurnSameDocuments(t *testing.T) {
 	}
 }
 
-func TestDuplicateInsertPanics(t *testing.T) {
+func TestDuplicateInsertErrors(t *testing.T) {
 	for _, v := range variants() {
 		t.Run(v.name, func(t *testing.T) {
 			d := v.mk()
-			d.Insert(doc.Doc{ID: 9, Data: []byte{1}})
-			defer func() {
-				if recover() == nil {
-					t.Fatal("duplicate insert did not panic")
-				}
-			}()
-			d.Insert(doc.Doc{ID: 9, Data: []byte{2}})
+			if err := d.Insert(doc.Doc{ID: 9, Data: []byte{1}}); err != nil {
+				t.Fatalf("first insert: %v", err)
+			}
+			if err := d.Insert(doc.Doc{ID: 9, Data: []byte{2}}); !errors.Is(err, ErrDuplicateID) {
+				t.Fatalf("duplicate insert: got %v, want ErrDuplicateID", err)
+			}
+			// The failed insert must not have clobbered the original.
+			if got := d.Count([]byte{1}); got != 1 {
+				t.Fatalf("Count after failed insert = %d, want 1", got)
+			}
 		})
 	}
 }
 
-func TestZeroByteInsertPanics(t *testing.T) {
+func TestZeroByteInsertErrors(t *testing.T) {
 	for _, v := range variants() {
 		t.Run(v.name, func(t *testing.T) {
 			d := v.mk()
-			defer func() {
-				if recover() == nil {
-					t.Fatal("zero-byte payload did not panic")
-				}
-			}()
-			d.Insert(doc.Doc{ID: 1, Data: []byte{1, 0, 2}})
+			err := d.Insert(doc.Doc{ID: 1, Data: []byte{1, 0, 2}})
+			if !errors.Is(err, ErrReservedByte) {
+				t.Fatalf("zero-byte payload: got %v, want ErrReservedByte", err)
+			}
+			if d.DocCount() != 0 {
+				t.Fatal("rejected document was inserted")
+			}
 		})
 	}
 }

@@ -26,9 +26,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"dyncoll/internal/doc"
+)
+
+// Typed errors returned by the update operations. The facade re-exports
+// them; callers match with errors.Is.
+var (
+	// ErrDuplicateID reports an insert whose document ID is already live.
+	ErrDuplicateID = errors.New("duplicate document ID")
+	// ErrReservedByte reports a payload containing the reserved separator
+	// byte 0x00.
+	ErrReservedByte = errors.New("payload contains the reserved byte 0x00")
+	// ErrNotFound reports an operation on an ID that is not live.
+	ErrNotFound = errors.New("not found")
 )
 
 // StaticIndex is the contract a static compressed index must satisfy to

@@ -86,7 +86,9 @@ func sameOccs(a, b []Occurrence) bool {
 // dynamic is the interface shared by Amortized and WorstCase, letting the
 // conformance suite run over every transformation.
 type dynamic interface {
-	Insert(doc.Doc)
+	Insert(doc.Doc) error
+	InsertBatch([]doc.Doc) error
+	DeleteBatch([]uint64) int
 	Delete(id uint64) bool
 	Has(id uint64) bool
 	Find(pattern []byte) []Occurrence

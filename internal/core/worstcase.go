@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"dyncoll/internal/doc"
@@ -330,7 +331,7 @@ func (w *WorstCase) reconcile() {
 		if w.pendingMerge[j] {
 			if w.levels[j] == nil || w.levels[j].deletedSymbols() < w.maxes[j]/2 {
 				w.pendingMerge[j] = false
-			} else if !w.slotBusy(j) {
+			} else if !w.mergeBlocked(j) {
 				w.pendingMerge[j] = false
 				w.mergeLevelUp(j)
 			}
@@ -583,18 +584,36 @@ func (w *WorstCase) Has(id uint64) bool {
 	return ok
 }
 
-// Insert adds a document (Section 3, "Insertions").
-func (w *WorstCase) Insert(d doc.Doc) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, dup := w.owner[d.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate document ID %d", d.ID))
+// validateNew checks that a document may enter the collection. Callers
+// hold w.mu.
+func (w *WorstCase) validateNew(d doc.Doc, seen map[uint64]bool) error {
+	if _, dup := w.owner[d.ID]; dup || (seen != nil && seen[d.ID]) {
+		return fmt.Errorf("core: insert id %d: %w", d.ID, ErrDuplicateID)
 	}
 	if !d.Valid() {
-		panic("core: document contains the reserved byte 0x00")
+		return fmt.Errorf("core: insert id %d: %w", d.ID, ErrReservedByte)
+	}
+	return nil
+}
+
+// Insert adds a document (Section 3, "Insertions"). It returns
+// ErrDuplicateID or ErrReservedByte on invalid input.
+func (w *WorstCase) Insert(d doc.Doc) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.validateNew(d, nil); err != nil {
+		return err
 	}
 	w.drainLocked(false)
+	w.placeOne(d)
+	w.checkRebalance()
+	return nil
+}
 
+// placeOne routes a validated document: into C0 if it fits, into its
+// own top collection if huge, through the ladder otherwise. Callers
+// hold w.mu and run checkRebalance afterwards.
+func (w *WorstCase) placeOne(d doc.Doc) {
 	switch {
 	case w.c0.liveSymbols()+len(d.Data) <= w.maxes[0]:
 		w.c0.insert(d)
@@ -611,7 +630,63 @@ func (w *WorstCase) Insert(d doc.Doc) {
 	default:
 		w.insertViaLadder(d)
 	}
+}
+
+// InsertBatch adds many documents in one ingest. The whole batch is
+// validated first — on any ErrDuplicateID / ErrReservedByte nothing is
+// inserted. A batch larger than C0's capacity is bulk-built directly
+// into top collections (split at the top-capacity bound), so the
+// per-document ladder cascades of looped Insert calls collapse into one
+// build pass followed by at most one rebalance. Smaller batches route
+// through the normal placement machinery: the first overflow empties C0
+// into the ladder and the rest of the batch fits in the fresh C0, so
+// C0 keeps draining and tops never accumulate per call.
+func (w *WorstCase) InsertBatch(docs []doc.Doc) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.drainLocked(false)
+	seen := make(map[uint64]bool, len(docs))
+	total := 0
+	for _, d := range docs {
+		if err := w.validateNew(d, seen); err != nil {
+			return err
+		}
+		seen[d.ID] = true
+		total += len(d.Data)
+	}
+	switch {
+	case w.c0.liveSymbols()+total <= w.maxes[0]:
+		for _, d := range docs {
+			w.c0.insert(d)
+			w.owner[d.ID] = w.c0
+		}
+	case total <= w.maxes[0]:
+		for _, d := range docs {
+			w.placeOne(d)
+		}
+	default:
+		// Re-derive the capacity schedule from the post-batch size first:
+		// chunks are then sized by the correct (larger) top capacity, and
+		// the post-ingest rebalance check is a no-op instead of
+		// immediately rebuilding the freshly built tops a second time.
+		w.reschedule(w.lenLocked() + total)
+		for _, chunk := range splitDocs(docs, w.topCap()) {
+			tp := buildSemi(w.opts.Builder, chunk, w.tau, w.opts.Counting)
+			w.tops = append(w.tops, tp)
+			for _, d := range chunk {
+				w.owner[d.ID] = tp
+			}
+			w.stats.SyncBuilds++
+		}
+		if len(w.tops) > w.stats.MaxTops {
+			w.stats.MaxTops = len(w.tops)
+		}
+	}
 	w.checkRebalance()
+	return nil
 }
 
 // insertViaLadder finds the first Cj+1 that can absorb Cj and the new
@@ -751,19 +826,11 @@ func (w *WorstCase) Delete(id uint64) bool {
 	dl, _ := st.docLen(id)
 	st.delete(id)
 	delete(w.owner, id)
-	// If the store is a source of an in-flight build, tombstone the doc so
-	// the build result never resurrects it.
-	for _, b := range w.builds {
-		for _, src := range b.sources {
-			if src == st {
-				b.addTombstone(id)
-			}
-		}
-	}
+	w.tombstoneInBuilds(st, id)
 
 	switch s := st.(type) {
 	case *SemiDynamic:
-		w.afterSemiDelete(s, dl)
+		w.afterSemiDelete(s)
 	}
 	// The sweep counter tracks every symbol deletion (the paper purges the
 	// worst top after each series of nf/(2τ·log τ) deleted symbols).
@@ -773,10 +840,60 @@ func (w *WorstCase) Delete(id uint64) bool {
 	return true
 }
 
+// DeleteBatch removes every listed document that is live, returning the
+// number actually removed. Dead-fraction checks, the top sweep, and the
+// rebalance check run once after the whole batch.
+func (w *WorstCase) DeleteBatch(ids []uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.drainLocked(false)
+	n := 0
+	deletedSyms := 0
+	touched := make(map[*SemiDynamic]bool)
+	for _, id := range ids {
+		st, ok := w.owner[id]
+		if !ok {
+			continue
+		}
+		dl, _ := st.docLen(id)
+		st.delete(id)
+		delete(w.owner, id)
+		n++
+		deletedSyms += dl
+		w.tombstoneInBuilds(st, id)
+		if s, isSemi := st.(*SemiDynamic); isSemi {
+			touched[s] = true
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	for s := range touched {
+		w.afterSemiDelete(s)
+	}
+	w.deletedSinceSweep += deletedSyms
+	w.maybeSweepTops()
+	w.checkRebalance()
+	return n
+}
+
+// tombstoneInBuilds records a raced deletion with every in-flight build
+// sourcing st, so the build result never resurrects the document.
+func (w *WorstCase) tombstoneInBuilds(st store, id uint64) {
+	for _, b := range w.builds {
+		for _, src := range b.sources {
+			if src == st {
+				b.addTombstone(id)
+			}
+		}
+	}
+}
+
 // afterSemiDelete enforces the dead-fraction bounds after a lazy delete.
-func (w *WorstCase) afterSemiDelete(s *SemiDynamic, dl int) {
+func (w *WorstCase) afterSemiDelete(s *SemiDynamic) {
 	// Level with ≥ maxj/2 dead symbols → merge into the next level. If
-	// the slot is busy the merge is deferred to reconcile.
+	// the merge would collide with in-flight work it is deferred to
+	// reconcile.
 	for j := 1; j < len(w.maxes); j++ {
 		if w.levels[j] != s {
 			continue
@@ -784,13 +901,30 @@ func (w *WorstCase) afterSemiDelete(s *SemiDynamic, dl int) {
 		if s.deletedSymbols() < w.maxes[j]/2 {
 			return
 		}
-		if w.slotBusy(j) {
+		if w.mergeBlocked(j) {
 			w.pendingMerge[j] = true
 			return
 		}
 		w.mergeLevelUp(j)
 		return
 	}
+}
+
+// mergeBlocked reports whether merging level j into j+1 must wait: the
+// slot machinery is busy, or either participating store already feeds an
+// in-flight build (building a store twice would duplicate its
+// documents).
+func (w *WorstCase) mergeBlocked(j int) bool {
+	if w.slotBusy(j) {
+		return true
+	}
+	if w.levels[j] != nil && w.isBuildSource(w.levels[j]) {
+		return true
+	}
+	if j+1 < len(w.levels) && w.levels[j+1] != nil && w.isBuildSource(w.levels[j+1]) {
+		return true
+	}
+	return false
 }
 
 // mergeLevelUp locks level j and builds Nj+1 from it (plus the current
@@ -823,8 +957,12 @@ func (w *WorstCase) mergeLevelUp(j int) {
 }
 
 // maybeSweepTops purges the top collection holding the most dead symbols
-// once nf/(2τ·log τ) symbols have been deleted since the last sweep
-// (Lemma 1 then bounds every top's dead fraction by O(1/τ)).
+// once per nf/(2τ·log τ) symbols deleted since the last sweep (Lemma 1
+// then bounds every top's dead fraction by O(1/τ)). A batch deletion can
+// bank several intervals at once, so each accrued interval purges one
+// more (distinct) top — matching the sweep count looped deletes would
+// have produced. Tops already feeding an in-flight build are skipped so
+// no document is built twice.
 func (w *WorstCase) maybeSweepTops() {
 	interval := w.nf / (2 * w.tau * max(1, log2(w.tau)))
 	if interval < w.opts.MinCapacity {
@@ -833,24 +971,53 @@ func (w *WorstCase) maybeSweepTops() {
 	if w.deletedSinceSweep < interval {
 		return
 	}
-	w.deletedSinceSweep = 0
-	var worst *SemiDynamic
-	for _, tp := range w.tops {
-		if worst == nil || tp.deletedSymbols() > worst.deletedSymbols() {
-			worst = tp
+	rounds := w.deletedSinceSweep / interval
+	w.deletedSinceSweep %= interval
+	busy := make(map[store]bool)
+	for _, b := range w.builds {
+		for _, s := range b.sources {
+			busy[s] = true
 		}
 	}
-	if worst == nil || worst.deletedSymbols() == 0 {
-		return
+	cands := make([]*SemiDynamic, 0, len(w.tops))
+	for _, tp := range w.tops {
+		if !busy[tp] && tp.deletedSymbols() > 0 {
+			cands = append(cands, tp)
+		}
 	}
-	if worst.liveSymbols() == 0 {
-		w.dropEmptyTops()
-		return
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].deletedSymbols() > cands[j].deletedSymbols()
+	})
+	if rounds > len(cands) {
+		rounds = len(cands)
 	}
-	task := &buildTask{kind: buildTop, split: w.topCap()}
-	task.addStore(worst)
-	w.launch(task)
-	w.stats.TopPurges++
+	for _, worst := range cands[:rounds] {
+		if worst.liveSymbols() == 0 {
+			continue // dropEmptyTops below discards it wholesale
+		}
+		// An earlier (inline) launch may have enlisted this candidate into
+		// a reconcile-triggered build meanwhile; never build a store twice.
+		if w.isBuildSource(worst) {
+			continue
+		}
+		task := &buildTask{kind: buildTop, split: w.topCap()}
+		task.addStore(worst)
+		w.launch(task)
+		w.stats.TopPurges++
+	}
+	w.dropEmptyTops()
+}
+
+// isBuildSource reports whether s feeds an in-flight build.
+func (w *WorstCase) isBuildSource(s store) bool {
+	for _, b := range w.builds {
+		for _, src := range b.sources {
+			if src == s {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // checkRebalance triggers the Section A.3 size-maintenance rebuild when n

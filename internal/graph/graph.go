@@ -20,6 +20,7 @@ type relation interface {
 	CountLabels(object uint64) int
 	CountObjects(label uint64) int
 	Pairs() []binrel.Pair
+	PairsFunc(fn func(binrel.Pair) bool)
 	Len() int
 	SizeBits() int64
 }
@@ -103,6 +104,9 @@ func (g *Graph) InDegree(v uint64) int { return g.rel.CountObjects(v) }
 
 // Edges returns every edge as (object=u, label=v) pairs.
 func (g *Graph) Edges() []binrel.Pair { return g.rel.Pairs() }
+
+// EdgesFunc streams every edge; enumeration stops when fn returns false.
+func (g *Graph) EdgesFunc(fn func(binrel.Pair) bool) { g.rel.PairsFunc(fn) }
 
 // WaitIdle blocks until background rebuilds (WorstCase scheduling only)
 // have completed; otherwise it returns immediately.

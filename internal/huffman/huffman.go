@@ -8,8 +8,8 @@
 //   - code-length computation and canonical code assignment used by the
 //     Huffman-shaped wavelet tree in package wavelet, which compresses a
 //     sequence to |S|·(H0(S)+1) + o(·) bits;
-//   - H0 and Hk estimators used by the space-accounting experiments in
-//     EXPERIMENTS.md to report bits-per-symbol against the entropy
+//   - H0 and Hk estimators used by the space-accounting experiments
+//     (cmd/benchtables) to report bits-per-symbol against the entropy
 //     baseline.
 package huffman
 

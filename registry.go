@@ -1,0 +1,121 @@
+package dyncoll
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dyncoll/internal/core"
+	"dyncoll/internal/fmindex"
+)
+
+// StaticIndex is the contract a static compressed index must satisfy to
+// be dynamized by the paper's framework — a "(u(n), w(n))-constructible"
+// index answering range-finding, locating, extraction and suffix-rank
+// queries (Section 2). Implement it and register a builder with
+// RegisterIndex to plug any index family into Collection; the dynamic
+// machinery (sub-collection ladder, lazy deletions, background rebuilds)
+// is index-agnostic.
+type StaticIndex = core.StaticIndex
+
+// IndexConfig carries the per-collection tuning knobs a builder may
+// honor.
+type IndexConfig struct {
+	// SampleRate is the suffix-array sampling rate s: locate costs O(s),
+	// the samples cost O(n/s·log n) bits. Builders without a
+	// locate/space trade-off may ignore it. 0 means the builder's
+	// default.
+	SampleRate int
+}
+
+// IndexBuilder constructs a StaticIndex over a document set. It
+// corresponds to the paper's construction algorithm with cost O(n·u(n))
+// time and O(n·w(n)) workspace.
+type IndexBuilder func(docs []Document, cfg IndexConfig) StaticIndex
+
+// Built-in static-index names, registered at package init.
+const (
+	// IndexFM is the nHk-space FM-index (wavelet tree over the BWT; the
+	// stand-in for the Belazzougui–Navarro / Barbay et al. indexes of the
+	// paper's Tables 1–2).
+	IndexFM = "fm"
+	// IndexSA is the O(n log σ)-bit plain suffix-array index (the
+	// Grossi–Vitter stand-in of Table 3): faster queries, more space.
+	IndexSA = "sa"
+	// IndexCSA is the Ψ-based compressed suffix array (Sadakane flavour):
+	// no rank/select machinery at all, a second compressed family
+	// demonstrating the framework's index-agnosticism.
+	IndexCSA = "csa"
+)
+
+var indexRegistry = struct {
+	mu sync.RWMutex
+	m  map[string]IndexBuilder
+}{m: make(map[string]IndexBuilder)}
+
+// RegisterIndex makes a static-index builder available to NewCollection
+// under the given name (case-sensitive). It fails with ErrIndexExists if
+// the name is taken and ErrInvalidOption on an empty name or nil
+// builder. Registration is typically done from an init function.
+func RegisterIndex(name string, builder IndexBuilder) error {
+	if name == "" {
+		return fmt.Errorf("dyncoll: %w: empty index name", ErrInvalidOption)
+	}
+	if builder == nil {
+		return fmt.Errorf("dyncoll: %w: nil builder for index %q", ErrInvalidOption, name)
+	}
+	indexRegistry.mu.Lock()
+	defer indexRegistry.mu.Unlock()
+	if _, taken := indexRegistry.m[name]; taken {
+		return fmt.Errorf("dyncoll: %w: %q", ErrIndexExists, name)
+	}
+	indexRegistry.m[name] = builder
+	return nil
+}
+
+// RegisteredIndexes returns the names of all registered static indexes,
+// sorted.
+func RegisteredIndexes() []string {
+	indexRegistry.mu.RLock()
+	defer indexRegistry.mu.RUnlock()
+	return registeredLocked()
+}
+
+// lookupIndex resolves a registered builder by name.
+func lookupIndex(name string) (IndexBuilder, error) {
+	indexRegistry.mu.RLock()
+	defer indexRegistry.mu.RUnlock()
+	b, ok := indexRegistry.m[name]
+	if !ok {
+		return nil, fmt.Errorf("dyncoll: %w: %q (registered: %v)", ErrUnknownIndex, name, registeredLocked())
+	}
+	return b, nil
+}
+
+// registeredLocked lists names under a held read lock (for error detail).
+func registeredLocked() []string {
+	out := make([]string, 0, len(indexRegistry.m))
+	for name := range indexRegistry.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mustRegister(name string, b IndexBuilder) {
+	if err := RegisterIndex(name, b); err != nil {
+		panic(err) // unreachable: built-ins register once on fresh names
+	}
+}
+
+func init() {
+	mustRegister(IndexFM, func(docs []Document, cfg IndexConfig) StaticIndex {
+		return fmindex.Build(docs, fmindex.Options{SampleRate: cfg.SampleRate})
+	})
+	mustRegister(IndexSA, func(docs []Document, cfg IndexConfig) StaticIndex {
+		return fmindex.BuildSA(docs)
+	})
+	mustRegister(IndexCSA, func(docs []Document, cfg IndexConfig) StaticIndex {
+		return fmindex.BuildCSA(docs, fmindex.Options{SampleRate: cfg.SampleRate})
+	})
+}
