@@ -13,6 +13,7 @@ package dyncoll
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"dyncoll/internal/baseline"
@@ -351,6 +352,103 @@ func BenchmarkTable1CSAExtract(b *testing.B) {
 			csa.Extract(i%csa.DocCount(), 8, 64)
 		}
 	})
+}
+
+// --- v2.1 sharding: parallel fan-out queries and concurrent ingest ---
+
+// shardedBench builds a collection with the given shard count (0 =
+// unsharded) pre-loaded with the corpus.
+func shardedBench(b *testing.B, shards int, docs []Document) *Collection {
+	b.Helper()
+	opts := []Option{WithSyncRebuilds()}
+	if shards > 0 {
+		opts = append(opts, WithShards(shards))
+	}
+	c, err := NewCollection(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.InsertBatch(docs); err != nil {
+		b.Fatal(err)
+	}
+	c.WaitIdle()
+	return c
+}
+
+// BenchmarkFindParallel measures query throughput against the shard
+// count. "serial" is one client issuing queries back to back: each
+// query fans out across all shards in parallel goroutines, so latency
+// drops as shards divide the corpus (needs ≥ shard-count cores to show
+// fully). "clients" is GOMAXPROCS concurrent clients via b.RunParallel:
+// per-shard read locks let all of them query simultaneously, which the
+// unsharded structure cannot do at all — shards=1 is the concurrency-
+// safe floor.
+func BenchmarkFindParallel(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 17)
+	ps := textgen.NewPatternSampler(docs, 18)
+	pats := ps.PlantedSet(64, 8)
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		c := shardedBench(b, shards, docs)
+		name := "unsharded"
+		if shards > 0 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run("serial/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.FindFunc(pats[i%len(pats)], func(Occurrence) bool { return true })
+			}
+		})
+		if shards > 0 { // the unsharded collection is not concurrency-safe
+			b.Run("clients/"+name, func(b *testing.B) {
+				var next atomic.Int64
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := int(next.Add(1))
+						c.FindFunc(pats[i%len(pats)], func(Occurrence) bool { return true })
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkIngestSharded measures bulk InsertBatch against the shard
+// count: the batch splits per shard and the per-shard ingests (C0
+// insertion + rebuild cascades) run concurrently.
+func BenchmarkIngestSharded(b *testing.B) {
+	const nDocs = 1024
+	gen := textgen.NewCollection(textgen.CollectionOptions{
+		Sigma: 16, MinLen: 64, MaxLen: 256, Seed: 37,
+	})
+	docs := make([]Document, nDocs)
+	syms := 0
+	for i := range docs {
+		docs[i] = gen.NextDoc()
+		syms += len(docs[i].Data)
+	}
+	for _, shards := range []int{0, 2, 4, 8} {
+		name := "unsharded"
+		if shards > 0 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := []Option{WithSyncRebuilds()}
+				if shards > 0 {
+					opts = append(opts, WithShards(shards))
+				}
+				c, err := NewCollection(opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.InsertBatch(docs); err != nil {
+					b.Fatal(err)
+				}
+				c.WaitIdle()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(syms), "ns/symbol")
+		})
+	}
 }
 
 // --- v2 API: batch ingest vs looped single inserts ---

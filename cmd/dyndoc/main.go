@@ -11,8 +11,9 @@
 //	stats                 collection statistics
 //	quit
 //
-// Flags select the transformation, static index, and tuning parameters,
-// so the CLI doubles as a manual test bench for the paper's machinery.
+// Flags select the transformation, static index, shard count, and
+// tuning parameters, so the CLI doubles as a manual test bench for the
+// paper's machinery.
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		index     = flag.String("index", "fm", "static index by registry name: fm | sa | csa | any RegisterIndex name")
 		sample    = flag.Int("s", 16, "suffix-array sample rate s (locate cost)")
 		tau       = flag.Int("tau", 0, "lazy-deletion parameter τ (0 = automatic)")
+		shards    = flag.Int("shards", 0, "shard count p (0 = unsharded; p ≥ 1 partitions by ID hash with parallel fan-out queries)")
 		counting  = flag.Bool("counting", false, "enable Theorem 1 counting structures")
 		script    = flag.String("f", "", "read commands from file instead of stdin")
 	)
@@ -44,6 +46,9 @@ func main() {
 	}
 	if *counting {
 		opts = append(opts, dyncoll.WithCounting())
+	}
+	if *shards != 0 { // 0 keeps the unsharded default; negatives reach WithShards and fail
+		opts = append(opts, dyncoll.WithShards(*shards))
 	}
 	switch *transform {
 	case "amortized":
@@ -182,10 +187,15 @@ func run(c *dyncoll.Collection, cmd, rest string) error {
 
 	case "stats":
 		c.WaitIdle()
+		st := c.Stats()
 		fmt.Printf("documents: %d\n", c.DocCount())
 		fmt.Printf("symbols:   %d\n", c.Len())
 		fmt.Printf("index:     %d bits (%.2f bits/symbol)\n",
 			c.SizeBits(), float64(c.SizeBits())/float64(max(1, c.Len())))
+		if st.Shards > 0 {
+			fmt.Printf("shards:    %d\n", st.Shards)
+		}
+		fmt.Printf("levels:    %d (rebuilds %d, global %d)\n", st.Levels, st.Rebuilds, st.GlobalRebuilds)
 
 	default:
 		return fmt.Errorf("unknown command %q (add addfile del find count extract stats quit)", cmd)

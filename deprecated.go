@@ -12,6 +12,10 @@ import (
 // typed errors, so v1 call sites testing those results need the
 // one-line migration to errors.Is. New code should use the functional
 // options (NewCollection, NewRelation, NewGraph with With… options).
+//
+// The v1 structs predate sharding and always build unsharded,
+// externally-serialized structures; concurrent access requires the
+// functional-options constructors with WithShards.
 
 // IndexKind selects the static index that compressed sub-collections are
 // built from.
@@ -121,8 +125,7 @@ type WorstCaseRelationOptions = binrel.WCOptions
 //
 // Deprecated: use NewRelation(WithTransformation(WorstCase), …).
 func NewWorstCaseRelation(o WorstCaseRelationOptions) *WorstCaseRelation {
-	wc := binrel.NewWorstCase(o)
-	return &Relation{rel: wc, wc: wc}
+	return &Relation{rel: binrel.NewWorstCase(o)}
 }
 
 // GraphOptions is the v1 option struct for NewGraphFromOptions.

@@ -1,41 +1,3 @@
-// Package dyncoll is a compressed, fully-dynamic document index and graph
-// library: a Go implementation of
-//
-//	J. Ian Munro, Yakov Nekrich, Jeffrey Scott Vitter.
-//	"Dynamic Data Structures for Document Collections and Graphs."
-//	PODS 2015 (arXiv:1503.05977).
-//
-// The paper's contribution is a general framework that turns any static
-// compressed text index into a dynamic one — supporting document
-// insertions and deletions — without routing queries through dynamic
-// rank/select, whose Ω(log n / log log n) lower bound (Fredman–Saks)
-// bottlenecked all previous dynamic compressed indexes.
-//
-// The top-level API:
-//
-//   - Collection — a dynamic compressed document collection: Insert,
-//     InsertBatch, Delete, DeleteBatch, Find/FindIter, Count, Extract.
-//   - Relation — a dynamic compressed binary relation (Theorem 2).
-//   - Graph — a dynamic compressed directed graph (Theorem 3).
-//
-// Update operations return typed errors (ErrDuplicateID,
-// ErrReservedByte, ErrNotFound, …) matched with errors.Is; no exported
-// entry point panics on user input. The static index backing a
-// Collection is pluggable: any type satisfying StaticIndex can be
-// registered by name with RegisterIndex and selected with WithIndex,
-// which is the paper's index-agnosticism made concrete.
-//
-// Quick start:
-//
-//	c, err := dyncoll.NewCollection()
-//	if err != nil { ... }
-//	if err := c.Insert(dyncoll.Document{ID: 1, Data: []byte("abracadabra")}); err != nil { ... }
-//	for occ := range c.FindIter([]byte("bra")) {
-//		fmt.Println(occ) // {1 1}, {1 8}
-//	}
-//
-// See the examples directory for runnable programs and DESIGN.md for how
-// the implementation maps onto the paper's theorems.
 package dyncoll
 
 import (
@@ -75,25 +37,41 @@ const (
 	AmortizedFastInsert
 )
 
+// collImpl is the slice of the core API the facade needs; the amortized
+// and worst-case transformations satisfy it directly, and shardedColl
+// satisfies it by fanning out over p of them.
+type collImpl interface {
+	Insert(doc.Doc) error
+	InsertBatch([]doc.Doc) error
+	Delete(id uint64) bool
+	DeleteBatch(ids []uint64) int
+	Has(id uint64) bool
+	DocIDs() []uint64
+	Find(pattern []byte) []core.Occurrence
+	FindFunc(pattern []byte, fn func(core.Occurrence) bool)
+	Count(pattern []byte) int
+	Extract(id uint64, off, length int) ([]byte, bool)
+	DocLen(id uint64) (int, bool)
+	Len() int
+	DocCount() int
+	SizeBits() int64
+	WaitIdle()
+}
+
+var (
+	_ collImpl = (*core.Amortized)(nil)
+	_ collImpl = (*core.WorstCase)(nil)
+	_ collImpl = (*shardedColl)(nil)
+)
+
 // Collection is a dynamic compressed document collection.
+//
+// An unsharded Collection (the default) is not safe for concurrent use;
+// callers must serialize access externally. A Collection built with
+// WithShards(p) is safe for concurrent readers and writers: every shard
+// carries its own sync.RWMutex and fan-out queries take only read locks.
 type Collection struct {
-	impl interface {
-		Insert(doc.Doc) error
-		InsertBatch([]doc.Doc) error
-		Delete(id uint64) bool
-		DeleteBatch(ids []uint64) int
-		Has(id uint64) bool
-		DocIDs() []uint64
-		Find(pattern []byte) []core.Occurrence
-		FindFunc(pattern []byte, fn func(core.Occurrence) bool)
-		Count(pattern []byte) int
-		Extract(id uint64, off, length int) ([]byte, bool)
-		DocLen(id uint64) (int, bool)
-		Len() int
-		DocCount() int
-		SizeBits() int64
-	}
-	wc *core.WorstCase // non-nil when Transformation == WorstCase
+	impl collImpl
 }
 
 // NewCollection creates an empty dynamic document collection. The zero
@@ -117,6 +95,22 @@ func NewCollection(opts ...Option) (*Collection, error) {
 }
 
 func newCollection(cfg config) (*Collection, error) {
+	if cfg.shards > 0 {
+		sh, err := newShardedColl(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Collection{impl: sh}, nil
+	}
+	impl, err := newCollImpl(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{impl: impl}, nil
+}
+
+// newCollImpl builds one unsharded core implementation for cfg.
+func newCollImpl(cfg config) (collImpl, error) {
 	builder, err := lookupIndex(cfg.index)
 	if err != nil {
 		return nil, err
@@ -130,19 +124,15 @@ func newCollection(cfg config) (*Collection, error) {
 		Counting:    cfg.counting,
 		Inline:      cfg.syncRebuilds,
 	}
-	c := &Collection{}
 	switch cfg.transformation {
 	case Amortized:
-		c.impl = core.NewAmortized(co)
+		return core.NewAmortized(co), nil
 	case AmortizedFastInsert:
 		co.Ratio2 = true
-		c.impl = core.NewAmortized(co)
+		return core.NewAmortized(co), nil
 	default:
-		w := core.NewWorstCase(co)
-		c.impl = w
-		c.wc = w
+		return core.NewWorstCase(co), nil
 	}
-	return c, nil
 }
 
 // Insert adds a document. It fails with ErrDuplicateID if the ID is
@@ -188,11 +178,17 @@ func (c *Collection) Find(pattern []byte) []Occurrence { return c.impl.Find(patt
 //		if enough(occ) { break }
 //	}
 //
-// The collection must not be touched from the loop body or another
-// goroutine until iteration completes: under the WorstCase
-// transformation the iterator holds the collection's internal lock
-// while yielding, so even a read re-entering the same collection would
-// self-deadlock.
+// On an unsharded collection, the collection must not be touched from
+// the loop body or another goroutine until iteration completes: under
+// the WorstCase transformation the iterator holds the collection's
+// internal lock while yielding, so even a read re-entering the same
+// collection would self-deadlock. On a sharded collection (WithShards)
+// the iterator merges parallel per-shard streams; other goroutines may
+// freely read and write during iteration, but the loop body itself must
+// still not touch the collection — not even reads: the fan-out holds
+// shard read locks while yielding, and with a writer queued on the same
+// shard a loop-body read deadlocks (new readers queue behind waiting
+// writers).
 func (c *Collection) FindIter(pattern []byte) iter.Seq[Occurrence] {
 	return func(yield func(Occurrence) bool) {
 		c.impl.FindFunc(pattern, yield)
@@ -229,12 +225,9 @@ func (c *Collection) DocCount() int { return c.impl.DocCount() }
 func (c *Collection) SizeBits() int64 { return c.impl.SizeBits() }
 
 // WaitIdle blocks until background rebuilds (WorstCase transformation
-// only) have completed; other transformations return immediately.
-func (c *Collection) WaitIdle() {
-	if c.wc != nil {
-		c.wc.WaitIdle()
-	}
-}
+// only) have completed — across every shard when the collection is
+// sharded; other transformations return immediately.
+func (c *Collection) WaitIdle() { c.impl.WaitIdle() }
 
 // IndexStats describes the collection's internal layout: the
 // sub-collection ladder of the paper's transformations plus rebuild
@@ -256,11 +249,23 @@ type IndexStats struct {
 	Tops int
 	// Tau is the lazy-deletion parameter currently in effect.
 	Tau int
+	// Shards is the number of shards (0 for an unsharded collection).
+	// Per-level numbers are element-wise sums across shards.
+	Shards int
 }
 
 // Stats reports the collection's internal layout and rebuild counters.
+// On a sharded collection the counters are aggregated across shards.
 func (c *Collection) Stats() IndexStats {
-	switch impl := c.impl.(type) {
+	if sh, ok := c.impl.(*shardedColl); ok {
+		return sh.stats()
+	}
+	return implStats(c.impl)
+}
+
+// implStats reads the stats of one unsharded core implementation.
+func implStats(impl collImpl) IndexStats {
+	switch impl := impl.(type) {
 	case *core.Amortized:
 		st := impl.Stats()
 		return IndexStats{

@@ -34,6 +34,10 @@ func TestCollectionConfigurations(t *testing.T) {
 		{WithCounting(), WithSyncRebuilds()},
 		{WithSampleRate(4), WithTau(8)},
 		{WithEpsilon(0.25), WithMinCapacity(32)},
+		{WithShards(1)},
+		{WithShards(4), WithSyncRebuilds()},
+		{WithShards(3), WithTransformation(Amortized)},
+		{WithShards(2), WithIndex(IndexSA), WithCounting()},
 	}
 	for i, opts := range cases {
 		t.Run(fmt.Sprintf("cfg%d", i), func(t *testing.T) {
@@ -78,27 +82,33 @@ func TestCollectionConfigurations(t *testing.T) {
 
 func TestCollectionBatchFacade(t *testing.T) {
 	for _, tr := range []Transformation{Amortized, WorstCase, AmortizedFastInsert} {
-		c := mustCollection(t, WithTransformation(tr), WithSyncRebuilds())
-		var batch []Document
-		for i := uint64(1); i <= 50; i++ {
-			batch = append(batch, Document{ID: i, Data: []byte("payload number x")})
-		}
-		if err := c.InsertBatch(batch); err != nil {
-			t.Fatalf("transform %d: InsertBatch: %v", tr, err)
-		}
-		c.WaitIdle()
-		if c.DocCount() != 50 {
-			t.Fatalf("transform %d: DocCount = %d, want 50", tr, c.DocCount())
-		}
-		if got := c.Count([]byte("number")); got != 50 {
-			t.Fatalf("transform %d: Count = %d, want 50", tr, got)
-		}
-		if n := c.DeleteBatch([]uint64{1, 2, 3, 777}); n != 3 {
-			t.Fatalf("transform %d: DeleteBatch removed %d, want 3", tr, n)
-		}
-		c.WaitIdle()
-		if got := c.Count([]byte("number")); got != 47 {
-			t.Fatalf("transform %d: Count after DeleteBatch = %d, want 47", tr, got)
+		for _, shards := range []int{0, 4} {
+			opts := []Option{WithTransformation(tr), WithSyncRebuilds()}
+			if shards > 0 {
+				opts = append(opts, WithShards(shards))
+			}
+			c := mustCollection(t, opts...)
+			var batch []Document
+			for i := uint64(1); i <= 50; i++ {
+				batch = append(batch, Document{ID: i, Data: []byte("payload number x")})
+			}
+			if err := c.InsertBatch(batch); err != nil {
+				t.Fatalf("transform %d: InsertBatch: %v", tr, err)
+			}
+			c.WaitIdle()
+			if c.DocCount() != 50 {
+				t.Fatalf("transform %d: DocCount = %d, want 50", tr, c.DocCount())
+			}
+			if got := c.Count([]byte("number")); got != 50 {
+				t.Fatalf("transform %d: Count = %d, want 50", tr, got)
+			}
+			if n := c.DeleteBatch([]uint64{1, 2, 3, 777}); n != 3 {
+				t.Fatalf("transform %d: DeleteBatch removed %d, want 3", tr, n)
+			}
+			c.WaitIdle()
+			if got := c.Count([]byte("number")); got != 47 {
+				t.Fatalf("transform %d: Count after DeleteBatch = %d, want 47", tr, got)
+			}
 		}
 	}
 }

@@ -1,0 +1,132 @@
+// Sharded: a concurrent search service in miniature. A collection built
+// with WithShards(p) is safe for concurrent readers and writers — this
+// program runs writer goroutines streaming fresh documents in, reader
+// goroutines issuing substring queries the whole time, and a deleter
+// retiring old documents, all against one collection with no external
+// locking. At the end it reports sustained throughput and the aggregated
+// per-shard index stats.
+//
+// Compare with examples/searchlog, which must interleave updates and
+// queries on a single goroutine because an unsharded collection demands
+// external serialization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyncoll"
+	"dyncoll/internal/textgen"
+)
+
+func main() {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2
+	}
+	c, err := dyncoll.NewCollection(dyncoll.WithShards(shards))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection sharded %d ways across %d CPU(s)\n", shards, runtime.GOMAXPROCS(0))
+
+	// Seed corpus so the first queries have something to chew on.
+	gen := textgen.NewCollection(textgen.CollectionOptions{
+		Sigma: 26, Order: 1, Skew: 0.7, MinLen: 200, MaxLen: 800, Seed: 42,
+	})
+	var seed []dyncoll.Document
+	for i := 0; i < 500; i++ {
+		seed = append(seed, gen.NextDoc())
+	}
+	if err := c.InsertBatch(seed); err != nil {
+		log.Fatal(err)
+	}
+	pats := textgen.NewPatternSampler(seed, 7).PlantedSet(32, 4)
+
+	const (
+		writers  = 2
+		readers  = 4
+		duration = 2 * time.Second
+	)
+	var (
+		inserted, deleted, queries, hits atomic.Int64
+		nextID                           atomic.Uint64
+		stop                             = make(chan struct{})
+		wg                               sync.WaitGroup
+	)
+	nextID.Store(uint64(len(seed)))
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := textgen.NewCollection(textgen.CollectionOptions{
+				Sigma: 26, Order: 1, Skew: 0.7, MinLen: 200, MaxLen: 800, Seed: int64(100 + w),
+			})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := g.NextDoc()
+				d.ID = nextID.Add(1)
+				if err := c.Insert(d); err != nil {
+					log.Fatalf("writer %d: %v", w, err)
+				}
+				inserted.Add(1)
+				// Retire an old document now and then; the ID may already
+				// be gone — that's fine, Delete reports ErrNotFound.
+				if d.ID%8 == 0 {
+					if err := c.Delete(d.ID - 64); err == nil {
+						deleted.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Stream matches across all shards in parallel; stop after
+				// a page of results, as a service returning top-k would.
+				n := 0
+				for range c.FindIter(pats[i%len(pats)]) {
+					if n++; n == 20 {
+						break
+					}
+				}
+				queries.Add(1)
+				hits.Add(int64(n))
+			}
+		}(r)
+	}
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	c.WaitIdle()
+
+	secs := duration.Seconds()
+	fmt.Printf("sustained for %v with %d writers + %d readers:\n", duration, writers, readers)
+	fmt.Printf("  %6.0f inserts/s, %6.0f deletes/s\n",
+		float64(inserted.Load())/secs, float64(deleted.Load())/secs)
+	fmt.Printf("  %6.0f queries/s (%.1f matches streamed per query)\n",
+		float64(queries.Load())/secs, float64(hits.Load())/float64(max(1, queries.Load())))
+
+	st := c.Stats()
+	fmt.Printf("final state: %d docs, %d symbols, %.2f bits/symbol, %d shards, %d ladder rebuilds\n",
+		c.DocCount(), c.Len(), float64(c.SizeBits())/float64(max(1, c.Len())), st.Shards, st.Rebuilds)
+}

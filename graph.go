@@ -4,32 +4,73 @@ import (
 	"fmt"
 	"iter"
 
+	"dyncoll/internal/binrel"
 	"dyncoll/internal/graph"
+)
+
+// graphImpl is the slice of the internal graph API the facade needs;
+// *graph.Graph satisfies it directly and shardedGraph satisfies it by
+// fanning out over p of them.
+type graphImpl interface {
+	AddEdge(u, v uint64) bool
+	DeleteEdge(u, v uint64) bool
+	HasEdge(u, v uint64) bool
+	EdgeCount() int
+	NeighborsFunc(u uint64, fn func(v uint64) bool)
+	ReverseNeighborsFunc(v uint64, fn func(u uint64) bool)
+	Neighbors(u uint64) []uint64
+	ReverseNeighbors(v uint64) []uint64
+	OutDegree(u uint64) int
+	InDegree(v uint64) int
+	Edges() []binrel.Pair
+	EdgesFunc(fn func(binrel.Pair) bool)
+	WaitIdle()
+	SizeBits() int64
+}
+
+var (
+	_ graphImpl = (*graph.Graph)(nil)
+	_ graphImpl = (*shardedGraph)(nil)
 )
 
 // Graph is a dynamic compressed directed graph (Theorem 3). A digraph is
 // the binary relation between nodes in which an edge u→v relates object
 // u to label v, so the representation — compressed sub-collections, lazy
 // deletions, O(log^ε n) updates — is inherited from Relation.
+//
+// An unsharded Graph (the default) is not safe for concurrent use. A
+// Graph built with WithShards(p) partitions edges by source hash and is
+// safe for concurrent readers and writers; in-edge queries
+// (Predecessors, ReverseNeighbors, InDegree) fan out across shards in
+// parallel.
 type Graph struct {
-	g *graph.Graph
+	g graphImpl
 }
 
-// NewGraph creates an empty dynamic compressed directed graph. The
-// default uses the amortized cascades; WithTransformation(WorstCase)
-// selects bounded foreground work per update with background rebuilds.
-func NewGraph(opts ...Option) (*Graph, error) {
-	cfg, err := newConfig(kindGraph, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Graph{g: graph.New(graph.Options{
+// newGraphImpl builds one unsharded graph for cfg.
+func newGraphImpl(cfg config) *graph.Graph {
+	return graph.New(graph.Options{
 		Tau:         cfg.tau,
 		Epsilon:     cfg.epsilon,
 		MinCapacity: cfg.minCapacity,
 		WorstCase:   cfg.transformation == WorstCase,
 		Inline:      cfg.syncRebuilds,
-	})}, nil
+	})
+}
+
+// NewGraph creates an empty dynamic compressed directed graph. The
+// default uses the amortized cascades; WithTransformation(WorstCase)
+// selects bounded foreground work per update with background rebuilds,
+// and WithShards(p) partitions the graph for concurrent access.
+func NewGraph(opts ...Option) (*Graph, error) {
+	cfg, err := newConfig(kindGraph, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.shards > 0 {
+		return &Graph{g: newShardedGraph(cfg)}, nil
+	}
+	return &Graph{g: newGraphImpl(cfg)}, nil
 }
 
 // AddEdge inserts the edge u→v. It fails with ErrDuplicateEdge if the
@@ -58,10 +99,14 @@ func (g *Graph) EdgeCount() int { return g.g.EdgeCount() }
 
 // Successors returns a lazy iterator over the out-neighbors of u;
 // breaking out of the range loop stops the underlying enumeration.
-// The graph must not be touched from the loop body or another goroutine
-// until iteration completes: under WorstCase scheduling the iterator
-// holds the graph's internal lock while yielding, so even a read
-// re-entering the same graph would self-deadlock.
+// On an unsharded graph, the graph must not be touched from the loop
+// body or another goroutine until iteration completes: under WorstCase
+// scheduling the iterator holds the graph's internal lock while
+// yielding, so even a read re-entering the same graph would
+// self-deadlock. On a sharded graph other goroutines may freely read and
+// write during iteration, but the loop body itself must not touch the
+// graph at all — a loop-body read can deadlock with a writer queued on
+// a shard whose read lock the iterator holds.
 func (g *Graph) Successors(u uint64) iter.Seq[uint64] {
 	return func(yield func(uint64) bool) {
 		g.g.NeighborsFunc(u, yield)
@@ -111,7 +156,8 @@ func (g *Graph) InDegree(v uint64) int { return g.g.InDegree(v) }
 func (g *Graph) Edges() []Pair { return g.g.Edges() }
 
 // WaitIdle blocks until background rebuilds (WorstCase scheduling only)
-// have completed; otherwise it returns immediately.
+// have completed — across every shard when the graph is sharded;
+// otherwise it returns immediately.
 func (g *Graph) WaitIdle() { g.g.WaitIdle() }
 
 // SizeBits estimates the total footprint.

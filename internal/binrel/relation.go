@@ -440,6 +440,11 @@ func (r *Relation) Stats() Stats {
 	}
 }
 
+// WaitIdle is a no-op: the amortized relation does all its work in the
+// foreground. It exists so both relation flavours satisfy the same
+// facade contract.
+func (r *Relation) WaitIdle() {}
+
 // SizeBits estimates the total footprint.
 func (r *Relation) SizeBits() int64 {
 	total := r.c0.sizeBits()

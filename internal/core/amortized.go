@@ -406,6 +406,11 @@ func (a *Amortized) DocLen(id uint64) (int, bool) {
 	return st.docLen(id)
 }
 
+// WaitIdle is a no-op: the amortized transformations do all their work
+// in the foreground. It exists so every transformation satisfies the
+// same facade contract.
+func (a *Amortized) WaitIdle() {}
+
 // SizeBits estimates the total footprint for space accounting.
 func (a *Amortized) SizeBits() int64 {
 	total := a.c0.sizeBits()

@@ -35,6 +35,7 @@ type config struct {
 	minCapacity    int
 	counting       bool
 	syncRebuilds   bool
+	shards         int
 }
 
 // Option configures NewCollection, NewRelation, or NewGraph. Options are
@@ -144,9 +145,35 @@ func WithCounting() Option {
 	}
 }
 
+// WithShards partitions the structure across p independent sub-structures
+// ("shards") keyed by a hash of the document ID (Collection), the object
+// (Relation), or the edge source (Graph). Each shard has its own
+// rebuild pipeline and its own sync.RWMutex, which makes the structure
+// safe for concurrent readers and writers; queries that cannot be routed
+// to a single shard (Find, Count, ObjectsOf, Predecessors, …) fan out
+// across all shards in parallel goroutines and merge into the usual
+// streaming iterators.
+//
+// p must be ≥ 1. WithShards(1) keeps a single partition but still wraps
+// it in the concurrency-safe locking layer; omitting the option entirely
+// gives the unsharded v1-compatible structure, which callers must
+// serialize externally.
+func WithShards(p int) Option {
+	return func(c *config) error {
+		if p < 1 {
+			return fmt.Errorf("dyncoll: %w: shard count %d (need ≥ 1)", ErrInvalidOption, p)
+		}
+		c.shards = p
+		return nil
+	}
+}
+
 // WithSyncRebuilds forces WorstCase background rebuilds to complete
-// synchronously — deterministic, single-threaded behaviour for tests and
-// reproducible benchmarks. A no-op under the amortized transformations.
+// synchronously — deterministic behaviour for tests and reproducible
+// benchmarks. Under WithShards each shard applies the setting to its own
+// rebuild pipeline, so a sharded collection remains deterministic
+// per-shard while queries still fan out concurrently. A no-op under the
+// amortized transformations.
 func WithSyncRebuilds() Option {
 	return func(c *config) error {
 		c.syncRebuilds = true

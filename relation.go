@@ -27,11 +27,13 @@ type relationImpl interface {
 	Len() int
 	Tau() int
 	SizeBits() int64
+	WaitIdle()
 }
 
 var (
 	_ relationImpl = (*binrel.Relation)(nil)
 	_ relationImpl = (*binrel.WorstCaseRelation)(nil)
+	_ relationImpl = (*shardedRelation)(nil)
 )
 
 // Relation is a dynamic compressed binary relation between uint64
@@ -39,30 +41,42 @@ var (
 // object-of-label reporting and counting, plus pair insertion and
 // deletion. The bulk of the pairs lives in deletion-only compressed
 // sub-collections; only an O(n/log²n)-pair C0 is kept uncompressed.
+//
+// An unsharded Relation (the default) is not safe for concurrent use. A
+// Relation built with WithShards(p) partitions pairs by object hash and
+// is safe for concurrent readers and writers; label-keyed queries
+// (ObjectsOf, CountObjects, Objects) fan out across shards in parallel.
 type Relation struct {
 	rel relationImpl
-	wc  *binrel.WorstCaseRelation // non-nil under WorstCase scheduling
+}
+
+// newRelationImpl builds one unsharded relation for cfg.
+func newRelationImpl(cfg config) relationImpl {
+	if cfg.transformation == WorstCase {
+		return binrel.NewWorstCase(binrel.WCOptions{
+			Tau: cfg.tau, Epsilon: cfg.epsilon,
+			MinCapacity: cfg.minCapacity, Inline: cfg.syncRebuilds,
+		})
+	}
+	return binrel.New(binrel.Options{
+		Tau: cfg.tau, Epsilon: cfg.epsilon, MinCapacity: cfg.minCapacity,
+	})
 }
 
 // NewRelation creates an empty dynamic compressed binary relation. The
 // default uses Transformation 1's amortized cascades;
 // WithTransformation(WorstCase) selects bounded foreground work per
-// update with background rebuilds.
+// update with background rebuilds, and WithShards(p) partitions the
+// relation for concurrent access.
 func NewRelation(opts ...Option) (*Relation, error) {
 	cfg, err := newConfig(kindRelation, opts)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.transformation == WorstCase {
-		wc := binrel.NewWorstCase(binrel.WCOptions{
-			Tau: cfg.tau, Epsilon: cfg.epsilon,
-			MinCapacity: cfg.minCapacity, Inline: cfg.syncRebuilds,
-		})
-		return &Relation{rel: wc, wc: wc}, nil
+	if cfg.shards > 0 {
+		return &Relation{rel: newShardedRelation(cfg)}, nil
 	}
-	return &Relation{rel: binrel.New(binrel.Options{
-		Tau: cfg.tau, Epsilon: cfg.epsilon, MinCapacity: cfg.minCapacity,
-	})}, nil
+	return &Relation{rel: newRelationImpl(cfg)}, nil
 }
 
 // Add inserts the pair (object, label). It fails with ErrDuplicatePair
@@ -88,10 +102,14 @@ func (r *Relation) Related(object, label uint64) bool { return r.rel.Related(obj
 
 // LabelsIter returns a lazy iterator over the labels related to object;
 // breaking out of the range loop stops the underlying enumeration.
-// The relation must not be touched from the loop body or another
-// goroutine until iteration completes: under WorstCase scheduling the
-// iterator holds the relation's internal lock while yielding, so even a
-// read re-entering the same relation would self-deadlock.
+// On an unsharded relation, the relation must not be touched from the
+// loop body or another goroutine until iteration completes: under
+// WorstCase scheduling the iterator holds the relation's internal lock
+// while yielding, so even a read re-entering the same relation would
+// self-deadlock. On a sharded relation other goroutines may freely read
+// and write during iteration, but the loop body itself must not touch
+// the relation at all — a loop-body read can deadlock with a writer
+// queued on a shard whose read lock the iterator holds.
 func (r *Relation) LabelsIter(object uint64) iter.Seq[uint64] {
 	return func(yield func(uint64) bool) {
 		r.rel.LabelsOf(object, yield)
@@ -153,9 +171,6 @@ func (r *Relation) Tau() int { return r.rel.Tau() }
 func (r *Relation) SizeBits() int64 { return r.rel.SizeBits() }
 
 // WaitIdle blocks until background rebuilds (WorstCase scheduling only)
-// have completed; otherwise it returns immediately.
-func (r *Relation) WaitIdle() {
-	if r.wc != nil {
-		r.wc.WaitIdle()
-	}
-}
+// have completed — across every shard when the relation is sharded;
+// otherwise it returns immediately.
+func (r *Relation) WaitIdle() { r.rel.WaitIdle() }

@@ -1,0 +1,695 @@
+package dyncoll
+
+// Sharded structures: WithShards(p) partitions a Collection, Relation,
+// or Graph across p independent sub-structures, each with its own
+// rebuild pipeline and its own sync.RWMutex. Updates route to the shard
+// owning the key (document ID, relation object, or edge source) under
+// that shard's write lock; batch updates split per shard and ingest
+// concurrently; queries that cannot be routed — Find, Count, ObjectsOf,
+// Predecessors, full enumerations — fan out across all shards in
+// parallel goroutines and merge into one stream under per-shard read
+// locks.
+//
+// Sharding is invisible to query semantics: the paper's transformations
+// already answer a query as the union over independent sub-collections
+// (the ladder levels), and a sharded structure is just one more level of
+// the same union, split by key hash instead of by age. See DESIGN.md.
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"dyncoll/internal/binrel"
+	"dyncoll/internal/core"
+	"dyncoll/internal/doc"
+	"dyncoll/internal/graph"
+)
+
+// shardOf maps a key to one of p shards. The key is finalized with the
+// splitmix64 mixer so that dense sequential IDs (the common case) spread
+// evenly instead of striping.
+func shardOf(key uint64, p int) int {
+	if p <= 1 {
+		return 0
+	}
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return int(key % uint64(p))
+}
+
+// fanOut merges n per-shard enumerations into a single consumer. Each
+// shard streams through run(i, emit) in its own goroutine; values are
+// multiplexed over a channel into fn on the caller's goroutine, and when
+// fn returns false every producer is told to stop at its next emit.
+//
+// The deferred epilogue signals stop and then waits for every producer
+// to exit before fanOut returns — on normal completion, early break,
+// and consumer panic/Goexit alike. The wait matters beyond lock
+// hygiene: producers read caller-owned arguments (the pattern slice),
+// so returning while one was still scanning would hand the caller back
+// a buffer a goroutine is reading (a data race if the caller reuses
+// it). With n == 1 the enumeration runs inline with no goroutines at
+// all.
+func fanOut[T any](n int, run func(i int, emit func(T) bool), fn func(T) bool) {
+	if n == 1 {
+		run(0, fn)
+		return
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	ch := make(chan T, 64)
+	var wg sync.WaitGroup
+	defer func() {
+		once.Do(func() { close(done) })
+		wg.Wait() // producers unblock via the done select at their next emit
+	}()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run(i, func(v T) bool {
+				select {
+				case ch <- v:
+					return true
+				case <-done:
+					return false
+				}
+			})
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	for v := range ch {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// forEachShard runs fn for shards 0..n-1 concurrently and waits. Like
+// fanOut, a single shard runs inline so WithShards(1) — the documented
+// concurrency-safe floor — pays no goroutine overhead per operation.
+func forEachShard(n int, fn func(i int)) {
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// gather runs collect for every shard concurrently and concatenates the
+// per-shard slices (shard order, so the result is deterministic given
+// deterministic shards). collect is responsible for its shard's lock.
+func gather[T any](n int, collect func(i int) []T) []T {
+	parts := make([][]T, n)
+	forEachShard(n, func(i int) { parts[i] = collect(i) })
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// --- Collection ---
+
+// collShard is one partition of a sharded collection: an independent
+// core implementation guarded by its own RWMutex. Queries take the read
+// lock (the worst-case transformation additionally serializes on its
+// internal mutex, which is fine under a read lock); updates take the
+// write lock.
+type collShard struct {
+	mu   sync.RWMutex
+	impl collImpl
+}
+
+// shardedColl implements collImpl over p collShards keyed by document
+// ID.
+type shardedColl struct {
+	shards []*collShard
+}
+
+// newShardedColl builds cfg.shards identical sub-collections.
+func newShardedColl(cfg config) (*shardedColl, error) {
+	s := &shardedColl{shards: make([]*collShard, cfg.shards)}
+	for i := range s.shards {
+		impl, err := newCollImpl(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = &collShard{impl: impl}
+	}
+	return s, nil
+}
+
+func (s *shardedColl) shard(id uint64) *collShard {
+	return s.shards[shardOf(id, len(s.shards))]
+}
+
+func (s *shardedColl) Insert(d doc.Doc) error {
+	sh := s.shard(d.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.impl.Insert(d)
+}
+
+// InsertBatch splits the batch per shard and ingests the parts
+// concurrently. Atomicity is preserved: every involved shard's write
+// lock is held while the whole batch is validated (in-batch duplicates,
+// live-ID collisions, reserved bytes), so either all documents land or
+// none do, and no concurrent writer can invalidate the check.
+func (s *shardedColl) InsertBatch(docs []doc.Doc) error {
+	p := len(s.shards)
+	parts := make([][]doc.Doc, p)
+	seen := make(map[uint64]bool, len(docs))
+	for _, d := range docs {
+		if seen[d.ID] {
+			return fmt.Errorf("dyncoll: insert id %d: %w", d.ID, ErrDuplicateID)
+		}
+		seen[d.ID] = true
+		if !d.Valid() {
+			return fmt.Errorf("dyncoll: insert id %d: %w", d.ID, ErrReservedByte)
+		}
+		t := shardOf(d.ID, p)
+		parts[t] = append(parts[t], d)
+	}
+	for i, part := range parts {
+		if part == nil {
+			continue
+		}
+		s.shards[i].mu.Lock()
+		defer s.shards[i].mu.Unlock()
+	}
+	for i, part := range parts {
+		for _, d := range part {
+			if s.shards[i].impl.Has(d.ID) {
+				return fmt.Errorf("dyncoll: insert id %d: %w", d.ID, ErrDuplicateID)
+			}
+		}
+	}
+	var involved []int
+	for i, part := range parts {
+		if part != nil {
+			involved = append(involved, i)
+		}
+	}
+	var firstErr atomic.Pointer[error]
+	forEachShard(len(involved), func(k int) {
+		i := involved[k]
+		// Validated above under the held locks, so this cannot fail on
+		// user input; surface internal errors anyway rather than drop them.
+		if err := s.shards[i].impl.InsertBatch(parts[i]); err != nil {
+			firstErr.CompareAndSwap(nil, &err)
+		}
+	})
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+func (s *shardedColl) Delete(id uint64) bool {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.impl.Delete(id)
+}
+
+// DeleteBatch splits the IDs per shard and deletes concurrently.
+func (s *shardedColl) DeleteBatch(ids []uint64) int {
+	p := len(s.shards)
+	parts := make([][]uint64, p)
+	for _, id := range ids {
+		t := shardOf(id, p)
+		parts[t] = append(parts[t], id)
+	}
+	var involved []int
+	for i, part := range parts {
+		if part != nil {
+			involved = append(involved, i)
+		}
+	}
+	var total atomic.Int64
+	forEachShard(len(involved), func(k int) {
+		sh := s.shards[involved[k]]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		total.Add(int64(sh.impl.DeleteBatch(parts[involved[k]])))
+	})
+	return int(total.Load())
+}
+
+func (s *shardedColl) Has(id uint64) bool {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.impl.Has(id)
+}
+
+func (s *shardedColl) DocIDs() []uint64 {
+	return gather(len(s.shards), func(i int) []uint64 {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.impl.DocIDs()
+	})
+}
+
+// Find fans the pattern out across all shards in parallel and
+// concatenates the per-shard results (order is unspecified, as for the
+// unsharded collection).
+func (s *shardedColl) Find(pattern []byte) []core.Occurrence {
+	return gather(len(s.shards), func(i int) []core.Occurrence {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.impl.Find(pattern)
+	})
+}
+
+// FindFunc streams the parallel fan-out: each shard enumerates under its
+// read lock in its own goroutine and the matches merge into fn. When fn
+// returns false every shard stops at its next match.
+func (s *shardedColl) FindFunc(pattern []byte, fn func(core.Occurrence) bool) {
+	fanOut(len(s.shards), func(i int, emit func(core.Occurrence) bool) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.impl.FindFunc(pattern, emit)
+	}, fn)
+}
+
+func (s *shardedColl) Count(pattern []byte) int {
+	var total atomic.Int64
+	forEachShard(len(s.shards), func(i int) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		total.Add(int64(sh.impl.Count(pattern)))
+	})
+	return int(total.Load())
+}
+
+func (s *shardedColl) Extract(id uint64, off, length int) ([]byte, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.impl.Extract(id, off, length)
+}
+
+func (s *shardedColl) DocLen(id uint64) (int, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.impl.DocLen(id)
+}
+
+func (s *shardedColl) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.impl.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+func (s *shardedColl) DocCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.impl.DocCount()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+func (s *shardedColl) SizeBits() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.impl.SizeBits()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// WaitIdle quiesces every shard's background rebuild pipeline (a no-op
+// per shard under the amortized transformations).
+func (s *shardedColl) WaitIdle() {
+	for _, sh := range s.shards {
+		sh.impl.WaitIdle()
+	}
+}
+
+// stats aggregates per-shard stats: counters sum, per-level numbers sum
+// element-wise, Tau is taken from shard 0 (all shards share a config).
+func (s *shardedColl) stats() IndexStats {
+	agg := IndexStats{Shards: len(s.shards)}
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		st := implStats(sh.impl)
+		sh.mu.RUnlock()
+		if i == 0 {
+			agg.Tau = st.Tau
+		}
+		if st.Levels > agg.Levels {
+			agg.Levels = st.Levels
+		}
+		for j, sz := range st.LevelSizes {
+			if j == len(agg.LevelSizes) {
+				agg.LevelSizes = append(agg.LevelSizes, 0)
+				agg.LevelCaps = append(agg.LevelCaps, 0)
+			}
+			agg.LevelSizes[j] += sz
+			agg.LevelCaps[j] += st.LevelCaps[j]
+		}
+		agg.Rebuilds += st.Rebuilds
+		agg.GlobalRebuilds += st.GlobalRebuilds
+		agg.Tops += st.Tops
+	}
+	return agg
+}
+
+// --- Relation ---
+
+// relShard is one partition of a sharded relation, keyed by object.
+type relShard struct {
+	mu  sync.RWMutex
+	rel relationImpl
+}
+
+// shardedRelation implements relationImpl over p relShards keyed by
+// object: object-keyed operations route to one shard; label-keyed and
+// full enumerations fan out.
+type shardedRelation struct {
+	shards []*relShard
+}
+
+func newShardedRelation(cfg config) *shardedRelation {
+	s := &shardedRelation{shards: make([]*relShard, cfg.shards)}
+	for i := range s.shards {
+		s.shards[i] = &relShard{rel: newRelationImpl(cfg)}
+	}
+	return s
+}
+
+func (s *shardedRelation) shard(object uint64) *relShard {
+	return s.shards[shardOf(object, len(s.shards))]
+}
+
+func (s *shardedRelation) Add(object, label uint64) bool {
+	sh := s.shard(object)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.rel.Add(object, label)
+}
+
+func (s *shardedRelation) Delete(object, label uint64) bool {
+	sh := s.shard(object)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.rel.Delete(object, label)
+}
+
+func (s *shardedRelation) Related(object, label uint64) bool {
+	sh := s.shard(object)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rel.Related(object, label)
+}
+
+func (s *shardedRelation) LabelsOf(object uint64, fn func(label uint64) bool) {
+	sh := s.shard(object)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sh.rel.LabelsOf(object, fn)
+}
+
+// ObjectsOf fans out across all shards in parallel: any shard may hold
+// pairs with the given label. Order is unspecified.
+func (s *shardedRelation) ObjectsOf(label uint64, fn func(object uint64) bool) {
+	fanOut(len(s.shards), func(i int, emit func(uint64) bool) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.rel.ObjectsOf(label, emit)
+	}, fn)
+}
+
+func (s *shardedRelation) Labels(object uint64) []uint64 {
+	sh := s.shard(object)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rel.Labels(object)
+}
+
+// Objects gathers per-shard results in parallel and sorts the union to
+// keep the documented "sorted" contract.
+func (s *shardedRelation) Objects(label uint64) []uint64 {
+	out := gather(len(s.shards), func(i int) []uint64 {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.rel.Objects(label)
+	})
+	slices.Sort(out)
+	return out
+}
+
+func (s *shardedRelation) CountLabels(object uint64) int {
+	sh := s.shard(object)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rel.CountLabels(object)
+}
+
+func (s *shardedRelation) CountObjects(label uint64) int {
+	var total atomic.Int64
+	forEachShard(len(s.shards), func(i int) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		total.Add(int64(sh.rel.CountObjects(label)))
+	})
+	return int(total.Load())
+}
+
+func (s *shardedRelation) Pairs() []binrel.Pair {
+	return gather(len(s.shards), func(i int) []binrel.Pair {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.rel.Pairs()
+	})
+}
+
+func (s *shardedRelation) PairsFunc(fn func(binrel.Pair) bool) {
+	fanOut(len(s.shards), func(i int, emit func(binrel.Pair) bool) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.rel.PairsFunc(emit)
+	}, fn)
+}
+
+func (s *shardedRelation) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.rel.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Tau reads shard 0's τ under its lock: all shards share a config, but
+// the amortized relation retunes τ during cascades, so an unlocked read
+// would race with a writer on that shard.
+func (s *shardedRelation) Tau() int {
+	sh := s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rel.Tau()
+}
+
+func (s *shardedRelation) SizeBits() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.rel.SizeBits()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// WaitIdle quiesces every shard's background rebuild pipeline (a no-op
+// per shard under the amortized scheduling).
+func (s *shardedRelation) WaitIdle() {
+	for _, sh := range s.shards {
+		sh.rel.WaitIdle()
+	}
+}
+
+// --- Graph ---
+
+// graphShard is one partition of a sharded graph, keyed by edge source.
+type graphShard struct {
+	mu sync.RWMutex
+	g  *graph.Graph
+}
+
+// shardedGraph implements graphImpl over p graph shards keyed by edge
+// source u: out-edge operations route to shard(u); in-edge queries
+// (Predecessors, InDegree, …) fan out, since u→v edges with the same v
+// live wherever their u hashes.
+type shardedGraph struct {
+	shards []*graphShard
+}
+
+func newShardedGraph(cfg config) *shardedGraph {
+	s := &shardedGraph{shards: make([]*graphShard, cfg.shards)}
+	for i := range s.shards {
+		s.shards[i] = &graphShard{g: newGraphImpl(cfg)}
+	}
+	return s
+}
+
+func (s *shardedGraph) shard(u uint64) *graphShard {
+	return s.shards[shardOf(u, len(s.shards))]
+}
+
+func (s *shardedGraph) AddEdge(u, v uint64) bool {
+	sh := s.shard(u)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.g.AddEdge(u, v)
+}
+
+func (s *shardedGraph) DeleteEdge(u, v uint64) bool {
+	sh := s.shard(u)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.g.DeleteEdge(u, v)
+}
+
+func (s *shardedGraph) HasEdge(u, v uint64) bool {
+	sh := s.shard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.g.HasEdge(u, v)
+}
+
+func (s *shardedGraph) EdgeCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.g.EdgeCount()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+func (s *shardedGraph) NeighborsFunc(u uint64, fn func(v uint64) bool) {
+	sh := s.shard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sh.g.NeighborsFunc(u, fn)
+}
+
+// ReverseNeighborsFunc fans out across all shards in parallel: an edge
+// into v may originate from a source on any shard. Order is unspecified.
+func (s *shardedGraph) ReverseNeighborsFunc(v uint64, fn func(u uint64) bool) {
+	fanOut(len(s.shards), func(i int, emit func(uint64) bool) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.g.ReverseNeighborsFunc(v, emit)
+	}, fn)
+}
+
+func (s *shardedGraph) Neighbors(u uint64) []uint64 {
+	sh := s.shard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.g.Neighbors(u)
+}
+
+// ReverseNeighbors gathers per-shard results in parallel and sorts the
+// union to keep the documented "sorted" contract.
+func (s *shardedGraph) ReverseNeighbors(v uint64) []uint64 {
+	out := gather(len(s.shards), func(i int) []uint64 {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.g.ReverseNeighbors(v)
+	})
+	slices.Sort(out)
+	return out
+}
+
+func (s *shardedGraph) OutDegree(u uint64) int {
+	sh := s.shard(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.g.OutDegree(u)
+}
+
+func (s *shardedGraph) InDegree(v uint64) int {
+	var total atomic.Int64
+	forEachShard(len(s.shards), func(i int) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		total.Add(int64(sh.g.InDegree(v)))
+	})
+	return int(total.Load())
+}
+
+func (s *shardedGraph) Edges() []binrel.Pair {
+	return gather(len(s.shards), func(i int) []binrel.Pair {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.g.Edges()
+	})
+}
+
+func (s *shardedGraph) EdgesFunc(fn func(binrel.Pair) bool) {
+	fanOut(len(s.shards), func(i int, emit func(binrel.Pair) bool) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.g.EdgesFunc(emit)
+	}, fn)
+}
+
+func (s *shardedGraph) WaitIdle() {
+	for _, sh := range s.shards {
+		sh.g.WaitIdle()
+	}
+}
+
+func (s *shardedGraph) SizeBits() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.g.SizeBits()
+		sh.mu.RUnlock()
+	}
+	return n
+}
