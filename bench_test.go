@@ -324,6 +324,87 @@ func BenchmarkTheorem3Graph(b *testing.B) {
 	})
 }
 
+// --- Engine unification: relation/graph benches on the shared ladder ---
+
+// BenchmarkRelationIngest measures pair-insertion throughput under both
+// engine schedulings — the amortized cascades and the worst-case
+// background pipeline Relation gained from the generic engine.
+func BenchmarkRelationIngest(b *testing.B) {
+	for _, tf := range []struct {
+		name string
+		t    Transformation
+	}{{"amortized", Amortized}, {"worstcase", WorstCase}} {
+		b.Run(tf.name, func(b *testing.B) {
+			r, err := NewRelation(WithTransformation(tf.t), WithSyncRebuilds())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Add(uint64(i), uint64(i%509))
+			}
+			b.StopTimer()
+			r.WaitIdle()
+		})
+	}
+}
+
+// BenchmarkGraphSuccessors measures out-neighbor enumeration on a
+// preloaded graph: the hot read path BFS/PageRank-style workloads sit
+// in, fanning out over the engine's live sub-collections.
+func BenchmarkGraphSuccessors(b *testing.B) {
+	const nodes = 1 << 12
+	g, err := NewGraph(WithSyncRebuilds())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := textgen.NewSource(255, 0, 0.6, 21)
+	stream := src.Generate(1 << 17)
+	for i := 0; i+1 < len(stream); i += 2 {
+		u := uint64(stream[i])<<4 | uint64(i%16)
+		v := uint64(stream[i+1]) | uint64(i%64)<<8
+		g.AddEdge(u%nodes, v)
+	}
+	g.WaitIdle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for range g.Successors(uint64(i % nodes)) {
+		}
+	}
+}
+
+// BenchmarkRelationFanOut measures the label-keyed queries that cannot
+// be routed to one shard (ObjectsOf/CountObjects) against the shard
+// count: each query fans out across all shards in parallel goroutines,
+// and per-shard read locks let concurrent clients overlap.
+func BenchmarkRelationFanOut(b *testing.B) {
+	const pairs = 1 << 16
+	for _, shards := range []int{1, 2, 4, 8} {
+		r, err := NewRelation(WithShards(shards), WithSyncRebuilds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < pairs; i++ {
+			r.Add(uint64(i), uint64(i%251))
+		}
+		r.WaitIdle()
+		b.Run(fmt.Sprintf("serial/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.ObjectsOf(uint64(i%251), func(uint64) bool { return true })
+			}
+		})
+		b.Run(fmt.Sprintf("clients/shards=%d", shards), func(b *testing.B) {
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					r.ObjectsOf(uint64(i%251), func(uint64) bool { return true })
+				}
+			})
+		})
+	}
+}
+
 // --- Table 1 addendum: the Ψ-CSA family ([39]) vs the FM-index ---
 
 func BenchmarkTable1CSARange(b *testing.B) {

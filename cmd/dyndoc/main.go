@@ -1,6 +1,11 @@
-// Command dyndoc is an interactive/scriptable front end for a dynamic
-// compressed document collection. It reads simple commands from stdin
-// (or a script via -f) and prints results to stdout:
+// Command dyndoc is an interactive/scriptable front end for the
+// dynamic compressed structures. It reads simple commands from stdin
+// (or a script via -f) and prints results to stdout. -mode selects the
+// structure; all modes share the engine-level `stats` report (ladder
+// occupancy, pending background builds, top collections), because all
+// three structures run on the same generic transformation engine.
+//
+// -mode collection (default):
 //
 //	add <id> <text…>      insert a document
 //	addfile <id> <path>   insert a file's contents as a document
@@ -8,12 +13,30 @@
 //	find <pattern>        list occurrences (doc id + offset)
 //	count <pattern>       count occurrences
 //	extract <id> <off> <len>
-//	stats                 collection statistics
+//	stats                 engine statistics
 //	quit
 //
-// Flags select the transformation, static index, shard count, and
-// tuning parameters, so the CLI doubles as a manual test bench for the
-// paper's machinery.
+// -mode relation:
+//
+//	rel <obj> <label>     add the pair
+//	unrel <obj> <label>   delete the pair
+//	related <obj> <label>
+//	labels <obj>          sorted labels of an object
+//	objects <label>       sorted objects of a label
+//	stats | quit
+//
+// -mode graph:
+//
+//	edge <u> <v>          add the edge u→v
+//	deledge <u> <v>       delete the edge
+//	has <u> <v>
+//	succ <u>              sorted successors
+//	pred <v>              sorted predecessors
+//	stats | quit
+//
+// Flags select the transformation, static index (collection mode),
+// shard count, and tuning parameters, so the CLI doubles as a manual
+// test bench for the paper's machinery.
 package main
 
 import (
@@ -29,24 +52,28 @@ import (
 
 func main() {
 	var (
-		transform = flag.String("transform", "worstcase", "transformation: amortized | worstcase | fastinsert")
-		index     = flag.String("index", "fm", "static index by registry name: fm | sa | csa | any RegisterIndex name")
-		sample    = flag.Int("s", 16, "suffix-array sample rate s (locate cost)")
+		mode      = flag.String("mode", "collection", "structure: collection | relation | graph")
+		transform = flag.String("transform", "", "transformation: amortized | worstcase | fastinsert (default: worstcase for collections, amortized for relations/graphs)")
+		index     = flag.String("index", "fm", "static index by registry name: fm | sa | csa | any RegisterIndex name (collection mode)")
+		sample    = flag.Int("s", 16, "suffix-array sample rate s (collection mode)")
 		tau       = flag.Int("tau", 0, "lazy-deletion parameter τ (0 = automatic)")
-		shards    = flag.Int("shards", 0, "shard count p (0 = unsharded; p ≥ 1 partitions by ID hash with parallel fan-out queries)")
-		counting  = flag.Bool("counting", false, "enable Theorem 1 counting structures")
+		shards    = flag.Int("shards", 0, "shard count p (0 = unsharded; p ≥ 1 partitions by key hash with parallel fan-out queries)")
+		counting  = flag.Bool("counting", false, "enable Theorem 1 counting structures (collection mode)")
 		script    = flag.String("f", "", "read commands from file instead of stdin")
 	)
 	flag.Parse()
 
-	opts := []dyncoll.Option{
-		dyncoll.WithIndex(*index),
-		dyncoll.WithSampleRate(*sample),
-		dyncoll.WithTau(*tau),
+	var opts []dyncoll.Option
+	if *mode == "collection" {
+		opts = append(opts,
+			dyncoll.WithIndex(*index),
+			dyncoll.WithSampleRate(*sample),
+		)
+		if *counting {
+			opts = append(opts, dyncoll.WithCounting())
+		}
 	}
-	if *counting {
-		opts = append(opts, dyncoll.WithCounting())
-	}
+	opts = append(opts, dyncoll.WithTau(*tau))
 	if *shards != 0 { // 0 keeps the unsharded default; negatives reach WithShards and fail
 		opts = append(opts, dyncoll.WithShards(*shards))
 	}
@@ -57,14 +84,39 @@ func main() {
 		opts = append(opts, dyncoll.WithTransformation(dyncoll.AmortizedFastInsert))
 	case "worstcase":
 		opts = append(opts, dyncoll.WithTransformation(dyncoll.WorstCase))
+	case "":
+		// Each structure's default: worstcase for collections, amortized
+		// for relations and graphs.
 	default:
 		fmt.Fprintf(os.Stderr, "unknown transformation %q\n", *transform)
 		os.Exit(2)
 	}
 
-	c, err := dyncoll.NewCollection(opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	var run func(cmd, rest string) error
+	switch *mode {
+	case "collection":
+		c, err := dyncoll.NewCollection(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		run = func(cmd, rest string) error { return runCollection(c, cmd, rest) }
+	case "relation":
+		r, err := dyncoll.NewRelation(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		run = func(cmd, rest string) error { return runRelation(r, cmd, rest) }
+	case "graph":
+		g, err := dyncoll.NewGraph(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		run = func(cmd, rest string) error { return runGraph(g, cmd, rest) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 
@@ -92,7 +144,7 @@ func main() {
 		if len(fields) > 1 {
 			rest = fields[1]
 		}
-		if err := run(c, cmd, rest); err != nil {
+		if err := run(cmd, rest); err != nil {
 			if err == errQuit {
 				return
 			}
@@ -103,7 +155,28 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
-func run(c *dyncoll.Collection, cmd, rest string) error {
+// printStats renders the uniform engine-level report every mode shares:
+// live size, space, shard count, ladder occupancy, in-flight background
+// builds, and top collections.
+func printStats(st dyncoll.IndexStats, unit string, live int, sizeBits int64) {
+	fmt.Printf("%-10s %d\n", unit+"s:", live)
+	fmt.Printf("%-10s %d bits (%.2f bits/%s)\n", "size:",
+		sizeBits, float64(sizeBits)/float64(max(1, live)), unit)
+	if st.Shards > 0 {
+		fmt.Printf("%-10s %d\n", "shards:", st.Shards)
+	}
+	fmt.Printf("%-10s τ=%d, rebuilds=%d, global=%d, pending builds=%d\n",
+		"engine:", st.Tau, st.Rebuilds, st.GlobalRebuilds, st.PendingBuilds)
+	fmt.Printf("%-10s %d slots (occupancy/capacity, level 0 = uncompressed C0)\n", "ladder:", st.Levels)
+	for j, sz := range st.LevelSizes {
+		fmt.Printf("  level %-3d %12d / %d\n", j, sz, st.LevelCaps[j])
+	}
+	if st.Tops > 0 {
+		fmt.Printf("%-10s %d collections, sizes %v\n", "tops:", st.Tops, st.TopSizes)
+	}
+}
+
+func runCollection(c *dyncoll.Collection, cmd, rest string) error {
 	switch cmd {
 	case "quit", "exit":
 		return errQuit
@@ -187,18 +260,141 @@ func run(c *dyncoll.Collection, cmd, rest string) error {
 
 	case "stats":
 		c.WaitIdle()
-		st := c.Stats()
-		fmt.Printf("documents: %d\n", c.DocCount())
-		fmt.Printf("symbols:   %d\n", c.Len())
-		fmt.Printf("index:     %d bits (%.2f bits/symbol)\n",
-			c.SizeBits(), float64(c.SizeBits())/float64(max(1, c.Len())))
-		if st.Shards > 0 {
-			fmt.Printf("shards:    %d\n", st.Shards)
-		}
-		fmt.Printf("levels:    %d (rebuilds %d, global %d)\n", st.Levels, st.Rebuilds, st.GlobalRebuilds)
+		fmt.Printf("%-10s %d\n", "documents:", c.DocCount())
+		printStats(c.Stats(), "symbol", c.Len(), c.SizeBits())
 
 	default:
 		return fmt.Errorf("unknown command %q (add addfile del find count extract stats quit)", cmd)
+	}
+	return nil
+}
+
+// parsePair reads two uint64 arguments.
+func parsePair(rest string) (a, b uint64, err error) {
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("need two numeric arguments")
+	}
+	a, err1 := strconv.ParseUint(parts[0], 10, 64)
+	b, err2 := strconv.ParseUint(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad arguments")
+	}
+	return a, b, nil
+}
+
+func parseOne(rest string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+}
+
+func runRelation(r *dyncoll.Relation, cmd, rest string) error {
+	switch cmd {
+	case "quit", "exit":
+		return errQuit
+
+	case "rel":
+		o, l, err := parsePair(rest)
+		if err != nil {
+			return err
+		}
+		if err := r.Add(o, l); err != nil {
+			return err
+		}
+		fmt.Printf("related %d ↦ %d\n", o, l)
+
+	case "unrel":
+		o, l, err := parsePair(rest)
+		if err != nil {
+			return err
+		}
+		if err := r.Delete(o, l); err != nil {
+			return err
+		}
+		fmt.Printf("unrelated %d ↦ %d\n", o, l)
+
+	case "related":
+		o, l, err := parsePair(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Related(o, l))
+
+	case "labels":
+		o, err := parseOne(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Labels(o))
+
+	case "objects":
+		l, err := parseOne(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Objects(l))
+
+	case "stats":
+		r.WaitIdle()
+		printStats(r.Stats(), "pair", r.Len(), r.SizeBits())
+
+	default:
+		return fmt.Errorf("unknown command %q (rel unrel related labels objects stats quit)", cmd)
+	}
+	return nil
+}
+
+func runGraph(g *dyncoll.Graph, cmd, rest string) error {
+	switch cmd {
+	case "quit", "exit":
+		return errQuit
+
+	case "edge":
+		u, v, err := parsePair(rest)
+		if err != nil {
+			return err
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return err
+		}
+		fmt.Printf("edge %d → %d\n", u, v)
+
+	case "deledge":
+		u, v, err := parsePair(rest)
+		if err != nil {
+			return err
+		}
+		if err := g.DeleteEdge(u, v); err != nil {
+			return err
+		}
+		fmt.Printf("deleted edge %d → %d\n", u, v)
+
+	case "has":
+		u, v, err := parsePair(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(g.HasEdge(u, v))
+
+	case "succ":
+		u, err := parseOne(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(g.Neighbors(u))
+
+	case "pred":
+		v, err := parseOne(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(g.ReverseNeighbors(v))
+
+	case "stats":
+		g.WaitIdle()
+		printStats(g.Stats(), "edge", g.EdgeCount(), g.SizeBits())
+
+	default:
+		return fmt.Errorf("unknown command %q (edge deledge has succ pred stats quit)", cmd)
 	}
 	return nil
 }

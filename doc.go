@@ -40,7 +40,11 @@
 // goroutines), Amortized (Transformation 1 — cheapest overall, but an
 // individual update may trigger a cascade), or AmortizedFastInsert
 // (Transformation 3 — cheaper insertions at an O(log log n) query
-// fan-out). Relations and graphs default to Amortized.
+// fan-out). Relations and graphs default to Amortized; selecting
+// WorstCase gives them the same engine machinery collections use —
+// true background builds behind locked copies, top-collection sweeps,
+// and WaitIdle — because all three structures run on one generic
+// transformation engine (see internal/engine).
 //
 // WithIndex picks the static index backing a Collection by registry name
 // — built-ins IndexFM, IndexSA, IndexCSA, or anything added via

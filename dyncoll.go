@@ -56,6 +56,7 @@ type collImpl interface {
 	DocCount() int
 	SizeBits() int64
 	WaitIdle()
+	Stats() core.Stats
 }
 
 var (
@@ -229,66 +230,64 @@ func (c *Collection) SizeBits() int64 { return c.impl.SizeBits() }
 // sharded; other transformations return immediately.
 func (c *Collection) WaitIdle() { c.impl.WaitIdle() }
 
-// IndexStats describes the collection's internal layout: the
+// IndexStats describes a structure's engine-level layout: the
 // sub-collection ladder of the paper's transformations plus rebuild
-// counters. Fields that do not apply to the active transformation are
-// zero.
+// counters. The same shape serves Collection, Relation and Graph — all
+// three run on the one generic engine — with sizes measured in the
+// structure's own weight unit (payload symbols for collections, pairs
+// for relations, edges for graphs). Fields that do not apply to the
+// active transformation are zero.
 type IndexStats struct {
 	// Levels is the number of sub-collection slots (C0 plus compressed
 	// levels).
 	Levels int
-	// LevelSizes and LevelCaps list live symbols and capacity per level;
+	// LevelSizes and LevelCaps list live weight and capacity per level;
 	// index 0 is the uncompressed C0.
 	LevelSizes []int
 	LevelCaps  []int
-	// Rebuilds counts level rebuilds (amortized) or background builds
-	// (worst-case); GlobalRebuilds counts whole-collection rebuilds.
+	// Rebuilds counts level rebuilds (amortized) or background + sync
+	// builds (worst-case); GlobalRebuilds counts whole-structure
+	// rebuilds/rebalances.
 	Rebuilds       int
 	GlobalRebuilds int
-	// Tops is the number of top collections (worst-case transformation).
-	Tops int
+	// Tops is the number of top collections and TopSizes their live
+	// weights (worst-case transformation). PendingBuilds is the number
+	// of background builds currently in flight.
+	Tops          int
+	TopSizes      []int
+	PendingBuilds int
 	// Tau is the lazy-deletion parameter currently in effect.
 	Tau int
-	// Shards is the number of shards (0 for an unsharded collection).
+	// Shards is the number of shards (0 for an unsharded structure).
 	// Per-level numbers are element-wise sums across shards.
 	Shards int
+}
+
+// indexStatsFrom maps the engine's unified stats onto the facade type.
+// core.Stats, binrel.Stats and the graph's stats are all aliases of the
+// same engine type, so every facade shares this one mapping.
+func indexStatsFrom(st core.Stats) IndexStats {
+	return IndexStats{
+		Levels:         st.Levels,
+		LevelSizes:     st.LevelSizes,
+		LevelCaps:      st.LevelCaps,
+		Rebuilds:       st.LevelRebuilds + st.BackgroundBuilds + st.SyncBuilds,
+		GlobalRebuilds: st.GlobalRebuilds + st.Rebalances,
+		Tops:           st.Tops,
+		TopSizes:       st.TopSizes,
+		PendingBuilds:  st.PendingBuilds,
+		Tau:            st.Tau,
+	}
 }
 
 // Stats reports the collection's internal layout and rebuild counters.
 // On a sharded collection the counters are aggregated across shards.
 func (c *Collection) Stats() IndexStats {
+	st := indexStatsFrom(c.impl.Stats())
 	if sh, ok := c.impl.(*shardedColl); ok {
-		return sh.stats()
+		st.Shards = len(sh.shards)
 	}
-	return implStats(c.impl)
-}
-
-// implStats reads the stats of one unsharded core implementation.
-func implStats(impl collImpl) IndexStats {
-	switch impl := impl.(type) {
-	case *core.Amortized:
-		st := impl.Stats()
-		return IndexStats{
-			Levels:         st.Levels,
-			LevelSizes:     st.LevelSizes,
-			LevelCaps:      st.LevelCaps,
-			Rebuilds:       st.LevelRebuilds,
-			GlobalRebuilds: st.GlobalRebuilds,
-			Tau:            impl.Tau(),
-		}
-	case *core.WorstCase:
-		st := impl.Stats()
-		return IndexStats{
-			Levels:         len(st.LevelCaps),
-			LevelSizes:     st.LevelSizes,
-			LevelCaps:      st.LevelCaps,
-			Rebuilds:       st.BackgroundBuilds + st.SyncBuilds,
-			GlobalRebuilds: st.Rebalances,
-			Tops:           st.Tops,
-			Tau:            impl.Tau(),
-		}
-	}
-	return IndexStats{}
+	return st
 }
 
 // BaselineCollection is the pre-paper state of the art: a dynamic

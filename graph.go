@@ -26,6 +26,7 @@ type graphImpl interface {
 	EdgesFunc(fn func(binrel.Pair) bool)
 	WaitIdle()
 	SizeBits() int64
+	Stats() binrel.Stats
 }
 
 var (
@@ -47,7 +48,9 @@ type Graph struct {
 	g graphImpl
 }
 
-// newGraphImpl builds one unsharded graph for cfg.
+// newGraphImpl builds one unsharded graph for cfg. As in the paper,
+// the graph inherits its transformation machinery from the relation
+// (and thus from the generic engine).
 func newGraphImpl(cfg config) *graph.Graph {
 	return graph.New(graph.Options{
 		Tau:         cfg.tau,
@@ -159,6 +162,18 @@ func (g *Graph) Edges() []Pair { return g.g.Edges() }
 // have completed — across every shard when the graph is sharded;
 // otherwise it returns immediately.
 func (g *Graph) WaitIdle() { g.g.WaitIdle() }
+
+// Stats reports the graph's engine-level ladder state and rebuild
+// counters, in the same shape Collection.Stats uses (sizes are edge
+// counts). On a sharded graph the counters are aggregated across
+// shards.
+func (g *Graph) Stats() IndexStats {
+	st := indexStatsFrom(g.g.Stats())
+	if sh, ok := g.g.(*shardedGraph); ok {
+		st.Shards = len(sh.shards)
+	}
+	return st
+}
 
 // SizeBits estimates the total footprint.
 func (g *Graph) SizeBits() int64 { return g.g.SizeBits() }

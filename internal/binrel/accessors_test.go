@@ -20,13 +20,6 @@ func TestRelationAccessors(t *testing.T) {
 	if r.SizeBits() <= 0 {
 		t.Fatal("SizeBits not positive")
 	}
-	// autoTau boundary behaviour.
-	for _, n := range []int{0, 15, 16, 1 << 20, 1 << 30} {
-		tau := autoTau(n)
-		if tau < 2 || tau > 4096 {
-			t.Fatalf("autoTau(%d) = %d", n, tau)
-		}
-	}
 }
 
 func TestWorstCaseRelationAccessors(t *testing.T) {

@@ -302,10 +302,10 @@ func TestSemiRelDirect(t *testing.T) {
 	if got := r.countObjects(10); got != 3 {
 		t.Fatalf("countObjects(10) = %d", got)
 	}
-	if !r.delete(3, 10) {
+	if _, ok := r.Delete(Pair{3, 10}); !ok {
 		t.Fatal("delete failed")
 	}
-	if r.delete(3, 10) {
+	if _, ok := r.Delete(Pair{3, 10}); ok {
 		t.Fatal("double delete succeeded")
 	}
 	if got := r.countObjects(10); got != 2 {
@@ -326,12 +326,12 @@ func TestSemiRelDirect(t *testing.T) {
 	if !sameU64(os, []uint64{1, 2}) {
 		t.Fatalf("objectsOf(10) = %v", os)
 	}
-	live := r.livePairs()
+	live := r.LiveItems()
 	if len(live) != 5 {
-		t.Fatalf("livePairs = %d", len(live))
+		t.Fatalf("LiveItems = %d", len(live))
 	}
-	if r.sizeBits() <= 0 {
-		t.Fatal("sizeBits not positive")
+	if r.SizeBits() <= 0 {
+		t.Fatal("SizeBits not positive")
 	}
 }
 
@@ -365,13 +365,12 @@ func TestRelationTauBoundsDeadFraction(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for _, i := range rng.Perm(2000)[:1500] {
 		r.Delete(uint64(i), uint64(i%31))
-		for _, lvl := range r.levels {
-			if lvl == nil {
-				continue
-			}
-			total := lvl.live + lvl.dead
-			if total > 0 && lvl.dead*tau > total {
-				t.Fatalf("level dead fraction %d/%d exceeds 1/%d", lvl.dead, total, tau)
+		st := r.Stats()
+		for j := 1; j < len(st.LevelSizes); j++ {
+			total := st.LevelSizes[j] + st.LevelDead[j]
+			if total > 0 && st.LevelDead[j]*tau > total {
+				t.Fatalf("level %d dead fraction %d/%d exceeds 1/%d",
+					j, st.LevelDead[j], total, tau)
 			}
 		}
 	}

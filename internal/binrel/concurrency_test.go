@@ -1,0 +1,102 @@
+package binrel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWorstCaseRelationParallelClients hammers one worst-case relation
+// from several goroutines — writers churning pairs, readers issuing
+// membership/degree/report queries — while real background builds run,
+// then quiesces with WaitIdle. Run under -race in CI; the engine mutex
+// must serialize every operation. Exact query results are checked by
+// the single-threaded suites; here the assertions check
+// self-consistency after the churn.
+func TestWorstCaseRelationParallelClients(t *testing.T) {
+	r := New(Options{WorstCase: true})
+
+	const writers = 3
+	const pairsPerWriter = 600
+
+	var writerWG sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		writerWG.Add(1)
+		go func(wr int) {
+			defer writerWG.Done()
+			// Disjoint object spaces so writers never collide on a pair.
+			base := uint64(wr+1) << 32
+			var mine []Pair
+			for i := 0; i < pairsPerWriter; i++ {
+				p := Pair{Object: base + uint64(i%97), Label: uint64(i)}
+				if !r.Add(p.Object, p.Label) {
+					t.Error("Add of fresh pair failed")
+					return
+				}
+				mine = append(mine, p)
+				if i%3 == 2 {
+					if !r.Delete(mine[0].Object, mine[0].Label) {
+						t.Error("Delete of own live pair failed")
+						return
+					}
+					mine = mine[1:]
+				}
+			}
+		}(wr)
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		readerWG.Add(1)
+		go func(rd int) {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Related(uint64(rd+1)<<32, uint64(rd))
+				if r.CountObjects(uint64(rd)) < 0 {
+					t.Error("negative count")
+					return
+				}
+				seen := 0
+				r.ObjectsOf(uint64(rd), func(uint64) bool {
+					seen++
+					return seen < 50
+				})
+			}
+		}(rd)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	r.WaitIdle()
+
+	deletesPerWriter := pairsPerWriter / 3
+	want := writers * (pairsPerWriter - deletesPerWriter)
+	if got := r.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	st := r.Stats()
+	if st.PendingBuilds != 0 {
+		t.Fatalf("PendingBuilds = %d after WaitIdle", st.PendingBuilds)
+	}
+	if st.BackgroundBuilds == 0 {
+		t.Fatal("expected background builds during parallel churn")
+	}
+	// The ladder must still answer exact queries after quiescing.
+	for wr := 0; wr < writers; wr++ {
+		base := uint64(wr+1) << 32
+		total := 0
+		for o := uint64(0); o < 97; o++ {
+			total += r.CountLabels(base + o)
+		}
+		if total != pairsPerWriter-deletesPerWriter {
+			t.Fatalf("writer %d: %d live pairs, want %d",
+				wr, total, pairsPerWriter-deletesPerWriter)
+		}
+	}
+}

@@ -1,8 +1,36 @@
+// Package binrel implements Section 5 of the paper: compressed
+// representations of dynamic binary relations, obtained by applying the
+// static-to-dynamic framework to the static relation encoding of
+// Barbay et al.
+//
+// A relation R ⊆ O × L between objects and labels is encoded as
+//
+//   - S — the sequence of labels ordered by object (a wavelet tree),
+//   - N — the bit sequence 1^{n_1} 0 1^{n_2} 0 … recording how many
+//     labels each object has,
+//
+// so that listing/counting labels of an object, objects of a label, and
+// membership all reduce to rank/select/access on S and N. Deletions are
+// lazy, recorded in bitmaps D (over S) and D_a (one per label), with the
+// Lemma 3 structure making live entries reportable in O(1) each.
+//
+// The package is the paper's "Theorem 2 is a corollary" argument made
+// literal: it contains no transformation ladder of its own. The static
+// encoding above (semiRel) and an uncompressed adjacency-map C0 are
+// plugged into internal/engine as a payload — pairs are the items,
+// every pair weighs 1 — and the generic engine supplies both the
+// amortized cascades (Transformation 1) and the full worst-case
+// machinery (Transformation 2: background builds behind locked copies,
+// top collections with Dietz–Sleator sweeps, Section A.3 rebalance).
+// Options.WorstCase selects between them; under WorstCase the relation
+// serializes on the engine mutex and is safe for concurrent use, and
+// WaitIdle quiesces in-flight background builds.
 package binrel
 
 import (
-	"math"
 	"sort"
+
+	"dyncoll/internal/engine"
 )
 
 // Options configure a dynamic Relation.
@@ -20,42 +48,31 @@ type Options struct {
 	// MinCapacity bounds the uncompressed C0's capacity from below.
 	// Default 64 pairs.
 	MinCapacity int
+
+	// WorstCase selects Transformation 2's scheduling: bounded
+	// foreground work per update, rebuilds on background goroutines,
+	// top-collection sweeps. The default is Transformation 1's
+	// amortized cascades.
+	WorstCase bool
+
+	// Inline forces worst-case background builds to complete
+	// synchronously; used by deterministic tests.
+	Inline bool
 }
 
-func (o Options) withDefaults() Options {
-	if o.Epsilon <= 0 || o.Epsilon > 1 {
-		o.Epsilon = 0.5
-	}
-	if o.MinCapacity <= 0 {
-		o.MinCapacity = 64
-	}
-	return o
-}
+// WCOptions is a legacy alias of Options from when the worst-case
+// relation was a separate implementation with its own option struct.
+type WCOptions = Options
 
-// Relation is a fully-dynamic compressed binary relation (Theorem 2):
-// membership, label-of-object and object-of-label reporting and counting,
-// plus pair insertion and deletion. The bulk of the pairs lives in
-// deletion-only compressed sub-collections; only an O(n/log²n)-pair C0 is
-// kept uncompressed.
-type Relation struct {
-	opts Options
+// Stats reports the engine's ladder state and rebuild counters; WCStats
+// is a legacy alias from the pre-engine split.
+type (
+	Stats   = engine.Stats
+	WCStats = engine.Stats
+)
 
-	c0     *c0rel
-	levels []*semiRel
-	maxes  []int
-
-	nf  int
-	tau int
-
-	live int
-
-	rebuilds       int
-	globalRebuilds int
-	purges         int
-}
-
-// c0rel is the uncompressed fully-dynamic store: forward and reverse
-// adjacency in hash maps, O(log n) bits per pair.
+// c0rel is the uncompressed fully-dynamic store (the relation's C0):
+// forward and reverse adjacency in hash maps, O(log n) bits per pair.
 type c0rel struct {
 	fwd  map[uint64][]uint64 // object → labels
 	rev  map[uint64][]uint64 // label → objects
@@ -66,52 +83,48 @@ func newC0rel() *c0rel {
 	return &c0rel{fwd: make(map[uint64][]uint64), rev: make(map[uint64][]uint64)}
 }
 
-func (c *c0rel) add(o, l uint64) {
-	c.fwd[o] = append(c.fwd[o], l)
-	c.rev[l] = append(c.rev[l], o)
+// Insert adds a pair (engine.Mutable). The engine has already checked
+// for duplicates through its owner map.
+func (c *c0rel) Insert(p Pair) {
+	c.fwd[p.Object] = append(c.fwd[p.Object], p.Label)
+	c.rev[p.Label] = append(c.rev[p.Label], p.Object)
 	c.size++
 }
 
-func (c *c0rel) related(o, l uint64) bool {
-	for _, x := range c.fwd[o] {
-		if x == l {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *c0rel) delete(o, l uint64) bool {
-	ls := c.fwd[o]
+// Delete removes a pair, reporting whether it was present
+// (engine.Store; every pair weighs 1).
+func (c *c0rel) Delete(p Pair) (int, bool) {
+	ls := c.fwd[p.Object]
 	found := false
 	for i, x := range ls {
-		if x == l {
-			c.fwd[o] = append(ls[:i], ls[i+1:]...)
-			if len(c.fwd[o]) == 0 {
-				delete(c.fwd, o)
+		if x == p.Label {
+			c.fwd[p.Object] = append(ls[:i], ls[i+1:]...)
+			if len(c.fwd[p.Object]) == 0 {
+				delete(c.fwd, p.Object)
 			}
 			found = true
 			break
 		}
 	}
 	if !found {
-		return false
+		return 0, false
 	}
-	os := c.rev[l]
+	os := c.rev[p.Label]
 	for i, x := range os {
-		if x == o {
-			c.rev[l] = append(os[:i], os[i+1:]...)
-			if len(c.rev[l]) == 0 {
-				delete(c.rev, l)
+		if x == p.Object {
+			c.rev[p.Label] = append(os[:i], os[i+1:]...)
+			if len(c.rev[p.Label]) == 0 {
+				delete(c.rev, p.Label)
 			}
 			break
 		}
 	}
 	c.size--
-	return true
+	return 1, true
 }
 
-func (c *c0rel) pairs() []Pair {
+// LiveItems lists the live pairs (engine.Store).
+func (c *c0rel) LiveItems() []Pair {
 	out := make([]Pair, 0, c.size)
 	for o, ls := range c.fwd {
 		for _, l := range ls {
@@ -121,234 +134,185 @@ func (c *c0rel) pairs() []Pair {
 	return out
 }
 
-func (c *c0rel) sizeBits() int64 {
-	// Two map headers plus per-pair and per-key footprints.
+// LiveKeys lists the live pair keys — identical to LiveItems
+// (engine.Store).
+func (c *c0rel) LiveKeys() []Pair { return c.LiveItems() }
+
+// LiveWeight and DeadWeight report pair counts; C0 deletes eagerly, so
+// it never holds dead pairs (engine.Store).
+func (c *c0rel) LiveWeight() int { return c.size }
+func (c *c0rel) DeadWeight() int { return 0 }
+
+// SizeBits estimates the footprint: two map headers plus per-pair and
+// per-key footprints (engine.Store).
+func (c *c0rel) SizeBits() int64 {
 	return 4*64 + int64(c.size)*3*64 + int64(len(c.fwd)+len(c.rev))*2*64
 }
 
+func (c *c0rel) related(object, label uint64) bool {
+	for _, x := range c.fwd[object] {
+		if x == label {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *c0rel) labelsOf(object uint64, fn func(label uint64) bool) bool {
+	for _, l := range c.fwd[object] {
+		if !fn(l) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *c0rel) objectsOf(label uint64, fn func(object uint64) bool) bool {
+	for _, o := range c.rev[label] {
+		if !fn(o) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *c0rel) countLabels(object uint64) int { return len(c.fwd[object]) }
+func (c *c0rel) countObjects(label uint64) int { return len(c.rev[label]) }
+
+func (c *c0rel) pairsFunc(fn func(Pair) bool) bool {
+	for o, ls := range c.fwd {
+		for _, l := range ls {
+			if !fn(Pair{Object: o, Label: l}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// relStore is the query surface shared by the C0 adjacency maps and the
+// compressed semiRel payload; the engine hands sub-collections back as
+// opaque stores and the adapter narrows them here.
+type relStore interface {
+	related(object, label uint64) bool
+	labelsOf(object uint64, fn func(label uint64) bool) bool
+	objectsOf(label uint64, fn func(object uint64) bool) bool
+	countLabels(object uint64) int
+	countObjects(label uint64) int
+	pairsFunc(fn func(Pair) bool) bool
+}
+
+var (
+	_ relStore = (*c0rel)(nil)
+	_ relStore = (*semiRel)(nil)
+)
+
+// ladderConfig assembles the engine's payload contract for relations:
+// pairs are their own keys, every pair weighs 1, C0 is the adjacency
+// maps, and static sub-collections are semiRel encodings.
+func ladderConfig(opts Options) engine.Config[Pair, Pair] {
+	return engine.Config[Pair, Pair]{
+		Key:    func(p Pair) Pair { return p },
+		Weight: func(Pair) int { return 1 },
+		NewC0:  func() engine.Mutable[Pair, Pair] { return newC0rel() },
+		Build: func(pairs []Pair, tau int) engine.Store[Pair, Pair] {
+			return buildSemi(pairs, tau)
+		},
+		Tau:         opts.Tau,
+		Epsilon:     opts.Epsilon,
+		MinCapacity: opts.MinCapacity,
+		Inline:      opts.Inline,
+	}
+}
+
+// NewLadder builds a bare generic engine over the relation payload; the
+// Relation wrapper below adds the relation query API, and the
+// engine-level conformance suite drives the ladder directly.
+func NewLadder(opts Options) engine.Ladder[Pair, Pair] {
+	if opts.WorstCase {
+		return engine.NewWorstCase(ladderConfig(opts))
+	}
+	return engine.NewAmortized(ladderConfig(opts))
+}
+
+// Relation is a fully-dynamic compressed binary relation (Theorem 2):
+// membership, label-of-object and object-of-label reporting and
+// counting, plus pair insertion and deletion. The bulk of the pairs
+// lives in deletion-only compressed sub-collections; only an
+// O(n/log²n)-pair C0 is kept uncompressed.
+//
+// With Options.WorstCase the generic engine's Transformation 2
+// machinery schedules all rebuilds in the background, every operation
+// serializes on the engine mutex (safe for concurrent use), and
+// WaitIdle quiesces in-flight builds. The amortized default is not safe
+// for concurrent use.
+type Relation struct {
+	eng engine.Ladder[Pair, Pair]
+}
+
+// WorstCaseRelation is a legacy alias from when the worst-case relation
+// was a separate implementation.
+type WorstCaseRelation = Relation
+
 // New creates an empty dynamic relation.
 func New(opts Options) *Relation {
-	opts = opts.withDefaults()
-	r := &Relation{opts: opts, c0: newC0rel()}
-	r.reschedule(0)
-	return r
+	return &Relation{eng: NewLadder(opts)}
 }
 
-// reschedule re-derives τ and the capacity ladder from the current pair
-// count (max_0 = 2n/log²n, ratio log^ε n), as in Transformation 1.
-func (r *Relation) reschedule(n int) {
-	r.nf = n
-	r.tau = r.opts.Tau
-	if r.tau == 0 {
-		r.tau = autoTau(n)
-	}
-	lg := math.Log2(float64(n) + 4)
-	if lg < 2 {
-		lg = 2
-	}
-	max0 := 2 * float64(n) / (lg * lg)
-	if max0 < float64(r.opts.MinCapacity) {
-		max0 = float64(r.opts.MinCapacity)
-	}
-	ratio := math.Pow(lg, r.opts.Epsilon)
-	if ratio < 1.5 {
-		ratio = 1.5
-	}
-	r.maxes = r.maxes[:0]
-	r.maxes = append(r.maxes, int(max0))
-	cap := max0
-	for cap < 2*float64(n)+1 && len(r.maxes) < 64 {
-		cap *= ratio
-		r.maxes = append(r.maxes, int(cap))
-	}
-	if len(r.maxes) < 2 {
-		r.maxes = append(r.maxes, int(cap*ratio))
-	}
-	for len(r.levels) < len(r.maxes) {
-		r.levels = append(r.levels, nil)
-	}
-}
-
-// autoTau mirrors the paper's τ = log n / log log n default.
-func autoTau(n int) int {
-	if n < 16 {
-		return 2
-	}
-	lg := math.Log2(float64(n))
-	lglg := math.Log2(lg)
-	if lglg < 1 {
-		lglg = 1
-	}
-	t := int(lg / lglg)
-	if t < 2 {
-		t = 2
-	}
-	if t > 4096 {
-		t = 4096
-	}
-	return t
+// NewWorstCase creates an empty worst-case dynamic relation (legacy
+// constructor; equivalent to New with Options.WorstCase set).
+func NewWorstCase(opts WCOptions) *Relation {
+	opts.WorstCase = true
+	return New(opts)
 }
 
 // Len reports the number of live pairs.
-func (r *Relation) Len() int { return r.live }
+func (r *Relation) Len() int { return r.eng.Count() }
 
 // Tau reports the τ currently in effect.
-func (r *Relation) Tau() int { return r.tau }
+func (r *Relation) Tau() int { return r.eng.Tau() }
 
 // Add inserts the pair (object, label). It reports false if the pair is
 // already present.
 func (r *Relation) Add(object, label uint64) bool {
-	if r.Related(object, label) {
-		return false
-	}
-	r.live++
-	if r.c0.size+1 <= r.maxes[0] {
-		r.c0.add(object, label)
-		r.maybeGlobalRebuild()
-		return true
-	}
-	// Cascade: find the first level that can absorb C0, the levels below
-	// it, and the new pair.
-	prefix := r.c0.size + 1
-	for j := 1; j < len(r.maxes); j++ {
-		if r.levels[j] != nil {
-			prefix += r.levels[j].live
-		}
-		if prefix <= r.maxes[j] {
-			r.mergeInto(j, Pair{Object: object, Label: label})
-			r.maybeGlobalRebuild()
-			return true
-		}
-	}
-	r.globalRebuild(&Pair{Object: object, Label: label})
-	return true
-}
-
-func (r *Relation) mergeInto(j int, extra Pair) {
-	pairs := r.c0.pairs()
-	r.c0 = newC0rel()
-	for i := 1; i <= j; i++ {
-		if r.levels[i] != nil {
-			pairs = append(pairs, r.levels[i].livePairs()...)
-			r.levels[i] = nil
-		}
-	}
-	pairs = append(pairs, extra)
-	r.levels[j] = buildSemi(pairs, r.tau)
-	r.rebuilds++
-}
-
-func (r *Relation) maybeGlobalRebuild() {
-	if r.live >= 2*r.nf && r.live > r.opts.MinCapacity {
-		r.globalRebuild(nil)
-	} else if r.nf > 2*r.opts.MinCapacity && r.live <= r.nf/2 {
-		r.globalRebuild(nil)
-	}
-}
-
-func (r *Relation) globalRebuild(extra *Pair) {
-	pairs := r.c0.pairs()
-	for i, l := range r.levels {
-		if l != nil {
-			pairs = append(pairs, l.livePairs()...)
-			r.levels[i] = nil
-		}
-	}
-	if extra != nil {
-		pairs = append(pairs, *extra)
-	}
-	r.c0 = newC0rel()
-	r.reschedule(len(pairs))
-	r.globalRebuilds++
-	if len(pairs) == 0 {
-		return
-	}
-	r.levels[len(r.maxes)-1] = buildSemi(pairs, r.tau)
+	return r.eng.Insert(Pair{Object: object, Label: label}) == nil
 }
 
 // Delete removes the pair (object, label), reporting whether it was
-// present. Deletions in compressed levels are lazy; a level holding too
-// many dead pairs is purged.
+// present. Deletions in compressed levels are lazy; the engine purges
+// or merges structures that cross their dead-fraction thresholds.
 func (r *Relation) Delete(object, label uint64) bool {
-	if r.c0.delete(object, label) {
-		r.live--
-		r.maybeGlobalRebuild()
-		return true
-	}
-	for j, l := range r.levels {
-		if l == nil {
-			continue
-		}
-		if l.delete(object, label) {
-			r.live--
-			total := l.live + l.dead
-			if total > 0 && l.dead*r.tau > total {
-				r.purgeLevel(j)
-			}
-			r.maybeGlobalRebuild()
-			return true
-		}
-	}
-	return false
+	return r.eng.Delete(Pair{Object: object, Label: label})
 }
 
-func (r *Relation) purgeLevel(j int) {
-	pairs := r.levels[j].livePairs()
-	if len(pairs) == 0 {
-		r.levels[j] = nil
-	} else {
-		r.levels[j] = buildSemi(pairs, r.tau)
-	}
-	r.purges++
-}
-
-// Related reports whether object and label are related.
+// Related reports whether object and label are related — one owner-map
+// lookup, O(1).
 func (r *Relation) Related(object, label uint64) bool {
-	if r.c0.related(object, label) {
-		return true
-	}
-	for _, l := range r.levels {
-		if l != nil && l.related(object, label) {
-			return true
-		}
-	}
-	return false
+	return r.eng.Has(Pair{Object: object, Label: label})
 }
 
 // LabelsOf streams the labels related to object; enumeration stops when
 // fn returns false.
 func (r *Relation) LabelsOf(object uint64, fn func(label uint64) bool) {
-	for _, l := range r.c0.fwd[object] {
-		if !fn(l) {
-			return
+	r.eng.View(func(stores []engine.Store[Pair, Pair]) {
+		for _, s := range stores {
+			if !s.(relStore).labelsOf(object, fn) {
+				return
+			}
 		}
-	}
-	for _, lvl := range r.levels {
-		if lvl == nil {
-			continue
-		}
-		if !lvl.labelsOf(object, fn) {
-			return
-		}
-	}
+	})
 }
 
 // ObjectsOf streams the objects related to label; enumeration stops when
 // fn returns false.
 func (r *Relation) ObjectsOf(label uint64, fn func(object uint64) bool) {
-	for _, o := range r.c0.rev[label] {
-		if !fn(o) {
-			return
+	r.eng.View(func(stores []engine.Store[Pair, Pair]) {
+		for _, s := range stores {
+			if !s.(relStore).objectsOf(label, fn) {
+				return
+			}
 		}
-	}
-	for _, lvl := range r.levels {
-		if lvl == nil {
-			continue
-		}
-		if !lvl.objectsOf(label, fn) {
-			return
-		}
-	}
+	})
 }
 
 // Labels returns the labels related to object, sorted.
@@ -375,46 +339,41 @@ func (r *Relation) Objects(label uint64) []uint64 {
 
 // CountLabels counts the labels related to object.
 func (r *Relation) CountLabels(object uint64) int {
-	n := len(r.c0.fwd[object])
-	for _, lvl := range r.levels {
-		if lvl != nil {
-			n += lvl.countLabels(object)
+	n := 0
+	r.eng.View(func(stores []engine.Store[Pair, Pair]) {
+		for _, s := range stores {
+			n += s.(relStore).countLabels(object)
 		}
-	}
+	})
 	return n
 }
 
 // CountObjects counts the objects related to label.
 func (r *Relation) CountObjects(label uint64) int {
-	n := len(r.c0.rev[label])
-	for _, lvl := range r.levels {
-		if lvl != nil {
-			n += lvl.countObjects(label)
+	n := 0
+	r.eng.View(func(stores []engine.Store[Pair, Pair]) {
+		for _, s := range stores {
+			n += s.(relStore).countObjects(label)
 		}
-	}
+	})
 	return n
 }
 
 // PairsFunc streams every live pair (unspecified order); enumeration
 // stops when fn returns false. Nothing is materialized.
 func (r *Relation) PairsFunc(fn func(Pair) bool) {
-	for o, ls := range r.c0.fwd {
-		for _, l := range ls {
-			if !fn(Pair{Object: o, Label: l}) {
+	r.eng.View(func(stores []engine.Store[Pair, Pair]) {
+		for _, s := range stores {
+			if !s.(relStore).pairsFunc(fn) {
 				return
 			}
 		}
-	}
-	for _, lvl := range r.levels {
-		if lvl != nil && !lvl.pairsFunc(fn) {
-			return
-		}
-	}
+	})
 }
 
 // Pairs returns every live pair (unspecified order).
 func (r *Relation) Pairs() []Pair {
-	out := make([]Pair, 0, r.live)
+	out := make([]Pair, 0, r.Len())
 	r.PairsFunc(func(p Pair) bool {
 		out = append(out, p)
 		return true
@@ -422,36 +381,15 @@ func (r *Relation) Pairs() []Pair {
 	return out
 }
 
-// Stats reports rebuild counters.
-type Stats struct {
-	LevelRebuilds  int
-	GlobalRebuilds int
-	Purges         int
-	Levels         int
-}
+// WaitIdle blocks until background rebuilds (WorstCase scheduling only)
+// have completed; the amortized engine returns immediately.
+func (r *Relation) WaitIdle() { r.eng.WaitIdle() }
 
-// Stats returns rebuild counters.
-func (r *Relation) Stats() Stats {
-	return Stats{
-		LevelRebuilds:  r.rebuilds,
-		GlobalRebuilds: r.globalRebuilds,
-		Purges:         r.purges,
-		Levels:         len(r.maxes),
-	}
-}
+// Stats returns the engine's rebuild counters and current layout.
+func (r *Relation) Stats() Stats { return r.eng.Stats() }
 
-// WaitIdle is a no-op: the amortized relation does all its work in the
-// foreground. It exists so both relation flavours satisfy the same
-// facade contract.
-func (r *Relation) WaitIdle() {}
-
-// SizeBits estimates the total footprint.
-func (r *Relation) SizeBits() int64 {
-	total := r.c0.sizeBits()
-	for _, lvl := range r.levels {
-		if lvl != nil {
-			total += lvl.sizeBits()
-		}
-	}
-	return total
-}
+// SizeBits estimates the total footprint of the sub-collection stores.
+// (The engine additionally keeps a per-pair owner map for O(1)
+// membership and delete routing — an O(n log n)-bit engineering trade
+// outside the paper's space accounting, as C0's hash maps already are.)
+func (r *Relation) SizeBits() int64 { return r.eng.SizeBits() }

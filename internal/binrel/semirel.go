@@ -1,23 +1,3 @@
-// Package binrel implements Section 5 of the paper: compressed
-// representations of dynamic binary relations, obtained by applying the
-// static-to-dynamic framework to the static relation encoding of
-// Barbay et al.
-//
-// A relation R ⊆ O × L between objects and labels is encoded as
-//
-//   - S — the sequence of labels ordered by object (a wavelet tree),
-//   - N — the bit sequence 1^{n_1} 0 1^{n_2} 0 … recording how many
-//     labels each object has,
-//
-// so that listing/counting labels of an object, objects of a label, and
-// membership all reduce to rank/select/access on S and N. Deletions are
-// lazy, recorded in bitmaps D (over S) and D_a (one per label), with the
-// Lemma 3 structure making live entries reportable in O(1) each.
-//
-// The fully-dynamic Relation splits the pair set into an uncompressed C0
-// plus geometrically growing deletion-only sub-collections, exactly as
-// the document transformations do, yielding Theorem 2's bounds without
-// dynamic rank on the query path.
 package binrel
 
 import (
@@ -28,14 +8,17 @@ import (
 	"dyncoll/internal/wavelet"
 )
 
-// Pair is one (object, label) element of a relation.
+// Pair is one (object, label) element of a relation. It is both the
+// engine item and its own key: pairs are comparable, so the generic
+// ladder routes deletions and membership through its owner map in O(1).
 type Pair struct {
 	Object uint64
 	Label  uint64
 }
 
-// semiRel is the deletion-only compressed relation: static S and N plus
-// lazy-deletion bitmaps.
+// semiRel is the deletion-only compressed relation — the static payload
+// the generic engine dynamizes — built from the static relation
+// encoding of Barbay et al.: static S and N plus lazy-deletion bitmaps.
 type semiRel struct {
 	objects []uint64 // sorted distinct objects (the paper's GN bitmap role)
 	labels  []uint64 // sorted distinct labels (the paper's GC bitmap role)
@@ -159,11 +142,12 @@ func (r *semiRel) related(object, label uint64) bool {
 	return pos >= 0 && r.alive.Get(pos)
 }
 
-// delete marks the pair dead; reports whether it was live here.
-func (r *semiRel) delete(object, label uint64) bool {
-	pos := r.findPos(object, label)
+// Delete marks the pair dead, reporting whether it was live here
+// (engine.Store; every pair weighs 1).
+func (r *semiRel) Delete(p Pair) (int, bool) {
+	pos := r.findPos(p.Object, p.Label)
 	if pos < 0 || !r.alive.Get(pos) {
-		return false
+		return 0, false
 	}
 	r.alive.Zero(pos)
 	r.aliveCnt.Set(pos, false)
@@ -173,7 +157,7 @@ func (r *semiRel) delete(object, label uint64) bool {
 	r.liveCount[a]--
 	r.live--
 	r.dead++
-	return true
+	return 1, true
 }
 
 // labelsOf streams the live labels of object; stops when fn returns
@@ -250,8 +234,8 @@ func (r *semiRel) pairsFunc(fn func(Pair) bool) bool {
 	return ok
 }
 
-// livePairs lists all live pairs (used by rebuilds).
-func (r *semiRel) livePairs() []Pair {
+// LiveItems lists all live pairs (engine.Store; used by rebuilds).
+func (r *semiRel) LiveItems() []Pair {
 	out := make([]Pair, 0, r.live)
 	r.pairsFunc(func(p Pair) bool {
 		out = append(out, p)
@@ -260,7 +244,17 @@ func (r *semiRel) livePairs() []Pair {
 	return out
 }
 
-func (r *semiRel) sizeBits() int64 {
+// LiveKeys lists all live pair keys — for relations a pair is its own
+// key, so this is LiveItems (engine.Store).
+func (r *semiRel) LiveKeys() []Pair { return r.LiveItems() }
+
+// LiveWeight and DeadWeight report live/deleted pair counts
+// (engine.Store).
+func (r *semiRel) LiveWeight() int { return r.live }
+func (r *semiRel) DeadWeight() int { return r.dead }
+
+// SizeBits estimates the footprint (engine.Store).
+func (r *semiRel) SizeBits() int64 {
 	total := r.s.SizeBits() + r.alive.SizeBits() + r.aliveCnt.SizeBits()
 	total += int64(len(r.objects))*64 + int64(len(r.labels))*64 + int64(len(r.starts))*32
 	total += int64(len(r.liveCount)) * 32

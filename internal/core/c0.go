@@ -6,14 +6,40 @@ import (
 )
 
 // c0store adapts the uncompressed generalized suffix tree (the paper's C0
-// sub-collection, Section A.2) to the internal store interface.
+// sub-collection, Section A.2) to the engine's Mutable store contract,
+// with document weights measured in payload symbols.
 type c0store struct {
 	t *suffixtree.Tree
 }
 
 func newC0() *c0store { return &c0store{t: suffixtree.New()} }
 
-func (c *c0store) insert(d doc.Doc) { c.t.Insert(d) }
+// Insert adds a document (engine.Mutable).
+func (c *c0store) Insert(d doc.Doc) { c.t.Insert(d) }
+
+// Delete removes a document, reporting its symbol weight (engine.Store).
+func (c *c0store) Delete(id uint64) (int, bool) {
+	n, ok := c.t.DocLen(id)
+	if !ok {
+		return 0, false
+	}
+	c.t.Delete(id)
+	return n, true
+}
+
+// LiveKeys lists the live document IDs (engine.Store).
+func (c *c0store) LiveKeys() []uint64 { return c.t.LiveIDs() }
+
+// LiveItems materializes the live documents (engine.Store).
+func (c *c0store) LiveItems() []doc.Doc { return c.t.LiveDocs() }
+
+// LiveWeight and DeadWeight report live/deleted payload symbols
+// (engine.Store).
+func (c *c0store) LiveWeight() int { return c.t.Len() }
+func (c *c0store) DeadWeight() int { return c.t.DeletedSymbols() }
+
+// SizeBits estimates the footprint (engine.Store).
+func (c *c0store) SizeBits() int64 { return c.t.SizeBits() }
 
 func (c *c0store) findFunc(pattern []byte, fn func(Occurrence) bool) {
 	c.t.FindFunc(pattern, func(o suffixtree.Occurrence) bool {
@@ -28,14 +54,3 @@ func (c *c0store) extract(id uint64, off, length int) ([]byte, bool) {
 }
 
 func (c *c0store) docLen(id uint64) (int, bool) { return c.t.DocLen(id) }
-
-func (c *c0store) delete(id uint64) bool { return c.t.Delete(id) }
-
-func (c *c0store) has(id uint64) bool { return c.t.Has(id) }
-
-func (c *c0store) liveDocs() []doc.Doc { return c.t.LiveDocs() }
-
-func (c *c0store) liveSymbols() int    { return c.t.Len() }
-func (c *c0store) deletedSymbols() int { return c.t.DeletedSymbols() }
-
-func (c *c0store) sizeBits() int64 { return c.t.SizeBits() }

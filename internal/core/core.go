@@ -23,6 +23,13 @@
 // suffix array plus the Lemma 3 reporting structure V filter matches in
 // O(1) per reported occurrence, and a structure is purged once a 1/τ
 // fraction of it is dead.
+//
+// Since the engine refactor, this package holds only the document
+// payload — the C0 suffix-tree adapter, the semi-dynamic wrapper, and
+// the query fan-out — while the transformation machinery itself (the
+// capacity ladder, cascades, background builds, top sweeps, rebalance)
+// lives once, generically, in internal/engine and is shared with the
+// binary-relation payload (internal/binrel).
 package core
 
 import (
@@ -88,19 +95,14 @@ type Occurrence struct {
 	Off   int    // offset of the match within the document payload
 }
 
-// store is the internal interface shared by every sub-collection holder:
-// the uncompressed C0 suffix tree and the semi-dynamic static indexes.
-type store interface {
+// docStore is the query surface shared by the C0 suffix tree and the
+// semi-dynamic wrapper. The generic engine hands sub-collections back as
+// opaque stores; the adapter narrows them here to run document queries.
+type docStore interface {
 	findFunc(pattern []byte, fn func(Occurrence) bool)
 	count(pattern []byte) int
 	extract(id uint64, off, length int) ([]byte, bool)
 	docLen(id uint64) (int, bool)
-	delete(id uint64) bool
-	has(id uint64) bool
-	liveDocs() []doc.Doc
-	liveSymbols() int
-	deletedSymbols() int
-	sizeBits() int64
 }
 
 // Options configure a dynamized collection.
@@ -156,35 +158,4 @@ func (o Options) withDefaults() Options {
 		panic(fmt.Sprintf("core: negative Tau %d", o.Tau))
 	}
 	return o
-}
-
-// autoTau computes τ = max(2, log₂ n / log₂ log₂ n) as the paper's
-// default trade-off, capped so the Lemma 3 word width stays sane.
-func autoTau(n int) int {
-	if n < 16 {
-		return 2
-	}
-	lg := log2(n)
-	lglg := log2(lg)
-	if lglg < 1 {
-		lglg = 1
-	}
-	t := lg / lglg
-	if t < 2 {
-		t = 2
-	}
-	if t > 4096 {
-		t = 4096
-	}
-	return t
-}
-
-// log2 returns ⌊log₂ x⌋ for x ≥ 1.
-func log2(x int) int {
-	l := 0
-	for x > 1 {
-		x >>= 1
-		l++
-	}
-	return l
 }

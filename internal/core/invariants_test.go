@@ -82,14 +82,12 @@ func TestT1DeadFractionBounded(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for _, i := range rng.Perm(len(ids))[:200] {
 		a.Delete(ids[i])
-		for _, lvl := range a.levels {
-			if lvl == nil {
-				continue
-			}
-			total := lvl.liveSymbols() + lvl.deletedSymbols()
-			if total > 0 && lvl.deletedSymbols()*tau > total {
-				t.Fatalf("level retains dead fraction %d/%d > 1/%d",
-					lvl.deletedSymbols(), total, tau)
+		st := a.Stats()
+		for j := 1; j < len(st.LevelSizes); j++ {
+			total := st.LevelSizes[j] + st.LevelDead[j]
+			if total > 0 && st.LevelDead[j]*tau > total {
+				t.Fatalf("level %d retains dead fraction %d/%d > 1/%d",
+					j, st.LevelDead[j], total, tau)
 			}
 		}
 	}
@@ -193,19 +191,20 @@ func TestGlobalRebuildResetsSchedule(t *testing.T) {
 	gen := textgen.NewCollection(textgen.CollectionOptions{
 		Sigma: 8, MinLen: 100, MaxLen: 100, Seed: 67,
 	})
+	const minCap = 64 // the default MinCapacity the schedule floors at
 	var ids []uint64
 	for i := 0; i < 300; i++ {
 		d := gen.NextDoc()
 		a.Insert(d)
 		ids = append(ids, d.ID)
-		if n := a.Len(); n > 2*a.opts.MinCapacity && (a.nf > 2*n || n > 2*a.nf) {
-			t.Fatalf("insert %d: nf=%d drifted beyond factor 2 of n=%d", i, a.nf, n)
+		if n, nf := a.Len(), a.Stats().NF; n > 2*minCap && (nf > 2*n || n > 2*nf) {
+			t.Fatalf("insert %d: nf=%d drifted beyond factor 2 of n=%d", i, nf, n)
 		}
 	}
 	for _, id := range ids {
 		a.Delete(id)
-		if n := a.Len(); n > 2*a.opts.MinCapacity && a.nf > 2*a.opts.MinCapacity && (a.nf > 2*n+a.opts.MinCapacity || n > 2*a.nf) {
-			t.Fatalf("delete: nf=%d drifted beyond factor 2 of n=%d", a.nf, n)
+		if n, nf := a.Len(), a.Stats().NF; n > 2*minCap && nf > 2*minCap && (nf > 2*n+minCap || n > 2*nf) {
+			t.Fatalf("delete: nf=%d drifted beyond factor 2 of n=%d", nf, n)
 		}
 	}
 	if a.Len() != 0 {
@@ -229,10 +228,10 @@ func TestSemiDynamicDirect(t *testing.T) {
 		if got := s.count([]byte("ss")); got != 4 {
 			t.Fatalf("count(ss) = %d, want 4", got)
 		}
-		if !s.delete(20) {
-			t.Fatal("delete(20) failed")
+		if wt, ok := s.Delete(20); !ok || wt != len("swiss") {
+			t.Fatalf("Delete(20) = %d,%v", wt, ok)
 		}
-		if s.delete(20) {
+		if _, ok := s.Delete(20); ok {
 			t.Fatal("double delete succeeded")
 		}
 		if got := s.count([]byte("ss")); got != 3 {
@@ -246,20 +245,20 @@ func TestSemiDynamicDirect(t *testing.T) {
 		if len(occs) != 2 {
 			t.Fatalf("findFunc(miss) = %v", occs)
 		}
-		live := s.liveDocs()
+		live := s.LiveItems()
 		if len(live) != 2 {
-			t.Fatalf("liveDocs = %d docs", len(live))
+			t.Fatalf("LiveItems = %d docs", len(live))
 		}
 		for _, d := range live {
 			if d.ID == 20 {
 				t.Fatal("deleted doc still listed live")
 			}
 		}
-		if s.liveSymbols() != len("mississippi")+len("miss") {
-			t.Fatalf("liveSymbols = %d", s.liveSymbols())
+		if s.LiveWeight() != len("mississippi")+len("miss") {
+			t.Fatalf("LiveWeight = %d", s.LiveWeight())
 		}
-		if s.deletedSymbols() != len("swiss") {
-			t.Fatalf("deletedSymbols = %d", s.deletedSymbols())
+		if s.DeadWeight() != len("swiss") {
+			t.Fatalf("DeadWeight = %d", s.DeadWeight())
 		}
 	}
 }
@@ -274,21 +273,6 @@ func TestSemiDynamicEmptyPattern(t *testing.T) {
 	s.findFunc(nil, func(Occurrence) bool { n++; return true })
 	if n != 3 {
 		t.Fatalf("findFunc(nil) visited %d", n)
-	}
-}
-
-// TestAutoTauMonotone sanity-checks the automatic τ schedule.
-func TestAutoTauMonotone(t *testing.T) {
-	prev := 0
-	for _, n := range []int{0, 10, 100, 1 << 10, 1 << 16, 1 << 24, 1 << 30} {
-		tau := autoTau(n)
-		if tau < 2 {
-			t.Fatalf("autoTau(%d) = %d < 2", n, tau)
-		}
-		if tau < prev {
-			t.Fatalf("autoTau not monotone at n=%d: %d < %d", n, tau, prev)
-		}
-		prev = tau
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"dyncoll/internal/doc"
 	"dyncoll/internal/dynbits"
+	"dyncoll/internal/engine"
 	"dyncoll/internal/sparsebits"
 )
 
@@ -17,8 +18,9 @@ import (
 //
 // Deleting a document costs tSA + O(logᵋ n) per symbol: each of its
 // suffix rows is located with SuffixRank and cleared in V. The wrapper
-// never rebuilds itself — the fully-dynamic transformations purge and
-// rebuild whole sub-collections through their Builder.
+// never rebuilds itself — it is the document instance of the engine's
+// static payload contract, and the engine purges and rebuilds whole
+// sub-collections through the configured Build function.
 type SemiDynamic struct {
 	idx   StaticIndex
 	alive *sparsebits.Compressed
@@ -62,21 +64,20 @@ func NewSemiDynamic(idx StaticIndex, tau int, counting bool) *SemiDynamic {
 // Index exposes the wrapped static index.
 func (s *SemiDynamic) Index() StaticIndex { return s.idx }
 
-func (s *SemiDynamic) has(id uint64) bool {
-	_, ok := s.byID[id]
-	return ok
-}
-
-func (s *SemiDynamic) liveSymbols() int    { return s.live }
-func (s *SemiDynamic) deletedSymbols() int { return s.deleted }
+// LiveWeight and DeadWeight report live/deleted payload symbols
+// (engine.Store).
+func (s *SemiDynamic) LiveWeight() int { return s.live }
+func (s *SemiDynamic) DeadWeight() int { return s.deleted }
 
 // DocCount reports the number of live documents.
 func (s *SemiDynamic) DocCount() int { return len(s.byID) }
 
-func (s *SemiDynamic) delete(id uint64) bool {
+// Delete lazily removes document id, reporting its symbol weight
+// (engine.Store).
+func (s *SemiDynamic) Delete(id uint64) (int, bool) {
 	d, ok := s.byID[id]
 	if !ok {
-		return false
+		return 0, false
 	}
 	delete(s.byID, id)
 	dl := s.idx.DocLen(d)
@@ -107,7 +108,7 @@ func (s *SemiDynamic) delete(id uint64) bool {
 	}
 	s.live -= dl
 	s.deleted += dl
-	return true
+	return dl, true
 }
 
 func (s *SemiDynamic) findFunc(pattern []byte, fn func(Occurrence) bool) {
@@ -172,8 +173,9 @@ func (s *SemiDynamic) docLen(id uint64) (int, bool) {
 	return s.idx.DocLen(d), true
 }
 
-// liveIDs returns the IDs of the live documents (a cheap snapshot).
-func (s *SemiDynamic) liveIDs() []uint64 {
+// LiveKeys returns the IDs of the live documents — a cheap snapshot, no
+// payload extraction (engine.Store).
+func (s *SemiDynamic) LiveKeys() []uint64 {
 	out := make([]uint64, 0, len(s.byID))
 	for id := range s.byID {
 		out = append(out, id)
@@ -181,38 +183,34 @@ func (s *SemiDynamic) liveIDs() []uint64 {
 	return out
 }
 
-// lazySnapshot captures the live document indices so their payloads can
-// be extracted later — possibly on another goroutine — from the immutable
-// static index. Lazy deletions touch only the wrapper's bitmaps, never
-// the index, so the deferred extraction is race-free; documents deleted
-// after the snapshot are weeded out when the build result is installed.
-func (s *SemiDynamic) lazySnapshot() lazySrc {
+// Snapshot captures the live document indices so their payloads can be
+// extracted later — possibly on another goroutine — from the immutable
+// static index (engine.Snapshotter). Lazy deletions touch only the
+// wrapper's bitmaps, never the index, so the deferred extraction is
+// race-free; documents deleted after the snapshot are weeded out when
+// the build result is installed.
+func (s *SemiDynamic) Snapshot() engine.Snapshot[doc.Doc] {
 	idxs := make([]int, 0, len(s.byID))
 	for _, d := range s.byID {
 		idxs = append(idxs, d)
 	}
-	return lazySrc{idx: s.idx, docIdxs: idxs}
-}
-
-// lazySrc is a deferred-extraction snapshot of a static index's live
-// documents.
-type lazySrc struct {
-	idx     StaticIndex
-	docIdxs []int
-}
-
-// materialize extracts the snapshot's documents from the static index.
-func (l lazySrc) materialize(dst []doc.Doc) []doc.Doc {
-	for _, di := range l.docIdxs {
-		dst = append(dst, doc.Doc{
-			ID:   l.idx.DocID(di),
-			Data: l.idx.Extract(di, 0, l.idx.DocLen(di)),
-		})
+	idx := s.idx
+	return engine.Snapshot[doc.Doc]{
+		Count: len(idxs),
+		Materialize: func(dst []doc.Doc) []doc.Doc {
+			for _, di := range idxs {
+				dst = append(dst, doc.Doc{
+					ID:   idx.DocID(di),
+					Data: idx.Extract(di, 0, idx.DocLen(di)),
+				})
+			}
+			return dst
+		},
 	}
-	return dst
 }
 
-func (s *SemiDynamic) liveDocs() []doc.Doc {
+// LiveItems materializes the live documents (engine.Store).
+func (s *SemiDynamic) LiveItems() []doc.Doc {
 	out := make([]doc.Doc, 0, len(s.byID))
 	for i := 0; i < s.idx.DocCount(); i++ {
 		id := s.idx.DocID(i)
@@ -224,15 +222,11 @@ func (s *SemiDynamic) liveDocs() []doc.Doc {
 	return out
 }
 
-func (s *SemiDynamic) sizeBits() int64 {
+// SizeBits estimates the footprint (engine.Store).
+func (s *SemiDynamic) SizeBits() int64 {
 	total := s.idx.SizeBits() + s.alive.SizeBits()
 	if s.cnt != nil {
 		total += s.cnt.SizeBits()
 	}
 	return total
-}
-
-// buildSemi builds a static index over docs and wraps it.
-func buildSemi(b Builder, docs []doc.Doc, tau int, counting bool) *SemiDynamic {
-	return NewSemiDynamic(b(docs), tau, counting)
 }

@@ -1,0 +1,43 @@
+package engine
+
+import "testing"
+
+// TestAutoTauMonotone sanity-checks the automatic τ schedule shared by
+// every payload.
+func TestAutoTauMonotone(t *testing.T) {
+	prev := 0
+	for _, n := range []int{0, 10, 15, 16, 100, 1 << 10, 1 << 16, 1 << 24, 1 << 30} {
+		tau := autoTau(n)
+		if tau < 2 || tau > 4096 {
+			t.Fatalf("autoTau(%d) = %d outside [2, 4096]", n, tau)
+		}
+		if tau < prev {
+			t.Fatalf("autoTau not monotone at n=%d: %d < %d", n, tau, prev)
+		}
+		prev = tau
+	}
+}
+
+// TestSplitItems checks chunking respects the weight bound and keeps
+// every item exactly once.
+func TestSplitItems(t *testing.T) {
+	items := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	chunks := splitItems(items, func(x int) int { return x }, 7)
+	total := 0
+	for _, c := range chunks {
+		w := 0
+		for _, x := range c {
+			w += x
+			total++
+		}
+		if w > 7 && len(c) > 1 {
+			t.Fatalf("chunk %v exceeds weight bound", c)
+		}
+	}
+	if total != len(items) {
+		t.Fatalf("split lost items: %d of %d", total, len(items))
+	}
+	if got := splitItems([]int{42}, func(x int) int { return x }, 7); len(got) != 1 {
+		t.Fatalf("oversized single item should get its own chunk, got %v", got)
+	}
+}

@@ -1,42 +1,20 @@
 // Package graph implements Theorem 3 of the paper: a compressed dynamic
 // directed graph. A digraph is the binary relation between nodes in which
 // an edge u→v relates object u to label v, so the whole representation —
-// compressed sub-collections, lazy deletions, O(log^ε n) updates — is
-// inherited from package binrel.
+// the generic engine's sub-collection ladder, lazy deletions, O(log^ε n)
+// updates, and (with Options.WorstCase) background builds, top-collection
+// sweeps and WaitIdle — is inherited from package binrel, exactly as the
+// paper derives Theorem 3 as a corollary of Theorem 2.
 package graph
 
 import "dyncoll/internal/binrel"
-
-// relation is the slice of the binrel API the graph needs; both the
-// amortized Relation and the WorstCaseRelation satisfy it.
-type relation interface {
-	Add(object, label uint64) bool
-	Delete(object, label uint64) bool
-	Related(object, label uint64) bool
-	LabelsOf(object uint64, fn func(label uint64) bool)
-	ObjectsOf(label uint64, fn func(object uint64) bool)
-	Labels(object uint64) []uint64
-	Objects(label uint64) []uint64
-	CountLabels(object uint64) int
-	CountObjects(label uint64) int
-	Pairs() []binrel.Pair
-	PairsFunc(fn func(binrel.Pair) bool)
-	Len() int
-	SizeBits() int64
-}
-
-var (
-	_ relation = (*binrel.Relation)(nil)
-	_ relation = (*binrel.WorstCaseRelation)(nil)
-)
 
 // Graph is a compressed dynamic directed graph. Nodes are arbitrary
 // uint64 identifiers; a node exists while it has at least one incident
 // edge (the paper removes empty labels/objects from the alphabets the
 // same way).
 type Graph struct {
-	rel relation
-	wc  *binrel.WorstCaseRelation // non-nil when WorstCase updates chosen
+	rel *binrel.Relation
 }
 
 // Options configure a graph.
@@ -55,15 +33,12 @@ type Options struct {
 
 // New creates an empty dynamic graph.
 func New(opts Options) *Graph {
-	if opts.WorstCase {
-		wc := binrel.NewWorstCase(binrel.WCOptions{
-			Tau: opts.Tau, Epsilon: opts.Epsilon,
-			MinCapacity: opts.MinCapacity, Inline: opts.Inline,
-		})
-		return &Graph{rel: wc, wc: wc}
-	}
 	return &Graph{rel: binrel.New(binrel.Options{
-		Tau: opts.Tau, Epsilon: opts.Epsilon, MinCapacity: opts.MinCapacity,
+		Tau:         opts.Tau,
+		Epsilon:     opts.Epsilon,
+		MinCapacity: opts.MinCapacity,
+		WorstCase:   opts.WorstCase,
+		Inline:      opts.Inline,
 	})}
 }
 
@@ -110,11 +85,14 @@ func (g *Graph) EdgesFunc(fn func(binrel.Pair) bool) { g.rel.PairsFunc(fn) }
 
 // WaitIdle blocks until background rebuilds (WorstCase scheduling only)
 // have completed; otherwise it returns immediately.
-func (g *Graph) WaitIdle() {
-	if g.wc != nil {
-		g.wc.WaitIdle()
-	}
-}
+func (g *Graph) WaitIdle() { g.rel.WaitIdle() }
+
+// Stats returns the underlying engine's rebuild counters and ladder
+// layout.
+func (g *Graph) Stats() binrel.Stats { return g.rel.Stats() }
+
+// Tau reports the τ currently in effect.
+func (g *Graph) Tau() int { return g.rel.Tau() }
 
 // SizeBits estimates the total footprint.
 func (g *Graph) SizeBits() int64 { return g.rel.SizeBits() }

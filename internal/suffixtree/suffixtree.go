@@ -150,6 +150,15 @@ func (t *Tree) LiveDocs() []doc.Doc {
 	return out
 }
 
+// LiveIDs returns the IDs of the live documents in unspecified order.
+func (t *Tree) LiveIDs() []uint64 {
+	out := make([]uint64, 0, len(t.byID))
+	for id := range t.byID {
+		out = append(out, id)
+	}
+	return out
+}
+
 // Extract returns length payload bytes of the live document id starting
 // at offset off, clamped to the payload; ok is false if the document is
 // not present.

@@ -10,8 +10,9 @@ import (
 // Pair is one (object, label) element of a Relation.
 type Pair = binrel.Pair
 
-// relationImpl is the slice of the binrel API the facade needs; both the
-// amortized Relation and the WorstCaseRelation satisfy it.
+// relationImpl is the slice of the binrel API the facade needs;
+// binrel.Relation (either engine scheduling) satisfies it directly and
+// shardedRelation satisfies it by fanning out over p of them.
 type relationImpl interface {
 	Add(object, label uint64) bool
 	Delete(object, label uint64) bool
@@ -28,11 +29,11 @@ type relationImpl interface {
 	Tau() int
 	SizeBits() int64
 	WaitIdle()
+	Stats() binrel.Stats
 }
 
 var (
 	_ relationImpl = (*binrel.Relation)(nil)
-	_ relationImpl = (*binrel.WorstCaseRelation)(nil)
 	_ relationImpl = (*shardedRelation)(nil)
 )
 
@@ -50,16 +51,16 @@ type Relation struct {
 	rel relationImpl
 }
 
-// newRelationImpl builds one unsharded relation for cfg.
+// newRelationImpl builds one unsharded relation for cfg. Both update
+// regimes come from the same generic engine, so the transformation is
+// just an option on the one constructor.
 func newRelationImpl(cfg config) relationImpl {
-	if cfg.transformation == WorstCase {
-		return binrel.NewWorstCase(binrel.WCOptions{
-			Tau: cfg.tau, Epsilon: cfg.epsilon,
-			MinCapacity: cfg.minCapacity, Inline: cfg.syncRebuilds,
-		})
-	}
 	return binrel.New(binrel.Options{
-		Tau: cfg.tau, Epsilon: cfg.epsilon, MinCapacity: cfg.minCapacity,
+		Tau:         cfg.tau,
+		Epsilon:     cfg.epsilon,
+		MinCapacity: cfg.minCapacity,
+		WorstCase:   cfg.transformation == WorstCase,
+		Inline:      cfg.syncRebuilds,
 	})
 }
 
@@ -174,3 +175,15 @@ func (r *Relation) SizeBits() int64 { return r.rel.SizeBits() }
 // have completed — across every shard when the relation is sharded;
 // otherwise it returns immediately.
 func (r *Relation) WaitIdle() { r.rel.WaitIdle() }
+
+// Stats reports the relation's engine-level ladder state and rebuild
+// counters, in the same shape Collection.Stats uses (sizes are pair
+// counts). On a sharded relation the counters are aggregated across
+// shards.
+func (r *Relation) Stats() IndexStats {
+	st := indexStatsFrom(r.rel.Stats())
+	if sh, ok := r.rel.(*shardedRelation); ok {
+		st.Shards = len(sh.shards)
+	}
+	return st
+}

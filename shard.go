@@ -125,6 +125,49 @@ func gather[T any](n int, collect func(i int) []T) []T {
 	return out
 }
 
+// aggStats merges per-shard engine stats into one: counters sum,
+// per-level numbers sum element-wise, top lists concatenate, Tau is
+// taken from shard 0 (all shards share a config). Every sharded
+// structure — collection, relation, graph — aggregates through this one
+// code path; get is responsible for its shard's lock.
+func aggStats(n int, get func(i int) core.Stats) core.Stats {
+	var agg core.Stats
+	for i := 0; i < n; i++ {
+		st := get(i)
+		if i == 0 {
+			agg.Tau = st.Tau
+		}
+		if st.Levels > agg.Levels {
+			agg.Levels = st.Levels
+		}
+		for j, sz := range st.LevelSizes {
+			if j == len(agg.LevelSizes) {
+				agg.LevelSizes = append(agg.LevelSizes, 0)
+				agg.LevelCaps = append(agg.LevelCaps, 0)
+				agg.LevelDead = append(agg.LevelDead, 0)
+			}
+			agg.LevelSizes[j] += sz
+			agg.LevelCaps[j] += st.LevelCaps[j]
+			agg.LevelDead[j] += st.LevelDead[j]
+		}
+		agg.LevelRebuilds += st.LevelRebuilds
+		agg.GlobalRebuilds += st.GlobalRebuilds
+		agg.Purges += st.Purges
+		agg.BackgroundBuilds += st.BackgroundBuilds
+		agg.SyncBuilds += st.SyncBuilds
+		agg.TempParks += st.TempParks
+		agg.TopPurges += st.TopPurges
+		agg.Rebalances += st.Rebalances
+		agg.PendingBuilds += st.PendingBuilds
+		agg.Tops += st.Tops
+		agg.MaxTops += st.MaxTops
+		agg.TopSizes = append(agg.TopSizes, st.TopSizes...)
+		agg.TopDead = append(agg.TopDead, st.TopDead...)
+		agg.NF += st.NF
+	}
+	return agg
+}
+
 // --- Collection ---
 
 // collShard is one partition of a sharded collection: an independent
@@ -356,33 +399,14 @@ func (s *shardedColl) WaitIdle() {
 	}
 }
 
-// stats aggregates per-shard stats: counters sum, per-level numbers sum
-// element-wise, Tau is taken from shard 0 (all shards share a config).
-func (s *shardedColl) stats() IndexStats {
-	agg := IndexStats{Shards: len(s.shards)}
-	for i, sh := range s.shards {
+// Stats aggregates per-shard engine stats through aggStats.
+func (s *shardedColl) Stats() core.Stats {
+	return aggStats(len(s.shards), func(i int) core.Stats {
+		sh := s.shards[i]
 		sh.mu.RLock()
-		st := implStats(sh.impl)
-		sh.mu.RUnlock()
-		if i == 0 {
-			agg.Tau = st.Tau
-		}
-		if st.Levels > agg.Levels {
-			agg.Levels = st.Levels
-		}
-		for j, sz := range st.LevelSizes {
-			if j == len(agg.LevelSizes) {
-				agg.LevelSizes = append(agg.LevelSizes, 0)
-				agg.LevelCaps = append(agg.LevelCaps, 0)
-			}
-			agg.LevelSizes[j] += sz
-			agg.LevelCaps[j] += st.LevelCaps[j]
-		}
-		agg.Rebuilds += st.Rebuilds
-		agg.GlobalRebuilds += st.GlobalRebuilds
-		agg.Tops += st.Tops
-	}
-	return agg
+		defer sh.mu.RUnlock()
+		return sh.impl.Stats()
+	})
 }
 
 // --- Relation ---
@@ -545,6 +569,16 @@ func (s *shardedRelation) WaitIdle() {
 	}
 }
 
+// Stats aggregates per-shard engine stats through aggStats.
+func (s *shardedRelation) Stats() binrel.Stats {
+	return aggStats(len(s.shards), func(i int) core.Stats {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.rel.Stats()
+	})
+}
+
 // --- Graph ---
 
 // graphShard is one partition of a sharded graph, keyed by edge source.
@@ -682,6 +716,16 @@ func (s *shardedGraph) WaitIdle() {
 	for _, sh := range s.shards {
 		sh.g.WaitIdle()
 	}
+}
+
+// Stats aggregates per-shard engine stats through aggStats.
+func (s *shardedGraph) Stats() binrel.Stats {
+	return aggStats(len(s.shards), func(i int) core.Stats {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.g.Stats()
+	})
 }
 
 func (s *shardedGraph) SizeBits() int64 {
