@@ -468,6 +468,7 @@ func BenchmarkFindParallel(b *testing.B) {
 	docs := benchDocs(1<<17, 16, 17)
 	ps := textgen.NewPatternSampler(docs, 18)
 	pats := ps.PlantedSet(64, 8)
+	heavyPats := ps.PlantedSet(8, 2)
 	for _, shards := range []int{0, 1, 2, 4, 8} {
 		c := shardedBench(b, shards, docs)
 		name := "unsharded"
@@ -477,6 +478,15 @@ func BenchmarkFindParallel(b *testing.B) {
 		b.Run("serial/"+name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c.FindFunc(pats[i%len(pats)], func(Occurrence) bool { return true })
+			}
+		})
+		// Heavy patterns (length 2 over σ=16 ⇒ ~512 occurrences each)
+		// stress the fan-out's per-value merge cost rather than the
+		// backward search; this is the case the chunked emission of
+		// fanOut exists for.
+		b.Run("serial-heavy/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.FindFunc(heavyPats[i%len(heavyPats)], func(Occurrence) bool { return true })
 			}
 		})
 		if shards > 0 { // the unsharded collection is not concurrency-safe
@@ -490,6 +500,30 @@ func BenchmarkFindParallel(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// BenchmarkFanOut isolates the fan-out merge machinery from any index
+// work: p synthetic producers each stream 8192 values into one
+// consumer. This is the per-value overhead every sharded enumeration
+// (FindFunc, ObjectsOf, PairsFunc, …) pays on top of its actual query
+// cost.
+func BenchmarkFanOut(b *testing.B) {
+	const perShard = 1 << 13
+	for _, p := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				fanOut(p, func(i int, emit func(int) bool) {
+					for v := 0; v < perShard; v++ {
+						if !emit(v) {
+							return
+						}
+					}
+				}, func(int) bool { total++; return true })
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(p*perShard), "ns/value")
+		})
 	}
 }
 

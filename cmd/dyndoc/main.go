@@ -13,6 +13,8 @@
 //	find <pattern>        list occurrences (doc id + offset)
 //	count <pattern>       count occurrences
 //	extract <id> <off> <len>
+//	save <path>           write a snapshot (atomic temp-file + rename)
+//	load <path>           replace the structure with a snapshot
 //	stats                 engine statistics
 //	quit
 //
@@ -23,7 +25,7 @@
 //	related <obj> <label>
 //	labels <obj>          sorted labels of an object
 //	objects <label>       sorted objects of a label
-//	stats | quit
+//	save/load <path> | stats | quit
 //
 // -mode graph:
 //
@@ -32,7 +34,7 @@
 //	has <u> <v>
 //	succ <u>              sorted successors
 //	pred <v>              sorted predecessors
-//	stats | quit
+//	save/load <path> | stats | quit
 //
 // Flags select the transformation, static index (collection mode),
 // shard count, and tuning parameters, so the CLI doubles as a manual
@@ -177,6 +179,11 @@ func printStats(st dyncoll.IndexStats, unit string, live int, sizeBits int64) {
 }
 
 func runCollection(c *dyncoll.Collection, cmd, rest string) error {
+	if handled, err := runSaveLoad(c, cmd, rest, func() string {
+		return fmt.Sprintf("%d document(s)", c.DocCount())
+	}); handled {
+		return err
+	}
 	switch cmd {
 	case "quit", "exit":
 		return errQuit
@@ -264,9 +271,42 @@ func runCollection(c *dyncoll.Collection, cmd, rest string) error {
 		printStats(c.Stats(), "symbol", c.Len(), c.SizeBits())
 
 	default:
-		return fmt.Errorf("unknown command %q (add addfile del find count extract stats quit)", cmd)
+		return fmt.Errorf("unknown command %q (add addfile del find count extract save load stats quit)", cmd)
 	}
 	return nil
+}
+
+// savable lets the three modes share the save/load command handling.
+type savable interface {
+	SaveFile(path string) error
+	LoadFile(path string) error
+}
+
+// runSaveLoad handles the shared save/load commands; handled reports
+// whether cmd was one of them.
+func runSaveLoad(s savable, cmd, rest string, describe func() string) (handled bool, err error) {
+	path := strings.TrimSpace(rest)
+	switch cmd {
+	case "save":
+		if path == "" {
+			return true, fmt.Errorf("usage: save <path>")
+		}
+		if err := s.SaveFile(path); err != nil {
+			return true, err
+		}
+		fmt.Printf("saved %s to %s\n", describe(), path)
+		return true, nil
+	case "load":
+		if path == "" {
+			return true, fmt.Errorf("usage: load <path>")
+		}
+		if err := s.LoadFile(path); err != nil {
+			return true, err
+		}
+		fmt.Printf("loaded %s from %s\n", describe(), path)
+		return true, nil
+	}
+	return false, nil
 }
 
 // parsePair reads two uint64 arguments.
@@ -288,6 +328,11 @@ func parseOne(rest string) (uint64, error) {
 }
 
 func runRelation(r *dyncoll.Relation, cmd, rest string) error {
+	if handled, err := runSaveLoad(r, cmd, rest, func() string {
+		return fmt.Sprintf("%d pair(s)", r.Len())
+	}); handled {
+		return err
+	}
 	switch cmd {
 	case "quit", "exit":
 		return errQuit
@@ -338,12 +383,17 @@ func runRelation(r *dyncoll.Relation, cmd, rest string) error {
 		printStats(r.Stats(), "pair", r.Len(), r.SizeBits())
 
 	default:
-		return fmt.Errorf("unknown command %q (rel unrel related labels objects stats quit)", cmd)
+		return fmt.Errorf("unknown command %q (rel unrel related labels objects save load stats quit)", cmd)
 	}
 	return nil
 }
 
 func runGraph(g *dyncoll.Graph, cmd, rest string) error {
+	if handled, err := runSaveLoad(g, cmd, rest, func() string {
+		return fmt.Sprintf("%d edge(s)", g.EdgeCount())
+	}); handled {
+		return err
+	}
 	switch cmd {
 	case "quit", "exit":
 		return errQuit
@@ -394,7 +444,7 @@ func runGraph(g *dyncoll.Graph, cmd, rest string) error {
 		printStats(g.Stats(), "edge", g.EdgeCount(), g.SizeBits())
 
 	default:
-		return fmt.Errorf("unknown command %q (edge deledge has succ pred stats quit)", cmd)
+		return fmt.Errorf("unknown command %q (edge deledge has succ pred save load stats quit)", cmd)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package dyncoll
 
 import (
+	"fmt"
+
 	"dyncoll/internal/binrel"
 	"dyncoll/internal/graph"
 )
@@ -40,15 +42,20 @@ const (
 	CompressedCSA
 )
 
-// name maps the v1 enum onto the registry namespace.
-func (k IndexKind) name() string {
+// name maps the v1 enum onto the registry namespace. Out-of-range
+// values fail with ErrUnknownIndex — the options contract promises that
+// invalid configuration is never silently ignored, and the old default
+// branch mapped e.g. IndexKind(7) to the FM index without a word.
+func (k IndexKind) name() (string, error) {
 	switch k {
+	case CompressedFM:
+		return IndexFM, nil
 	case PlainSA:
-		return IndexSA
+		return IndexSA, nil
 	case CompressedCSA:
-		return IndexCSA
+		return IndexCSA, nil
 	default:
-		return IndexFM
+		return "", fmt.Errorf("dyncoll: %w: IndexKind(%d)", ErrUnknownIndex, int(k))
 	}
 }
 
@@ -74,23 +81,36 @@ type CollectionOptions struct {
 }
 
 // NewCollectionFromOptions creates a collection from the v1 option
-// struct. All v1 configurations are valid, so no error is possible.
+// struct. It fails with ErrUnknownIndex when Index is not one of the
+// enum's values — the zero value and the named constants remain valid —
+// and ErrInvalidOption on an out-of-range Transformation or Tau.
 //
 // Deprecated: use NewCollection with functional options.
-func NewCollectionFromOptions(o CollectionOptions) *Collection {
-	c, err := newCollection(config{
+func NewCollectionFromOptions(o CollectionOptions) (*Collection, error) {
+	name, err := o.Index.name()
+	if err != nil {
+		return nil, err
+	}
+	switch o.Transformation {
+	case WorstCase, Amortized, AmortizedFastInsert:
+	default:
+		return nil, fmt.Errorf("dyncoll: %w: unknown Transformation %d", ErrInvalidOption, int(o.Transformation))
+	}
+	if o.Tau < 0 {
+		return nil, fmt.Errorf("dyncoll: %w: negative tau %d", ErrInvalidOption, o.Tau)
+	}
+	if o.SampleRate < 0 {
+		return nil, fmt.Errorf("dyncoll: %w: negative sample rate %d", ErrInvalidOption, o.SampleRate)
+	}
+	return newCollection(config{
 		kind:           kindCollection,
 		transformation: o.Transformation,
-		index:          o.Index.name(),
+		index:          name,
 		sampleRate:     o.SampleRate,
 		tau:            o.Tau,
 		counting:       o.Counting,
 		syncRebuilds:   o.SyncRebuilds,
 	})
-	if err != nil {
-		panic(err) // unreachable: built-in index names always resolve
-	}
-	return c
 }
 
 // RelationOptions is the v1 option struct for NewRelationFromOptions.
@@ -98,12 +118,32 @@ func NewCollectionFromOptions(o CollectionOptions) *Collection {
 // Deprecated: use NewRelation with functional options.
 type RelationOptions = binrel.Options
 
+// v1RelConfig mirrors a v1 relation/graph option struct into the
+// resolved config the facade records (and snapshots serialize).
+func v1RelConfig(kind structKind, tau int, epsilon float64, minCap int, worstCase, inline bool) config {
+	tr := Amortized
+	if worstCase {
+		tr = WorstCase
+	}
+	return config{
+		kind:           kind,
+		transformation: tr,
+		tau:            tau,
+		epsilon:        epsilon,
+		minCapacity:    minCap,
+		syncRebuilds:   inline,
+	}
+}
+
 // NewRelationFromOptions creates an amortized relation from the v1
 // option struct.
 //
 // Deprecated: use NewRelation with functional options.
 func NewRelationFromOptions(o RelationOptions) *Relation {
-	return &Relation{rel: binrel.New(o)}
+	return &Relation{
+		rel: binrel.New(o),
+		cfg: v1RelConfig(kindRelation, o.Tau, o.Epsilon, o.MinCapacity, o.WorstCase, o.Inline),
+	}
 }
 
 // WorstCaseRelation is a Relation with Transformation 2-style update
@@ -125,7 +165,10 @@ type WorstCaseRelationOptions = binrel.WCOptions
 //
 // Deprecated: use NewRelation(WithTransformation(WorstCase), …).
 func NewWorstCaseRelation(o WorstCaseRelationOptions) *WorstCaseRelation {
-	return &Relation{rel: binrel.NewWorstCase(o)}
+	return &Relation{
+		rel: binrel.NewWorstCase(o),
+		cfg: v1RelConfig(kindRelation, o.Tau, o.Epsilon, o.MinCapacity, true, o.Inline),
+	}
 }
 
 // GraphOptions is the v1 option struct for NewGraphFromOptions.
@@ -137,5 +180,8 @@ type GraphOptions = graph.Options
 //
 // Deprecated: use NewGraph with functional options.
 func NewGraphFromOptions(o GraphOptions) *Graph {
-	return &Graph{g: graph.New(o)}
+	return &Graph{
+		g:   graph.New(o),
+		cfg: v1RelConfig(kindGraph, o.Tau, o.Epsilon, o.MinCapacity, o.WorstCase, o.Inline),
+	}
 }

@@ -91,12 +91,39 @@
 // writer delays them, but they cannot stop the iterator from draining.
 // Collect what the loop needs and act after iteration completes.
 //
+// # Persistence
+//
+// Save writes a structure — any of the three, in any configuration —
+// as a versioned binary snapshot; Load replaces a structure with a
+// snapshot's contents, configuration included (shard count,
+// transformation, index choice). SaveFile and LoadFile wrap them with
+// atomic file handling: temp file in the target directory plus rename,
+// so a crash mid-save never leaves a torn snapshot.
+//
+//	_ = c.SaveFile("corpus.snap")
+//	restored, _ := dyncoll.NewCollection()
+//	_ = restored.LoadFile("corpus.snap") // answers exactly like c
+//
+// Save quiesces background rebuilds first and, on sharded structures,
+// holds every shard's read lock so the snapshot is one consistent cut.
+// Load validates the header against the static-index registry before
+// touching anything: an unregistered index name fails with
+// ErrUnknownIndex, corrupt or truncated bytes fail with ErrBadSnapshot
+// (never a panic), and on error the receiver is unchanged.
+//
+// Collections over the built-in indexes serialize the static indexes
+// in their own binary form and skip the O(n·u(n)) rebuild at load;
+// custom indexes registered with RegisterIndex round-trip as raw
+// documents rebuilt through their builder, or can opt into the fast
+// path with RegisterIndexDecoder.
+//
 // # Error semantics
 //
 // Update operations return typed errors matched with errors.Is —
 // ErrDuplicateID, ErrReservedByte (payloads must not contain 0x00),
 // ErrNotFound, ErrDuplicatePair, ErrDuplicateEdge, ErrUnknownIndex,
-// ErrIndexExists, ErrInvalidOption. Returned errors wrap the sentinels
+// ErrIndexExists, ErrInvalidOption, ErrBadSnapshot. Returned errors
+// wrap the sentinels
 // with contextual detail (the offending ID, index name, …); no exported
 // entry point panics on user input. Batch operations are atomic with
 // respect to validation: InsertBatch either inserts every document or —

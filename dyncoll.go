@@ -73,6 +73,7 @@ var (
 // carries its own sync.RWMutex and fan-out queries take only read locks.
 type Collection struct {
 	impl collImpl
+	cfg  config // resolved construction config, recorded in snapshots
 }
 
 // NewCollection creates an empty dynamic document collection. The zero
@@ -96,18 +97,19 @@ func NewCollection(opts ...Option) (*Collection, error) {
 }
 
 func newCollection(cfg config) (*Collection, error) {
-	if cfg.shards > 0 {
-		sh, err := newShardedColl(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Collection{impl: sh}, nil
-	}
-	impl, err := newCollImpl(cfg)
+	impl, err := newCollAnyImpl(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Collection{impl: impl}, nil
+	return &Collection{impl: impl, cfg: cfg}, nil
+}
+
+// newCollAnyImpl builds the sharded or unsharded implementation for cfg.
+func newCollAnyImpl(cfg config) (collImpl, error) {
+	if cfg.shards > 0 {
+		return newShardedColl(cfg)
+	}
+	return newCollImpl(cfg)
 }
 
 // newCollImpl builds one unsharded core implementation for cfg.

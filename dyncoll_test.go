@@ -279,7 +279,10 @@ func TestBaselineFacade(t *testing.T) {
 }
 
 func TestDeprecatedShims(t *testing.T) {
-	c := NewCollectionFromOptions(CollectionOptions{Index: PlainSA, SyncRebuilds: true})
+	c, err := NewCollectionFromOptions(CollectionOptions{Index: PlainSA, SyncRebuilds: true})
+	if err != nil {
+		t.Fatalf("NewCollectionFromOptions: %v", err)
+	}
 	mustInsert(t, c, Document{ID: 1, Data: []byte("shimmed")})
 	if c.Count([]byte("him")) != 1 {
 		t.Fatal("v1 collection shim broken")

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"dyncoll/internal/core"
+	"dyncoll/internal/snap"
 )
 
 // Typed errors returned by the v2 API. Match them with errors.Is; the
@@ -41,4 +42,10 @@ var (
 	// ErrInvalidOption reports a constructor option with an out-of-range
 	// value, or one that does not apply to the structure being built.
 	ErrInvalidOption = errors.New("invalid option")
+
+	// ErrBadSnapshot reports Load input that is not a well-formed
+	// snapshot of the expected kind and version: wrong magic, unknown
+	// version, truncation, or internal corruption. Load never panics on
+	// bad input; it fails with an error wrapping this sentinel.
+	ErrBadSnapshot = snap.ErrBadSnapshot
 )

@@ -120,6 +120,111 @@ func FuzzRelationOps(f *testing.F) {
 	})
 }
 
+// FuzzSnapshotRoundTrip interprets the input as an op program over a
+// collection and a relation, snapshots both, reloads them, and checks
+// the loaded structures answer identical queries. It then flips one
+// input-derived byte of each snapshot and checks Load never panics on
+// the mutation (it may error with ErrBadSnapshot or decode an
+// equivalent structure when the byte was don't-care).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 5, 2, 3, 1, 4, 9, 9, 0, 2, 7}, uint8(3))
+	f.Add(bytes.Repeat([]byte{3, 1, 2, 9}, 30), uint8(200))
+	f.Add([]byte{0}, uint8(0))
+	f.Fuzz(func(t *testing.T, program []byte, mutByte uint8) {
+		c, err := NewCollection(WithSyncRebuilds(), WithMinCapacity(16), WithSampleRate(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRelation(WithMinCapacity(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nextID uint64 = 1
+		i := 0
+		next := func() byte {
+			if i >= len(program) {
+				return 0
+			}
+			b := program[i]
+			i++
+			return b
+		}
+		for i < len(program) && nextID < 60 {
+			switch op := next(); op % 4 {
+			case 0, 1:
+				n := int(next())%24 + 1
+				data := make([]byte, n)
+				for j := range data {
+					data[j] = next()%4 + 1
+				}
+				if err := c.Insert(Document{ID: nextID, Data: data}); err != nil {
+					t.Fatalf("Insert(%d): %v", nextID, err)
+				}
+				nextID++
+			case 2:
+				_ = c.Delete(uint64(next()) % (nextID + 1))
+			case 3:
+				o, l := uint64(next())%16, uint64(next())%16
+				if next()%2 == 0 {
+					_ = r.Add(o, l)
+				} else {
+					_ = r.Delete(o, l)
+				}
+			}
+		}
+		c.WaitIdle()
+
+		var cbuf, rbuf bytes.Buffer
+		if err := c.Save(&cbuf); err != nil {
+			t.Fatalf("collection Save: %v", err)
+		}
+		if err := r.Save(&rbuf); err != nil {
+			t.Fatalf("relation Save: %v", err)
+		}
+
+		lc, _ := NewCollection()
+		if err := lc.Load(bytes.NewReader(cbuf.Bytes())); err != nil {
+			t.Fatalf("collection Load: %v", err)
+		}
+		p := []byte{next()%4 + 1, next()%4 + 1}
+		if got, want := lc.Count(p), c.Count(p); got != want {
+			t.Fatalf("loaded Count(%v) = %d, want %d", p, got, want)
+		}
+		if got, want := len(lc.Find(p[:1])), len(c.Find(p[:1])); got != want {
+			t.Fatalf("loaded Find = %d occs, want %d", got, want)
+		}
+		if lc.DocCount() != c.DocCount() || lc.Len() != c.Len() {
+			t.Fatalf("loaded shape %d/%d, want %d/%d", lc.DocCount(), lc.Len(), c.DocCount(), c.Len())
+		}
+		lr, _ := NewRelation()
+		if err := lr.Load(bytes.NewReader(rbuf.Bytes())); err != nil {
+			t.Fatalf("relation Load: %v", err)
+		}
+		if lr.Len() != r.Len() {
+			t.Fatalf("loaded relation Len = %d, want %d", lr.Len(), r.Len())
+		}
+		for o := uint64(0); o < 16; o++ {
+			if lr.CountLabels(o) != r.CountLabels(o) {
+				t.Fatalf("loaded CountLabels(%d) diverges", o)
+			}
+		}
+
+		// Mutations must never panic.
+		for _, data := range [][]byte{cbuf.Bytes(), rbuf.Bytes()} {
+			if len(data) == 0 {
+				continue
+			}
+			mut := append([]byte(nil), data...)
+			pos := (int(mutByte)*131 + len(program)) % len(mut)
+			mut[pos] ^= 1 << (mutByte % 8)
+			mc, _ := NewCollection()
+			_ = mc.Load(bytes.NewReader(mut))
+			mr, _ := NewRelation()
+			_ = mr.Load(bytes.NewReader(mut))
+		}
+	})
+}
+
 // FuzzPatternSearch builds one document from the input and checks every
 // substring of it is found at the right offsets.
 func FuzzPatternSearch(f *testing.F) {

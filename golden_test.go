@@ -1,0 +1,80 @@
+package dyncoll
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v1.snap")
+
+// goldenCollection builds the fixed structure the golden snapshot
+// holds. Changing this corpus requires regenerating the golden file
+// (go test -run TestGoldenSnapshot -update-golden) and re-pinning the
+// assertions below.
+func goldenCollection(t *testing.T) *Collection {
+	t.Helper()
+	c := mustCollection(t,
+		WithIndex(IndexFM),
+		WithTransformation(WorstCase),
+		WithSyncRebuilds(),
+		WithMinCapacity(16),
+		WithTau(4),
+	)
+	for i := uint64(1); i <= 24; i++ {
+		mustInsert(t, c, Document{ID: i, Data: []byte(fmt.Sprintf("golden abracadabra %d", i))})
+	}
+	for _, id := range []uint64{5, 12} {
+		if err := c.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.WaitIdle()
+	return c
+}
+
+// TestGoldenSnapshotCompat pins the version-1 snapshot format: the
+// committed golden file must keep loading, with the exact query answers
+// recorded when it was written. A failure here means the format changed
+// incompatibly — bump snap.Version and write a migration path instead
+// of regenerating the golden file in place.
+func TestGoldenSnapshotCompat(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.snap")
+	if *updateGolden {
+		c := goldenCollection(t)
+		if err := c.SaveFile(path); err != nil {
+			t.Fatalf("regenerating golden: %v", err)
+		}
+		t.Logf("rewrote %s", path)
+	}
+
+	c := mustCollection(t)
+	if err := c.LoadFile(path); err != nil {
+		t.Fatalf("golden snapshot no longer loads: %v", err)
+	}
+	if got := c.DocCount(); got != 22 {
+		t.Fatalf("DocCount = %d, want 22", got)
+	}
+	if got := c.Len(); got != 454 {
+		t.Fatalf("Len = %d, want 454", got)
+	}
+	if got := c.Count([]byte("abracadabra")); got != 22 {
+		t.Fatalf("Count(abracadabra) = %d, want 22", got)
+	}
+	if got := c.Count([]byte("golden")); got != 22 {
+		t.Fatalf("Count(golden) = %d, want 22", got)
+	}
+	if got := c.Count([]byte(" 1")); got != 10 {
+		t.Fatalf("Count(\" 1\") = %d, want 10", got)
+	}
+	if c.Has(5) || c.Has(12) || !c.Has(24) {
+		t.Fatal("deleted/live document state diverges from the golden corpus")
+	}
+	data, ok := c.Extract(7, 0, 6)
+	if !ok || string(data) != "golden" {
+		t.Fatalf("Extract(7) = %q, %v", data, ok)
+	}
+	// The loaded structure answers exactly like a freshly built one.
+	collectionsEqual(t, "golden", goldenCollection(t), c)
+}

@@ -45,7 +45,8 @@ var (
 // (Predecessors, ReverseNeighbors, InDegree) fan out across shards in
 // parallel.
 type Graph struct {
-	g graphImpl
+	g   graphImpl
+	cfg config // resolved construction config, recorded in snapshots
 }
 
 // newGraphImpl builds one unsharded graph for cfg. As in the paper,
@@ -70,10 +71,15 @@ func NewGraph(opts ...Option) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &Graph{g: newGraphAnyImpl(cfg), cfg: cfg}, nil
+}
+
+// newGraphAnyImpl builds the sharded or unsharded implementation for cfg.
+func newGraphAnyImpl(cfg config) graphImpl {
 	if cfg.shards > 0 {
-		return &Graph{g: newShardedGraph(cfg)}, nil
+		return newShardedGraph(cfg)
 	}
-	return &Graph{g: newGraphImpl(cfg)}, nil
+	return newGraphImpl(cfg)
 }
 
 // AddEdge inserts the edge u→v. It fails with ErrDuplicateEdge if the

@@ -41,8 +41,16 @@ type semiRel struct {
 }
 
 // buildSemi constructs the deletion-only structure over pairs. The pair
-// slice is sorted in place by (object, label).
+// slice is sorted in place by (object, label). tau is clamped to the
+// range the lazy-deletion bitmaps accept (as NewSemiDynamic does for
+// the document payload), so deserialized values cannot panic downstream.
 func buildSemi(pairs []Pair, tau int) *semiRel {
+	if tau < 2 {
+		tau = 2
+	}
+	if tau > 4096 {
+		tau = 4096
+	}
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i].Object != pairs[j].Object {
 			return pairs[i].Object < pairs[j].Object

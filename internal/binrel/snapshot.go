@@ -1,0 +1,85 @@
+package binrel
+
+import (
+	"dyncoll/internal/engine"
+	"dyncoll/internal/snap"
+)
+
+// Snapshot adapter for the pair payload. Every pair weighs 1 and the
+// compressed encoding (semiRel) is rebuilt from its live pairs in
+// O(n log n), so pair levels always use the raw-items form: the ladder
+// section is just the schedule anchors plus one pair list per store.
+// (The binary fast path exists for document collections, whose static
+// indexes cost O(n·u(n)) to rebuild; see internal/core.)
+
+// encodePairs appends a length-prefixed pair list.
+func encodePairs(e *snap.Encoder, pairs []Pair) {
+	e.Uvarint(uint64(len(pairs)))
+	for _, p := range pairs {
+		e.Uvarint(p.Object)
+		e.Uvarint(p.Label)
+	}
+}
+
+// decodePairs reads a pair list.
+func decodePairs(dec *snap.Decoder) []Pair {
+	n := dec.Count(2)
+	if dec.Err() != nil {
+		return nil
+	}
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{Object: dec.Uvarint(), Label: dec.Uvarint()}
+	}
+	if dec.Err() != nil {
+		return nil
+	}
+	return pairs
+}
+
+// EncodeSnapshot writes the relation's quiesced ladder into e.
+func (r *Relation) EncodeSnapshot(e *snap.Encoder) {
+	d := r.eng.Dump()
+	e.Uvarint(uint64(d.NF))
+	e.Uvarint(uint64(d.Tau))
+	encodePairs(e, d.C0)
+	e.Uvarint(uint64(len(d.Stores)))
+	for _, ds := range d.Stores {
+		e.Varint(int64(ds.Level))
+		encodePairs(e, ds.Store.LiveItems())
+	}
+}
+
+// DecodeSnapshot reads a ladder section from dec and installs it into
+// the relation's (empty) engine, rebuilding each compressed level from
+// its pairs. Corrupt input fails with an error wrapping
+// snap.ErrBadSnapshot and never panics; the relation must be discarded
+// on error.
+func (r *Relation) DecodeSnapshot(dec *snap.Decoder) error {
+	var d engine.Dump[Pair, Pair]
+	d.NF = dec.Int()
+	d.Tau = dec.Int()
+	d.C0 = decodePairs(dec)
+	nStores := dec.Count(2)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	tau := d.Tau // buildSemi clamps out-of-range values itself
+	for i := 0; i < nStores; i++ {
+		level := int(dec.Varint())
+		pairs := decodePairs(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if len(pairs) == 0 {
+			// An empty store contributes nothing (and the compressed
+			// encoding requires a non-empty alphabet).
+			continue
+		}
+		d.Stores = append(d.Stores, engine.StoreDump[Pair, Pair]{
+			Level: level,
+			Store: buildSemi(pairs, tau),
+		})
+	}
+	return r.eng.Restore(d)
+}

@@ -1,0 +1,57 @@
+package bitvec
+
+import "dyncoll/internal/snap"
+
+// AppendBinary appends the vector's portable form — bit count plus raw
+// words — to buf. The rank/select directories are not stored; they are
+// deterministic functions of the bits and are rebuilt by Seal on load.
+func (v *Vector) AppendBinary(buf []byte) ([]byte, error) {
+	e := snap.Encoder{}
+	e.Uvarint(uint64(v.n))
+	e.Words(v.words)
+	return append(buf, e.Bytes()...), nil
+}
+
+// EncodeTo writes the vector's portable form into an encoder.
+func (v *Vector) EncodeTo(e *snap.Encoder) {
+	e.Uvarint(uint64(v.n))
+	e.Words(v.words)
+}
+
+// DecodeFrom reads a sealed vector from a decoder, validating the bit
+// count against the word payload; corrupt input latches an error on d
+// and returns nil rather than panicking.
+func DecodeFrom(d *snap.Decoder) *Vector {
+	n := d.Int()
+	words := d.Words()
+	if d.Err() != nil {
+		return nil
+	}
+	if n > len(words)*wordBits || (len(words) > 0 && n <= (len(words)-1)*wordBits) {
+		d.Fail("bitvec bit count %d does not match %d words", n, len(words))
+		return nil
+	}
+	// Bits at positions ≥ n must be zero: Seal popcounts whole words, so
+	// stray high bits would inflate the rank directory past the bits the
+	// encoder vouched for — and every structural check layered on top
+	// (wavelet child sizes, sample counts) would validate against the
+	// corrupted counts instead of catching them.
+	if rem := n % wordBits; rem != 0 && len(words) > 0 {
+		if words[len(words)-1]&^lowMask(rem) != 0 {
+			d.Fail("bitvec stray bits beyond length %d", n)
+			return nil
+		}
+	}
+	return FromWords(words, n)
+}
+
+// UnmarshalBinary replaces v with the vector encoded in data.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	d := snap.NewDecoder(data)
+	nv := DecodeFrom(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	*v = *nv
+	return nil
+}

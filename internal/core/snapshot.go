@@ -1,0 +1,173 @@
+package core
+
+import (
+	"dyncoll/internal/doc"
+	"dyncoll/internal/engine"
+	"dyncoll/internal/snap"
+)
+
+// Snapshot adapter for the document payload: serializes an engine dump
+// level by level. C0 travels as raw documents and is re-ingested at
+// load. Compressed levels take the fast path — the wrapped static
+// index's own binary form plus the IDs of its lazily-deleted documents
+// — when the index implements binaryIndex AND the loader will have a
+// registered decoder; otherwise they fall back to raw live documents
+// and are rebuilt through the configured Builder at load. Custom
+// registry indexes therefore round-trip by name with zero extra work,
+// and built-ins skip the O(n·u(n)) reconstruction.
+
+// binaryIndex is the optional fast-path contract a StaticIndex may
+// implement (the built-in fm, sa and csa indexes all do).
+type binaryIndex interface {
+	AppendBinary(buf []byte) ([]byte, error)
+}
+
+// IndexDecoder reconstructs a StaticIndex from the bytes its
+// AppendBinary produced. The facade resolves one from the index
+// registry by name; nil means no fast-path decoding is available.
+type IndexDecoder func(data []byte) (StaticIndex, error)
+
+// encodeDocs appends a length-prefixed document list.
+func encodeDocs(e *snap.Encoder, docs []doc.Doc) {
+	e.Uvarint(uint64(len(docs)))
+	for _, d := range docs {
+		e.Uvarint(d.ID)
+		e.Blob(d.Data)
+	}
+}
+
+// decodeDocs reads a document list, copying payloads out of the input
+// buffer and rejecting payloads with the reserved separator byte (the
+// builders would panic on them).
+func decodeDocs(dec *snap.Decoder) []doc.Doc {
+	n := dec.Count(2)
+	if dec.Err() != nil {
+		return nil
+	}
+	docs := make([]doc.Doc, 0, n)
+	for i := 0; i < n; i++ {
+		id := dec.Uvarint()
+		data := append([]byte(nil), dec.Blob()...)
+		if dec.Err() != nil {
+			return nil
+		}
+		d := doc.Doc{ID: id, Data: data}
+		if !d.Valid() {
+			dec.Fail("document %d contains the reserved byte 0x00", id)
+			return nil
+		}
+		docs = append(docs, d)
+	}
+	return docs
+}
+
+// EncodeSnapshot writes the collection's quiesced ladder into e.
+// fastPath enables the binary index encoding; pass false when the
+// loader will not have a decoder for the collection's index name.
+func (c *collection) EncodeSnapshot(e *snap.Encoder, fastPath bool) {
+	d := c.eng.Dump()
+	e.Uvarint(uint64(d.NF))
+	e.Uvarint(uint64(d.Tau))
+	encodeDocs(e, d.C0)
+	e.Uvarint(uint64(len(d.Stores)))
+	for _, ds := range d.Stores {
+		e.Varint(int64(ds.Level))
+		sd, isSemi := ds.Store.(*SemiDynamic)
+		if fastPath && isSemi {
+			if bi, ok := sd.idx.(binaryIndex); ok {
+				blob, err := bi.AppendBinary(nil)
+				if err == nil {
+					e.Byte(snap.ModeBinary)
+					e.Blob(blob)
+					e.Uint64s(sd.deadIDs())
+					continue
+				}
+			}
+		}
+		e.Byte(snap.ModeItems)
+		encodeDocs(e, ds.Store.LiveItems())
+	}
+}
+
+// deadIDs lists the documents the wrapped index contains but that have
+// been lazily deleted — the complement of byID. Replaying their
+// deletions at load rebuilds the alive bitmaps exactly.
+func (s *SemiDynamic) deadIDs() []uint64 {
+	var out []uint64
+	for i := 0; i < s.idx.DocCount(); i++ {
+		id := s.idx.DocID(i)
+		if _, live := s.byID[id]; !live {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DecodeSnapshot reads a ladder section from dec and installs it into
+// the collection's (empty) engine. decode, when non-nil, reconstructs
+// binary-encoded static indexes; binary levels in the input with a nil
+// decode fail with ErrBadSnapshot. Any corruption — framing, invalid
+// documents, duplicate ownership — fails with an error wrapping
+// snap.ErrBadSnapshot and never panics; the collection must be
+// discarded on error.
+func (c *collection) DecodeSnapshot(dec *snap.Decoder, decode IndexDecoder) error {
+	var d engine.Dump[uint64, doc.Doc]
+	d.NF = dec.Int()
+	d.Tau = dec.Int()
+	d.C0 = decodeDocs(dec)
+	nStores := dec.Count(2)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	tau := d.Tau // NewSemiDynamic clamps out-of-range values itself
+	for i := 0; i < nStores; i++ {
+		level := int(dec.Varint())
+		mode := dec.Byte()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		var st engine.Store[uint64, doc.Doc]
+		switch mode {
+		case snap.ModeItems:
+			docs := decodeDocs(dec)
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			sd := NewSemiDynamic(c.opts.Builder(docs), tau, c.opts.Counting)
+			// A repeated doc ID collapses in the wrapper's byID map, so
+			// the engine's ownership check would never see the second
+			// copy — queries would double-report it instead.
+			if len(sd.byID) != len(docs) {
+				return snap.Corruptf("level %d repeats document IDs", level)
+			}
+			st = sd
+		case snap.ModeBinary:
+			blob := dec.Blob()
+			dead := dec.Uint64s()
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			if decode == nil {
+				return snap.Corruptf("binary level %d but index has no registered decoder", level)
+			}
+			idx, err := decode(blob)
+			if err != nil {
+				return snap.Corruptf("level %d index: %v", level, err)
+			}
+			sd := NewSemiDynamic(idx, tau, c.opts.Counting)
+			if len(sd.byID) != idx.DocCount() {
+				return snap.Corruptf("level %d index repeats document IDs", level)
+			}
+			for _, id := range dead {
+				if _, ok := sd.Delete(id); !ok {
+					return snap.Corruptf("level %d deletes unknown document %d", level, id)
+				}
+			}
+			st = sd
+		default:
+			return snap.Corruptf("unknown store mode %d", mode)
+		}
+		d.Stores = append(d.Stores, engine.StoreDump[uint64, doc.Doc]{Level: level, Store: st})
+	}
+	return c.eng.Restore(d)
+}

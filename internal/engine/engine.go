@@ -197,6 +197,10 @@ type Ladder[K comparable, I any] interface {
 	// WaitIdle blocks until background builds have landed (worst-case
 	// engine; a no-op for the amortized engine).
 	WaitIdle()
+	// Dump captures the quiesced ladder's structure for serialization;
+	// Restore installs a dump into an empty ladder (see snapshot.go).
+	Dump() Dump[K, I]
+	Restore(d Dump[K, I]) error
 	Tau() int
 	SizeBits() int64
 	Stats() Stats

@@ -1,0 +1,186 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dyncoll/internal/doc"
+	"dyncoll/internal/snap"
+)
+
+// marshalable is the snapshot fast-path contract all three built-in
+// indexes implement.
+type marshalable interface {
+	AppendBinary(buf []byte) ([]byte, error)
+}
+
+func testDocs(n int, rng *rand.Rand) []doc.Doc {
+	docs := make([]doc.Doc, n)
+	for i := range docs {
+		data := make([]byte, rng.Intn(40)+1)
+		for j := range data {
+			data[j] = byte(rng.Intn(4)) + 'a'
+		}
+		docs[i] = doc.Doc{ID: uint64(i + 1), Data: data}
+	}
+	return docs
+}
+
+// TestMarshalRoundTrip serializes each index family and checks the
+// reloaded index answers Range/Locate/Extract/SuffixRank identically.
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	docs := testDocs(30, rng)
+	patterns := [][]byte{[]byte("a"), []byte("ab"), []byte("abc"), []byte("dd"), []byte("zzz"), {}}
+
+	cases := []struct {
+		name string
+		x    interface {
+			marshalable
+			SALen() int
+			DocCount() int
+			DocID(int) uint64
+			DocLen(int) int
+			Range([]byte) (int, int)
+			Locate(int) (int, int)
+			SuffixRank(int, int) int
+			Extract(int, int, int) []byte
+		}
+		fresh func(data []byte) (any, error)
+	}{
+		{"fm", Build(docs, Options{SampleRate: 4}), func(data []byte) (any, error) {
+			y := &Index{}
+			return y, y.UnmarshalBinary(data)
+		}},
+		{"sa", BuildSA(docs), func(data []byte) (any, error) {
+			y := &SAIndex{}
+			return y, y.UnmarshalBinary(data)
+		}},
+		{"csa", BuildCSA(docs, Options{SampleRate: 4}), func(data []byte) (any, error) {
+			y := &CSA{}
+			return y, y.UnmarshalBinary(data)
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := tc.x.AppendBinary(nil)
+			if err != nil {
+				t.Fatalf("AppendBinary: %v", err)
+			}
+			yAny, err := tc.fresh(data)
+			if err != nil {
+				t.Fatalf("UnmarshalBinary: %v", err)
+			}
+			y := yAny.(interface {
+				SALen() int
+				DocCount() int
+				DocID(int) uint64
+				DocLen(int) int
+				Range([]byte) (int, int)
+				Locate(int) (int, int)
+				SuffixRank(int, int) int
+				Extract(int, int, int) []byte
+			})
+			if y.SALen() != tc.x.SALen() || y.DocCount() != tc.x.DocCount() {
+				t.Fatalf("shape mismatch: %d/%d rows, %d/%d docs",
+					y.SALen(), tc.x.SALen(), y.DocCount(), tc.x.DocCount())
+			}
+			for i := 0; i < tc.x.DocCount(); i++ {
+				if y.DocID(i) != tc.x.DocID(i) || y.DocLen(i) != tc.x.DocLen(i) {
+					t.Fatalf("doc %d mismatch", i)
+				}
+				if got, want := y.Extract(i, 0, y.DocLen(i)), tc.x.Extract(i, 0, tc.x.DocLen(i)); !bytes.Equal(got, want) {
+					t.Fatalf("doc %d extract %q != %q", i, got, want)
+				}
+			}
+			for _, p := range patterns {
+				lo1, hi1 := tc.x.Range(p)
+				lo2, hi2 := y.Range(p)
+				if lo1 != lo2 || hi1 != hi2 {
+					t.Fatalf("Range(%q) = [%d,%d) != [%d,%d)", p, lo2, hi2, lo1, hi1)
+				}
+			}
+			for row := 0; row < tc.x.SALen(); row += 7 {
+				d1, o1 := tc.x.Locate(row)
+				d2, o2 := y.Locate(row)
+				if d1 != d2 || o1 != o2 {
+					t.Fatalf("Locate(%d) = (%d,%d) != (%d,%d)", row, d2, o2, d1, o1)
+				}
+				if tc.x.SuffixRank(d1, o1) != y.SuffixRank(d1, o1) {
+					t.Fatalf("SuffixRank(%d,%d) mismatch", d1, o1)
+				}
+			}
+		})
+	}
+}
+
+// TestMarshalEmpty round-trips indexes built over zero documents.
+func TestMarshalEmpty(t *testing.T) {
+	for _, x := range []marshalable{
+		Build(nil, Options{}),
+		BuildSA(nil),
+		BuildCSA(nil, Options{}),
+	} {
+		data, err := x.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("empty AppendBinary: %v", err)
+		}
+		var err2 error
+		switch x.(type) {
+		case *Index:
+			err2 = new(Index).UnmarshalBinary(data)
+		case *SAIndex:
+			err2 = new(SAIndex).UnmarshalBinary(data)
+		case *CSA:
+			err2 = new(CSA).UnmarshalBinary(data)
+		}
+		if err2 != nil {
+			t.Fatalf("empty UnmarshalBinary: %v", err2)
+		}
+	}
+}
+
+// TestMarshalCorrupt mutates every byte position of a small encoded
+// index and checks decode never panics — it either errors with
+// ErrBadSnapshot or yields some index.
+func TestMarshalCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	docs := testDocs(6, rng)
+	for _, build := range []func() marshalable{
+		func() marshalable { return Build(docs, Options{SampleRate: 4}) },
+		func() marshalable { return BuildSA(docs) },
+		func() marshalable { return BuildCSA(docs, Options{SampleRate: 4}) },
+	} {
+		x := build()
+		data, err := x.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode := func(p []byte) error {
+			switch x.(type) {
+			case *Index:
+				return new(Index).UnmarshalBinary(p)
+			case *SAIndex:
+				return new(SAIndex).UnmarshalBinary(p)
+			case *CSA:
+				return new(CSA).UnmarshalBinary(p)
+			}
+			return nil
+		}
+		// Truncations.
+		for cut := 0; cut < len(data); cut += 11 {
+			if err := decode(data[:cut]); err == nil {
+				t.Fatalf("truncation at %d decoded cleanly", cut)
+			}
+		}
+		// Single-byte mutations (panic = test failure).
+		for pos := 0; pos < len(data); pos++ {
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= 0x5b
+			_ = decode(mut)
+		}
+		_ = snap.ErrBadSnapshot
+	}
+}

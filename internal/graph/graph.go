@@ -7,7 +7,10 @@
 // paper derives Theorem 3 as a corollary of Theorem 2.
 package graph
 
-import "dyncoll/internal/binrel"
+import (
+	"dyncoll/internal/binrel"
+	"dyncoll/internal/snap"
+)
 
 // Graph is a compressed dynamic directed graph. Nodes are arbitrary
 // uint64 identifiers; a node exists while it has at least one incident
@@ -86,6 +89,14 @@ func (g *Graph) EdgesFunc(fn func(binrel.Pair) bool) { g.rel.PairsFunc(fn) }
 // WaitIdle blocks until background rebuilds (WorstCase scheduling only)
 // have completed; otherwise it returns immediately.
 func (g *Graph) WaitIdle() { g.rel.WaitIdle() }
+
+// EncodeSnapshot writes the graph's quiesced ladder into e (edges are
+// pairs, so the encoding is the relation's).
+func (g *Graph) EncodeSnapshot(e *snap.Encoder) { g.rel.EncodeSnapshot(e) }
+
+// DecodeSnapshot reads a ladder section and installs it into the empty
+// graph; corrupt input fails with snap.ErrBadSnapshot, never a panic.
+func (g *Graph) DecodeSnapshot(dec *snap.Decoder) error { return g.rel.DecodeSnapshot(dec) }
 
 // Stats returns the underlying engine's rebuild counters and ladder
 // layout.

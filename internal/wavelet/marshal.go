@@ -1,0 +1,134 @@
+package wavelet
+
+import (
+	"dyncoll/internal/bitvec"
+	"dyncoll/internal/huffman"
+	"dyncoll/internal/snap"
+)
+
+// Binary layout: sigma, n, the per-symbol code table (length + bits;
+// the symbol is the table position), then the node tree in pre-order
+// with a one-byte marker per node (0 = absent, 1 = leaf + symbol,
+// 2 = internal + bit vector + children). Code lengths fit in 64 bits,
+// so tree depth is bounded and decode recursion cannot blow the stack
+// even on corrupt input.
+
+// EncodeTo writes the tree's portable form into an encoder.
+func (t *Tree) EncodeTo(e *snap.Encoder) {
+	e.Uvarint(uint64(t.sigma))
+	e.Uvarint(uint64(t.n))
+	e.Uvarint(uint64(len(t.codes)))
+	for _, c := range t.codes {
+		e.Uvarint(uint64(c.Len))
+		e.Uvarint(c.Bits)
+	}
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		switch {
+		case nd == nil:
+			e.Byte(0)
+		case nd.leaf >= 0:
+			e.Byte(1)
+			e.Uvarint(uint64(nd.leaf))
+		default:
+			e.Byte(2)
+			nd.bits.EncodeTo(e)
+			walk(nd.zero)
+			walk(nd.one)
+		}
+	}
+	walk(t.root)
+}
+
+// AppendBinary appends the tree's portable form to buf.
+func (t *Tree) AppendBinary(buf []byte) ([]byte, error) {
+	e := snap.Encoder{}
+	t.EncodeTo(&e)
+	return append(buf, e.Bytes()...), nil
+}
+
+// DecodeFrom reads a tree from a decoder; corrupt input latches an
+// error on d and returns nil rather than panicking.
+func DecodeFrom(d *snap.Decoder) *Tree {
+	sigma := d.Int()
+	n := d.Int()
+	nCodes := d.Count(2)
+	if d.Err() != nil {
+		return nil
+	}
+	if sigma < 1 || nCodes != sigma {
+		d.Fail("wavelet code table size %d for alphabet %d", nCodes, sigma)
+		return nil
+	}
+	codes := make([]huffman.Code, nCodes)
+	for i := range codes {
+		l := d.Int()
+		bits := d.Uvarint()
+		if l > 64 {
+			d.Fail("wavelet code length %d exceeds 64", l)
+			return nil
+		}
+		codes[i] = huffman.Code{Symbol: i, Len: l, Bits: bits}
+	}
+	// walk decodes one node. want is the bit count the node must hold to
+	// keep parent-to-child rank projections in range (leaves hold no
+	// bits, so they accept any count); enforcing it at decode time means
+	// Access/Rank/Select on a loaded tree can never index a child out of
+	// range, even if the input was crafted.
+	var walk func(depth, want int) *node
+	walk = func(depth, want int) *node {
+		if d.Err() != nil {
+			return nil
+		}
+		if depth > 64 {
+			d.Fail("wavelet node depth exceeds 64")
+			return nil
+		}
+		switch marker := d.Byte(); marker {
+		case 0:
+			if want > 0 {
+				d.Fail("wavelet node absent where %d bits expected", want)
+			}
+			return nil
+		case 1:
+			leaf := d.Int()
+			if leaf >= sigma {
+				d.Fail("wavelet leaf symbol %d outside alphabet %d", leaf, sigma)
+				return nil
+			}
+			return &node{leaf: leaf}
+		case 2:
+			nd := &node{leaf: -1}
+			nd.bits = bitvec.DecodeFrom(d)
+			if d.Err() != nil {
+				return nil
+			}
+			if nd.bits.Len() != want {
+				d.Fail("wavelet node holds %d bits, want %d", nd.bits.Len(), want)
+				return nil
+			}
+			nd.zero = walk(depth+1, nd.bits.Zeros())
+			nd.one = walk(depth+1, nd.bits.Ones())
+			return nd
+		default:
+			d.Fail("wavelet node marker %d", marker)
+			return nil
+		}
+	}
+	root := walk(0, n)
+	if d.Err() != nil {
+		return nil
+	}
+	return &Tree{sigma: sigma, n: n, root: root, codes: codes}
+}
+
+// UnmarshalBinary replaces t with the tree encoded in data.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	d := snap.NewDecoder(data)
+	nt := DecodeFrom(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}

@@ -33,6 +33,15 @@ type IndexConfig struct {
 // time and O(n·w(n)) workspace.
 type IndexBuilder func(docs []Document, cfg IndexConfig) StaticIndex
 
+// IndexDecoder reconstructs a StaticIndex from the binary form the
+// index wrote through its AppendBinary method. Registering one (see
+// RegisterIndexDecoder) enables the snapshot fast path for that index:
+// Save embeds the index bytes instead of raw documents and Load skips
+// the O(n·u(n)) rebuild. Indexes without a decoder still round-trip
+// through snapshots — their levels are stored as raw documents and
+// rebuilt by the registered IndexBuilder at load.
+type IndexDecoder = core.IndexDecoder
+
 // Built-in static-index names, registered at package init.
 const (
 	// IndexFM is the nHk-space FM-index (wavelet tree over the BWT; the
@@ -48,10 +57,17 @@ const (
 	IndexCSA = "csa"
 )
 
+// indexEntry is one registered index family: the mandatory builder and
+// the optional snapshot fast-path decoder.
+type indexEntry struct {
+	build  IndexBuilder
+	decode IndexDecoder
+}
+
 var indexRegistry = struct {
 	mu sync.RWMutex
-	m  map[string]IndexBuilder
-}{m: make(map[string]IndexBuilder)}
+	m  map[string]*indexEntry
+}{m: make(map[string]*indexEntry)}
 
 // RegisterIndex makes a static-index builder available to NewCollection
 // under the given name (case-sensitive). It fails with ErrIndexExists if
@@ -69,7 +85,28 @@ func RegisterIndex(name string, builder IndexBuilder) error {
 	if _, taken := indexRegistry.m[name]; taken {
 		return fmt.Errorf("dyncoll: %w: %q", ErrIndexExists, name)
 	}
-	indexRegistry.m[name] = builder
+	indexRegistry.m[name] = &indexEntry{build: builder}
+	return nil
+}
+
+// RegisterIndexDecoder attaches a snapshot fast-path decoder to an
+// already-registered index. It fails with ErrUnknownIndex if no builder
+// is registered under name, ErrInvalidOption on a nil decoder, and
+// ErrIndexExists if the index already has a decoder.
+func RegisterIndexDecoder(name string, dec IndexDecoder) error {
+	if dec == nil {
+		return fmt.Errorf("dyncoll: %w: nil decoder for index %q", ErrInvalidOption, name)
+	}
+	indexRegistry.mu.Lock()
+	defer indexRegistry.mu.Unlock()
+	ent, ok := indexRegistry.m[name]
+	if !ok {
+		return fmt.Errorf("dyncoll: %w: %q (register the builder first)", ErrUnknownIndex, name)
+	}
+	if ent.decode != nil {
+		return fmt.Errorf("dyncoll: %w: %q already has a decoder", ErrIndexExists, name)
+	}
+	ent.decode = dec
 	return nil
 }
 
@@ -85,11 +122,22 @@ func RegisteredIndexes() []string {
 func lookupIndex(name string) (IndexBuilder, error) {
 	indexRegistry.mu.RLock()
 	defer indexRegistry.mu.RUnlock()
-	b, ok := indexRegistry.m[name]
+	ent, ok := indexRegistry.m[name]
 	if !ok {
 		return nil, fmt.Errorf("dyncoll: %w: %q (registered: %v)", ErrUnknownIndex, name, registeredLocked())
 	}
-	return b, nil
+	return ent.build, nil
+}
+
+// lookupDecoder resolves an index's snapshot decoder; nil when the
+// index has none (snapshots then use the raw-document fallback).
+func lookupDecoder(name string) IndexDecoder {
+	indexRegistry.mu.RLock()
+	defer indexRegistry.mu.RUnlock()
+	if ent, ok := indexRegistry.m[name]; ok {
+		return ent.decode
+	}
+	return nil
 }
 
 // registeredLocked lists names under a held read lock (for error detail).
@@ -102,20 +150,41 @@ func registeredLocked() []string {
 	return out
 }
 
-func mustRegister(name string, b IndexBuilder) {
+func mustRegister(name string, b IndexBuilder, dec IndexDecoder) {
 	if err := RegisterIndex(name, b); err != nil {
 		panic(err) // unreachable: built-ins register once on fresh names
+	}
+	if err := RegisterIndexDecoder(name, dec); err != nil {
+		panic(err)
 	}
 }
 
 func init() {
 	mustRegister(IndexFM, func(docs []Document, cfg IndexConfig) StaticIndex {
 		return fmindex.Build(docs, fmindex.Options{SampleRate: cfg.SampleRate})
+	}, func(data []byte) (StaticIndex, error) {
+		x := &fmindex.Index{}
+		if err := x.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return x, nil
 	})
 	mustRegister(IndexSA, func(docs []Document, cfg IndexConfig) StaticIndex {
 		return fmindex.BuildSA(docs)
+	}, func(data []byte) (StaticIndex, error) {
+		x := &fmindex.SAIndex{}
+		if err := x.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return x, nil
 	})
 	mustRegister(IndexCSA, func(docs []Document, cfg IndexConfig) StaticIndex {
 		return fmindex.BuildCSA(docs, fmindex.Options{SampleRate: cfg.SampleRate})
+	}, func(data []byte) (StaticIndex, error) {
+		x := &fmindex.CSA{}
+		if err := x.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return x, nil
 	})
 }

@@ -49,6 +49,7 @@ var (
 // (ObjectsOf, CountObjects, Objects) fan out across shards in parallel.
 type Relation struct {
 	rel relationImpl
+	cfg config // resolved construction config, recorded in snapshots
 }
 
 // newRelationImpl builds one unsharded relation for cfg. Both update
@@ -74,10 +75,15 @@ func NewRelation(opts ...Option) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &Relation{rel: newRelAnyImpl(cfg), cfg: cfg}, nil
+}
+
+// newRelAnyImpl builds the sharded or unsharded implementation for cfg.
+func newRelAnyImpl(cfg config) relationImpl {
 	if cfg.shards > 0 {
-		return &Relation{rel: newShardedRelation(cfg)}, nil
+		return newShardedRelation(cfg)
 	}
-	return &Relation{rel: newRelationImpl(cfg)}, nil
+	return newRelationImpl(cfg)
 }
 
 // Add inserts the pair (object, label). It fails with ErrDuplicatePair
