@@ -77,6 +77,58 @@ func BenchmarkTable1Extract(b *testing.B) {
 	}
 }
 
+// --- Build path: static index construction and engine rebuild cost ---
+
+// BenchmarkIndexBuild measures one full static-index construction
+// (concat → suffix array → BWT → wavelet/Ψ encoding → samples) over a
+// fixed corpus — the unit of work every engine rebuild pays.
+func BenchmarkIndexBuild(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 1)
+	b.Run("FM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fmindex.Build(docs, fmindex.Options{SampleRate: 16})
+		}
+	})
+	b.Run("CSA", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fmindex.BuildCSA(docs, fmindex.Options{SampleRate: 16})
+		}
+	})
+}
+
+// BenchmarkRebuildLatency measures the engine-level merge cost: inserts
+// into a preloaded worst-case ladder with synchronous (inline) builds,
+// so every cascade's concat/SA-IS/BWT/wavelet rebuild lands inside the
+// measured loop. Reported ns/symbol is total time over inserted payload
+// symbols.
+func BenchmarkRebuildLatency(b *testing.B) {
+	gen := textgen.NewCollection(textgen.CollectionOptions{
+		Sigma: 16, MinLen: 256, MaxLen: 1024, Seed: 23,
+	})
+	idx := core.NewWorstCase(core.Options{Builder: benchFM(8), Inline: true})
+	for syms := 0; syms < 1<<16; {
+		d := gen.NextDoc()
+		if err := idx.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+		syms += len(d.Data)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	syms := 0
+	for i := 0; i < b.N; i++ {
+		d := gen.NextDoc()
+		if err := idx.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+		syms += len(d.Data)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(syms), "ns/symbol")
+}
+
 // --- Table 2: dynamic count/locate/update, ours vs baseline ---
 
 type bench2Index interface {

@@ -136,9 +136,8 @@ func (r *semiRel) findPos(object, label uint64) int {
 		return -1
 	}
 	lo, hi := int(r.starts[oi]), int(r.starts[oi+1])
-	before := r.s.Rank(uint32(a), lo)
-	within := r.s.Rank(uint32(a), hi) - before
-	if within == 0 {
+	before, upto := r.s.RankPair(uint32(a), lo, hi)
+	if upto == before {
 		return -1
 	}
 	return r.s.Select(uint32(a), before+1)
@@ -159,8 +158,8 @@ func (r *semiRel) Delete(p Pair) (int, bool) {
 	}
 	r.alive.Zero(pos)
 	r.aliveCnt.Set(pos, false)
-	a := int(r.s.Access(pos))
-	j := r.s.Rank(uint32(a), pos) // occurrences of a before pos
+	sym, j := r.s.AccessRank(pos) // symbol and its occurrences before pos
+	a := int(sym)
 	r.perLabel[a].Zero(j)
 	r.liveCount[a]--
 	r.live--

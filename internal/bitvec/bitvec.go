@@ -98,14 +98,30 @@ func (v *Vector) AppendBit(b bool) {
 	v.n++
 }
 
-// AppendWord appends the low nbits bits of w (LSB first).
+// AppendWord appends the low nbits bits of w (LSB first). It shifts
+// whole words instead of looping bit-at-a-time, so bulk producers (the
+// wavelet-tree builder, marshal translation) append 64 bits per call.
 func (v *Vector) AppendWord(w uint64, nbits int) {
 	if nbits < 0 || nbits > wordBits {
 		panic("bitvec: AppendWord bit count out of range")
 	}
-	for i := 0; i < nbits; i++ {
-		v.AppendBit(w&(1<<uint(i)) != 0)
+	if v.sealed {
+		panic("bitvec: append to sealed vector")
 	}
+	if nbits == 0 {
+		return
+	}
+	w &= lowMask(nbits)
+	off := uint(v.n % wordBits)
+	if off == 0 {
+		v.words = append(v.words, w)
+	} else {
+		v.words[len(v.words)-1] |= w << off
+		if int(off)+nbits > wordBits {
+			v.words = append(v.words, w>>(wordBits-off))
+		}
+	}
+	v.n += nbits
 }
 
 // Get reports the bit at position i (0-based).
@@ -190,6 +206,70 @@ func (v *Vector) Rank1(i int) int {
 
 // Rank0 returns the number of unset bits in positions [0, i).
 func (v *Vector) Rank0(i int) int { return i - v.Rank1(i) }
+
+// Rank1Pair returns Rank1(i) and Rank1(j) for i ≤ j in one pass: the
+// superblock base and the whole words up to i are loaded once and the
+// scan continues from there to j, instead of two independent
+// traversals. Backward search always ranks both interval endpoints on
+// the same symbol path, which makes this the query hot path's
+// fundamental operation.
+func (v *Vector) Rank1Pair(i, j int) (ri, rj int) {
+	if i > j {
+		panic(fmt.Sprintf("bitvec: Rank1Pair(%d, %d) not ordered", i, j))
+	}
+	if i < 0 || j > v.n {
+		panic(fmt.Sprintf("bitvec: Rank1Pair(%d, %d) out of range [0,%d]", i, j, v.n))
+	}
+	if !v.sealed {
+		panic("bitvec: rank on unsealed vector")
+	}
+	s := i / superBits
+	if j/superBits != s {
+		// Endpoints in different superblocks: each starts from its own
+		// directory entry anyway.
+		return v.Rank1(i), v.Rank1(j)
+	}
+	r := int(v.superRank[s])
+	w := s * superWords
+	wi, wj := i/wordBits, j/wordBits
+	for ; w < wi; w++ {
+		r += bits.OnesCount64(v.words[w])
+	}
+	ri = r
+	if rem := uint(i % wordBits); rem != 0 {
+		ri += bits.OnesCount64(v.words[wi] & (1<<rem - 1))
+	}
+	for ; w < wj; w++ {
+		r += bits.OnesCount64(v.words[w])
+	}
+	rj = r
+	if rem := uint(j % wordBits); rem != 0 {
+		rj += bits.OnesCount64(v.words[wj] & (1<<rem - 1))
+	}
+	return ri, rj
+}
+
+// GetRank1 returns the bit at position i together with Rank1(i),
+// sharing the superblock and word loads of the two lookups. This is
+// the per-level step of wavelet-tree Access.
+func (v *Vector) GetRank1(i int) (bool, int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: GetRank1(%d) out of range [0,%d)", i, v.n))
+	}
+	if !v.sealed {
+		panic("bitvec: rank on unsealed vector")
+	}
+	s := i / superBits
+	r := int(v.superRank[s])
+	w := s * superWords
+	for end := i / wordBits; w < end; w++ {
+		r += bits.OnesCount64(v.words[w])
+	}
+	word := v.words[i/wordBits]
+	rem := uint(i % wordBits)
+	r += bits.OnesCount64(word & (1<<rem - 1))
+	return word>>rem&1 == 1, r
+}
 
 // Select1 returns the position of the k-th set bit (1-based k).
 // It panics if k is out of range [1, Ones()].

@@ -18,6 +18,41 @@ func (v *Vector) EncodeTo(e *snap.Encoder) {
 	e.Words(v.words)
 }
 
+// EncodeRangeTo writes the standalone encoding of bits [off, off+n) of
+// v — byte-identical to what EncodeTo would emit for a vector holding
+// exactly those bits. The wavelet tree stores all nodes of a level in
+// one shared vector and uses this to keep its per-node wire format
+// unchanged.
+func (v *Vector) EncodeRangeTo(e *snap.Encoder, off, n int) {
+	if off < 0 || n < 0 || off+n > v.n {
+		panic("bitvec: EncodeRangeTo range out of bounds")
+	}
+	e.Uvarint(uint64(n))
+	nWords := (n + wordBits - 1) / wordBits
+	e.Uvarint(uint64(nWords))
+	shift := uint(off % wordBits)
+	w := off / wordBits
+	for i := 0; i < nWords; i++ {
+		word := v.words[w+i] >> shift
+		if shift != 0 && w+i+1 < len(v.words) {
+			word |= v.words[w+i+1] << (wordBits - shift)
+		}
+		if i == nWords-1 {
+			if rem := n % wordBits; rem != 0 {
+				word &= lowMask(rem)
+			}
+		}
+		e.Byte(byte(word))
+		e.Byte(byte(word >> 8))
+		e.Byte(byte(word >> 16))
+		e.Byte(byte(word >> 24))
+		e.Byte(byte(word >> 32))
+		e.Byte(byte(word >> 40))
+		e.Byte(byte(word >> 48))
+		e.Byte(byte(word >> 56))
+	}
+}
+
 // DecodeFrom reads a sealed vector from a decoder, validating the bit
 // count against the word payload; corrupt input latches an error on d
 // and returns nil rather than panicking.

@@ -183,16 +183,17 @@ func (c *collection) Find(pattern []byte) []Occurrence {
 	return out
 }
 
+// countStore is the package-level Query callback for Count: taking the
+// pattern as an argument (rather than capturing it) keeps the steady-
+// state Count path free of closure allocations.
+func countStore(s engine.Store[uint64, doc.Doc], pattern []byte) int {
+	return s.(docStore).count(pattern)
+}
+
 // Count returns the number of occurrences of pattern (Theorem 1 when
 // Options.Counting is set; otherwise it enumerates).
 func (c *collection) Count(pattern []byte) int {
-	n := 0
-	c.eng.View(func(stores []engine.Store[uint64, doc.Doc]) {
-		for _, s := range stores {
-			n += s.(docStore).count(pattern)
-		}
-	})
-	return n
+	return c.eng.Query(pattern, countStore)
 }
 
 // Extract returns length payload bytes of document id starting at off.

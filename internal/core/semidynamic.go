@@ -149,12 +149,10 @@ func (s *SemiDynamic) count(pattern []byte) int {
 	if s.cnt != nil {
 		return s.cnt.Count1(lo, hi-1)
 	}
-	n := 0
-	s.alive.Report(lo, hi-1, func(int) bool {
-		n++
-		return true
-	})
-	return n
+	// Counting through the deletion bitmap directly (per-word popcounts,
+	// no per-position callback) keeps the enumeration fallback cheap and
+	// allocation-free.
+	return s.alive.Count1(lo, hi-1)
 }
 
 func (s *SemiDynamic) extract(id uint64, off, length int) ([]byte, bool) {

@@ -2,6 +2,8 @@
 // collection implementation in this module.
 package doc
 
+import "bytes"
+
 // Doc is one document in a collection: an application-assigned identifier
 // and an immutable byte payload. Payload bytes must be non-zero — the
 // byte 0x00 is reserved as the document separator by the compressed
@@ -12,13 +14,10 @@ type Doc struct {
 }
 
 // Valid reports whether the payload avoids the reserved separator byte.
+// bytes.IndexByte is vectorized, so validation runs at memory speed
+// rather than byte-at-a-time.
 func (d Doc) Valid() bool {
-	for _, b := range d.Data {
-		if b == 0 {
-			return false
-		}
-	}
-	return true
+	return bytes.IndexByte(d.Data, 0) < 0
 }
 
 // Len returns the payload length in bytes.

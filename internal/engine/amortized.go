@@ -26,6 +26,13 @@ type Amortized[K comparable, I any] struct {
 
 	owner map[K]Store[K, I] // live key → holding sub-collection
 
+	// storeCache is the memoized View order (C0, then levels). It is
+	// rebuilt eagerly by every mutation that swaps C0 or a level slot —
+	// never lazily on the read path — so concurrent readers behind a
+	// caller-managed RWMutex (the sharding layer) share it without
+	// writes, and steady-state queries allocate nothing.
+	storeCache []Store[K, I]
+
 	nf  int // live weight at the last global rebuild
 	tau int // τ in effect since the last global rebuild
 
@@ -43,6 +50,7 @@ func NewAmortized[K comparable, I any](cfg Config[K, I]) *Amortized[K, I] {
 		owner: make(map[K]Store[K, I]),
 	}
 	a.reschedule(0)
+	a.rebuildStores()
 	return a
 }
 
@@ -180,6 +188,7 @@ func (a *Amortized[K, I]) insertBulk(items []I, total int) {
 
 // mergeInto rebuilds level j from C0 ∪ C1 ∪ … ∪ Cj ∪ extra.
 func (a *Amortized[K, I]) mergeInto(j int, extra []I) {
+	defer a.rebuildStores()
 	items := a.c0.LiveItems()
 	a.c0 = a.cfg.NewC0()
 	for i := 1; i <= j; i++ {
@@ -211,6 +220,7 @@ func (a *Amortized[K, I]) maybeGlobalRebuild() {
 // globalRebuild moves every live item (plus extra items, if any) into
 // the top level and re-derives the capacity schedule.
 func (a *Amortized[K, I]) globalRebuild(extra []I) {
+	defer a.rebuildStores()
 	items := a.c0.LiveItems()
 	for i, l := range a.levels {
 		if l != nil {
@@ -293,6 +303,7 @@ func (a *Amortized[K, I]) DeleteBatch(keys []K) int {
 
 // purgeLevel rebuilds the given level without its deleted items.
 func (a *Amortized[K, I]) purgeLevel(lvl Store[K, I]) {
+	defer a.rebuildStores()
 	for j := 1; j < len(a.levels); j++ {
 		if a.levels[j] != lvl {
 			continue
@@ -313,16 +324,37 @@ func (a *Amortized[K, I]) purgeLevel(lvl Store[K, I]) {
 	}
 }
 
-// View runs fn over every queryable store (C0 first, then the levels).
-func (a *Amortized[K, I]) View(fn func(stores []Store[K, I])) {
+// stores returns the queryable stores (C0 first, then the levels).
+// Read-only: the cache is maintained by rebuildStores at mutation time.
+func (a *Amortized[K, I]) stores() []Store[K, I] { return a.storeCache }
+
+// rebuildStores re-derives the cached store list. Mutators call it
+// after swapping C0 or level slots; allocating a fresh slice (instead
+// of truncating in place) leaves any list a concurrent reader already
+// holds intact.
+func (a *Amortized[K, I]) rebuildStores() {
 	out := make([]Store[K, I], 0, 1+len(a.levels))
-	out = append(out, a.c0)
+	out = append(out, Store[K, I](a.c0))
 	for _, l := range a.levels {
 		if l != nil {
 			out = append(out, l)
 		}
 	}
-	fn(out)
+	a.storeCache = out
+}
+
+// View runs fn over every queryable store (C0 first, then the levels).
+func (a *Amortized[K, I]) View(fn func(stores []Store[K, I])) {
+	fn(a.stores())
+}
+
+// Query sums fn over every queryable store (see Ladder.Query).
+func (a *Amortized[K, I]) Query(arg []byte, fn func(st Store[K, I], arg []byte) int) int {
+	n := 0
+	for _, s := range a.stores() {
+		n += fn(s, arg)
+	}
+	return n
 }
 
 // ViewOwner runs fn on the store holding key, if live.

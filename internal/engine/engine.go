@@ -194,6 +194,14 @@ type Ladder[K comparable, I any] interface {
 	// holding key, if any.
 	View(fn func(stores []Store[K, I]))
 	ViewOwner(key K, fn func(st Store[K, I])) bool
+	// Query sums fn over every queryable store under the engine's
+	// synchronization domain, threading the caller's argument through
+	// explicitly. Passing a package-level fn keeps the steady-state
+	// query path free of closure allocations (View requires a capturing
+	// closure to carry the pattern and accumulator); combined with the
+	// engines' cached store lists this makes counting queries
+	// zero-allocation. fn must not re-enter the ladder.
+	Query(arg []byte, fn func(st Store[K, I], arg []byte) int) int
 	// WaitIdle blocks until background builds have landed (worst-case
 	// engine; a no-op for the amortized engine).
 	WaitIdle()

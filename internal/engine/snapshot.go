@@ -70,6 +70,7 @@ func (a *Amortized[K, I]) Restore(d Dump[K, I]) error {
 	if len(a.owner) != 0 {
 		return snap.Corruptf("restore into a non-empty ladder")
 	}
+	defer a.rebuildStores()
 	a.reschedule(d.NF)
 	if d.Tau > 0 {
 		a.tau = d.Tau
@@ -136,6 +137,7 @@ func (w *WorstCase[K, I]) Restore(d Dump[K, I]) error {
 	if len(w.owner) != 0 || len(w.builds) != 0 {
 		return snap.Corruptf("restore into a non-empty ladder")
 	}
+	w.invalidateStores()
 	w.reschedule(d.NF)
 	if d.Tau > 0 {
 		w.tau = d.Tau

@@ -57,6 +57,13 @@ type WorstCase[K comparable, I any] struct {
 
 	owner map[K]Store[K, I]
 
+	// storeCache memoizes allStores; every mutation of the store set
+	// (launch, finish, placement, sweeps, restore) invalidates it, so
+	// steady-state queries reuse one slice instead of re-collecting and
+	// deduplicating the ladder per call.
+	storeCache  []Store[K, I]
+	storesDirty bool
+
 	builds      []*buildTask[K, I]
 	rebalancing bool
 	needsReb    bool
@@ -248,6 +255,7 @@ func (w *WorstCase[K, I]) ladderBusy(j int) bool {
 
 // launch starts a build task, synchronously in Inline mode.
 func (w *WorstCase[K, I]) launch(t *buildTask[K, I]) {
+	w.invalidateStores()
 	t.done = make(chan []Store[K, I], 1)
 	w.builds = append(w.builds, t)
 	w.retiring = append(w.retiring, t.sources...)
@@ -400,6 +408,7 @@ func (w *WorstCase[K, I]) detachForBuild(sources []Store[K, I]) {
 
 // clearSlots drops empty retired structures from every slot.
 func (w *WorstCase[K, I]) clearSlots(sources []Store[K, I]) {
+	w.invalidateStores()
 	isSrc := make(map[Store[K, I]]bool, len(sources))
 	for _, s := range sources {
 		isSrc[s] = true
@@ -422,6 +431,7 @@ func (w *WorstCase[K, I]) clearSlots(sources []Store[K, I]) {
 // to the new structures unless they were deleted mid-build, and the
 // source structures are retired.
 func (w *WorstCase[K, I]) finish(t *buildTask[K, I], out []Store[K, I]) {
+	w.invalidateStores()
 	isSource := make(map[Store[K, I]]bool, len(t.sources))
 	for _, s := range t.sources {
 		isSource[s] = true
@@ -509,6 +519,9 @@ func (w *WorstCase[K, I]) dropEmptyTops() {
 			kept = append(kept, tp)
 		}
 	}
+	if len(kept) != len(w.tops) {
+		w.invalidateStores()
+	}
 	w.tops = kept
 }
 
@@ -527,9 +540,17 @@ func (w *WorstCase[K, I]) lenLocked() int {
 	return n
 }
 
-// allStores lists every queryable store exactly once.
+// invalidateStores marks the cached store list stale.
+func (w *WorstCase[K, I]) invalidateStores() { w.storesDirty = true }
+
+// allStores lists every queryable store exactly once, memoized until
+// the next store-set mutation.
 func (w *WorstCase[K, I]) allStores() []Store[K, I] {
-	out := []Store[K, I]{w.c0}
+	if !w.storesDirty && w.storeCache != nil {
+		return w.storeCache
+	}
+	out := w.storeCache[:0]
+	out = append(out, Store[K, I](w.c0))
 	for j := range w.levels {
 		if w.levels[j] != nil {
 			out = append(out, w.levels[j])
@@ -552,6 +573,8 @@ func (w *WorstCase[K, I]) allStores() []Store[K, I] {
 			listed[s] = true
 		}
 	}
+	w.storeCache = out
+	w.storesDirty = false
 	return out
 }
 
@@ -609,6 +632,7 @@ func (w *WorstCase[K, I]) placeOne(item I) {
 	case w.bigItem(weight):
 		// A huge item becomes its own top collection immediately; the
 		// build cost is proportional to the inserted data.
+		w.invalidateStores()
 		tp := w.cfg.Build([]I{item}, w.tau)
 		w.tops = append(w.tops, tp)
 		w.owner[w.cfg.Key(item)] = tp
@@ -669,6 +693,10 @@ func (w *WorstCase[K, I]) InsertBatch(items []I) error {
 			}
 			w.stats.SyncBuilds++
 		}
+		// Invalidate after the appends: lenLocked above consumes the
+		// cache, so a pre-mutation invalidation would be re-satisfied
+		// with the not-yet-extended store set.
+		w.invalidateStores()
 		if len(w.tops) > w.stats.MaxTops {
 			w.stats.MaxTops = len(w.tops)
 		}
@@ -706,6 +734,7 @@ func (w *WorstCase[K, I]) insertViaLadder(item I) {
 				w.owner[w.cfg.Key(item)] = w.c0
 				return
 			}
+			w.invalidateStores()
 			tmp := w.cfg.Build([]I{item}, w.tau)
 			w.temps[j+1] = append(w.temps[j+1], tmp)
 			w.owner[w.cfg.Key(item)] = tmp
@@ -786,6 +815,7 @@ func (w *WorstCase[K, I]) levelSize(j int) int {
 // takeLevelItems removes and returns the live items of Cj, including
 // parked temps.
 func (w *WorstCase[K, I]) takeLevelItems(j int) []I {
+	w.invalidateStores()
 	var items []I
 	if j == 0 {
 		items = w.c0.LiveItems()
@@ -916,6 +946,7 @@ func (w *WorstCase[K, I]) mergeBlocked(j int) bool {
 // mergeLevelUp locks level j and builds Nj+1 from it (plus the current
 // occupant of j+1 and any parked temps) in the background.
 func (w *WorstCase[K, I]) mergeLevelUp(j int) {
+	w.invalidateStores()
 	s := w.levels[j]
 	w.locked[j] = s
 	w.levels[j] = nil
@@ -1023,6 +1054,7 @@ func (w *WorstCase[K, I]) checkRebalance() {
 }
 
 func (w *WorstCase[K, I]) startRebalance() {
+	w.invalidateStores()
 	w.rebalancing = true
 	task := &buildTask[K, I]{kind: buildRebalance}
 	n := 0
@@ -1068,6 +1100,18 @@ func (w *WorstCase[K, I]) View(fn func(stores []Store[K, I])) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	fn(w.allStores())
+}
+
+// Query sums fn over every queryable store under the engine mutex (see
+// Ladder.Query); fn must not re-enter the ladder.
+func (w *WorstCase[K, I]) Query(arg []byte, fn func(st Store[K, I], arg []byte) int) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, s := range w.allStores() {
+		n += fn(s, arg)
+	}
+	return n
 }
 
 // ViewOwner runs fn (under the engine mutex) on the store holding key,

@@ -1,6 +1,7 @@
 package fmindex
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -45,22 +46,29 @@ type CSA struct {
 	docStarts []int32
 	docIDs    []uint64
 	symbols   int
+
+	// sym resolves a row's first symbol without the binary search over
+	// the C array; derived from c, rebuilt on load, never serialized.
+	sym symTable
 }
 
 const psiBlock = 64
 
-// BuildCSA constructs the compressed suffix array over docs.
+// BuildCSA constructs the compressed suffix array over docs. Like
+// Build, it checks its construction scratch out of the shared pool and
+// validates payloads with the vectorized separator scan.
 func BuildCSA(docs []Doc, opts Options) *CSA {
 	opts = opts.withDefaults()
 	total := 0
 	for _, d := range docs {
 		total += len(d.Data) + 1
 	}
-	text := make([]byte, 0, total)
+	sc := scratchPool.Get().(*buildScratch)
+	text := sa.Grow(sc.text, total)[:0]
 	x := &CSA{s: opts.SampleRate}
 	for _, d := range docs {
-		if !d.Valid() {
-			panic("fmindex: document contains the reserved byte 0x00")
+		if j := bytes.IndexByte(d.Data, 0); j >= 0 {
+			panic(fmt.Sprintf("fmindex: document %d contains the reserved separator byte 0x00 at offset %d", d.ID, j))
 		}
 		x.docStarts = append(x.docStarts, int32(len(text)))
 		x.docIDs = append(x.docIDs, d.ID)
@@ -68,18 +76,22 @@ func BuildCSA(docs []Doc, opts Options) *CSA {
 		text = append(text, d.Data...)
 		text = append(text, 0)
 	}
+	sc.text = text
 	x.n = len(text)
 	if x.n == 0 {
 		x.saMarked = bitvec.New(0)
 		x.saMarked.Seal()
+		x.sym.build(x.c, 0)
+		scratchPool.Put(sc)
 		return x
 	}
 
-	suf := sa.SuffixArray(text)
-	inv := make([]int32, x.n)
+	suf := sa.SuffixArrayWS(text, &sc.saws)
+	inv := sa.Grow(sc.inv, x.n)
 	for i, p := range suf {
 		inv[p] = int32(i)
 	}
+	sc.inv = inv
 
 	// C array over the first column.
 	var counts [257]int32
@@ -98,7 +110,7 @@ func BuildCSA(docs []Doc, opts Options) *CSA {
 	// one later; the last text position wraps to the row of suffix 0 so
 	// every walk stays total (never followed across separators in
 	// practice because samples stop it first).
-	psi := make([]int32, x.n)
+	psi := sa.Grow(sc.psi, x.n)
 	for i := 0; i < x.n; i++ {
 		p := int(suf[i]) + 1
 		if p == x.n {
@@ -106,6 +118,7 @@ func BuildCSA(docs []Doc, opts Options) *CSA {
 		}
 		psi[i] = inv[p]
 	}
+	sc.psi = psi
 	x.encodePsi(psi)
 
 	// SA samples at text positions ≡ 0 (mod s), marked per row so Locate
@@ -125,6 +138,8 @@ func BuildCSA(docs []Doc, opts Options) *CSA {
 	for p := 0; p < x.n; p += x.s {
 		x.isaSamp[p/x.s] = inv[p]
 	}
+	x.sym.build(x.c, x.n)
+	scratchPool.Put(sc)
 	return x
 }
 
@@ -176,10 +191,11 @@ func (x *CSA) Psi(row int) int {
 	return int(v)
 }
 
-// firstSymbol returns the first symbol of the suffix at the given row.
+// firstSymbol returns the first symbol of the suffix at the given row
+// via the sampled row→symbol table; the binary search it replaces ran
+// once per Ψ step in Extract and per compared symbol in Range.
 func (x *CSA) firstSymbol(row int) byte {
-	b := sort.Search(256, func(b int) bool { return x.c[b+1] > int32(row) })
-	return byte(b)
+	return x.sym.at(row)
 }
 
 // SALen reports the number of suffix-array rows.
@@ -228,13 +244,19 @@ func (x *CSA) compareSuffix(pattern []byte, row int) int {
 }
 
 // Range returns the half-open row interval of suffixes starting with
-// pattern via two binary searches (O(|P| log n) Ψ steps).
+// pattern via binary search (O(|P| log n) Ψ steps). The upper-bound
+// search is fused with the lower one: it restarts from lo instead of
+// row 0 — one extra comparison decides emptiness, and the second
+// search only bisects the [lo, n) tail.
 func (x *CSA) Range(pattern []byte) (lo, hi int) {
 	if len(pattern) == 0 {
 		return 0, x.n
 	}
 	lo = sort.Search(x.n, func(i int) bool { return x.compareSuffix(pattern, i) <= 0 })
-	hi = sort.Search(x.n, func(i int) bool { return x.compareSuffix(pattern, i) < 0 })
+	if lo == x.n || x.compareSuffix(pattern, lo) != 0 {
+		return lo, lo
+	}
+	hi = lo + 1 + sort.Search(x.n-lo-1, func(i int) bool { return x.compareSuffix(pattern, lo+1+i) < 0 })
 	return lo, hi
 }
 

@@ -25,14 +25,31 @@
 package fmindex
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dyncoll/internal/bitvec"
 	"dyncoll/internal/doc"
 	"dyncoll/internal/sa"
 	"dyncoll/internal/wavelet"
 )
+
+// buildScratch pools the transient construction buffers — concatenated
+// text, BWT bytes, inverse suffix array, and the SA-IS workspace — so
+// the engine's repeated rebuilds recycle their scratch instead of
+// re-allocating O(n) memory per merge. Each build goroutine checks one
+// scratch out of the pool for the duration of its build.
+type buildScratch struct {
+	text []byte
+	bwt  []byte
+	inv  []int32
+	psi  []int32 // CSA builds only
+	saws sa.Workspace
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(buildScratch) }}
 
 // Sep is the reserved document separator byte.
 const Sep byte = 0
@@ -61,6 +78,19 @@ type Index struct {
 	docStarts []int32 // global start offset of each document
 	docIDs    []uint64
 	symbols   int // total document symbols, excluding separators
+
+	// sym resolves a row's first symbol without the binary search over
+	// the C array; derived from c, rebuilt on load, never serialized.
+	sym symTable
+}
+
+// buildSymTable derives the row→symbol table from the C array.
+func (x *Index) buildSymTable() {
+	var bound [257]int32
+	for b, v := range x.c {
+		bound[b] = int32(v)
+	}
+	x.sym.build(bound, x.n)
 }
 
 // Options configure index construction.
@@ -79,13 +109,20 @@ func (o Options) withDefaults() Options {
 
 // Build constructs the index over the given documents. Document data must
 // not contain the separator byte 0x00.
+//
+// Construction recycles its scratch (concat buffer, SA-IS workspace,
+// BWT bytes) through a pool shared across builds, and overlaps the two
+// independent stages after the suffix array is known: the wavelet tree
+// is built on a separate goroutine while this one derives the SA/ISA
+// samples and separator targets.
 func Build(docs []Doc, opts Options) *Index {
 	opts = opts.withDefaults()
 	total := 0
 	for _, d := range docs {
 		total += len(d.Data) + 1
 	}
-	text := make([]byte, 0, total)
+	sc := scratchPool.Get().(*buildScratch)
+	text := sa.Grow(sc.text, total)[:0]
 	idx := &Index{
 		s:         opts.SampleRate,
 		docStarts: make([]int32, len(docs)),
@@ -94,26 +131,27 @@ func Build(docs []Doc, opts Options) *Index {
 	for i, d := range docs {
 		idx.docStarts[i] = int32(len(text))
 		idx.docIDs[i] = d.ID
-		for _, b := range d.Data {
-			if b == Sep {
-				panic("fmindex: document contains the reserved separator byte 0x00")
-			}
+		if j := bytes.IndexByte(d.Data, Sep); j >= 0 {
+			panic(fmt.Sprintf("fmindex: document %d contains the reserved separator byte 0x00 at offset %d", d.ID, j))
 		}
 		text = append(text, d.Data...)
 		text = append(text, Sep)
 		idx.symbols += len(d.Data)
 	}
+	sc.text = text
 	idx.n = len(text)
 	if idx.n == 0 {
 		idx.bwt = wavelet.NewHuffmanBytes(nil, 256)
 		idx.marked = bitvec.FromBools(nil)
+		idx.buildSymTable()
+		scratchPool.Put(sc)
 		return idx
 	}
 
-	suff := sa.SuffixArray(text)
+	suff := sa.SuffixArrayWS(text, &sc.saws)
 	// Cyclic BWT over the concatenation itself (its last byte is a
 	// separator, so suffix order is well defined; see package comment).
-	bwtBytes := make([]byte, idx.n)
+	bwtBytes := sa.Grow(sc.bwt, idx.n)
 	for i, p := range suff {
 		if p == 0 {
 			bwtBytes[i] = text[idx.n-1]
@@ -121,7 +159,12 @@ func Build(docs []Doc, opts Options) *Index {
 			bwtBytes[i] = text[p-1]
 		}
 	}
-	idx.bwt = wavelet.NewHuffmanBytes(bwtBytes, 256)
+	sc.bwt = bwtBytes
+
+	// The wavelet tree over the BWT and the sample tables below depend
+	// only on bwtBytes/suff, so the tree builds concurrently with them.
+	treeDone := make(chan *wavelet.Tree, 1)
+	go func() { treeDone <- wavelet.NewHuffmanBytes(bwtBytes, 256) }()
 
 	var counts [256]int
 	for _, b := range bwtBytes {
@@ -133,20 +176,29 @@ func Build(docs []Doc, opts Options) *Index {
 		sum += counts[b]
 	}
 	idx.c[256] = sum
+	idx.buildSymTable()
 
-	// SA samples at rows whose suffix position is ≡ 0 (mod s).
+	// SA samples at rows whose suffix position is ≡ 0 (mod s); one pass
+	// fills the mark bits (bulk-appended per word) and the sample table.
 	mv := bitvec.New(idx.n)
+	idx.saSamp = make([]int32, 0, idx.n/idx.s+1)
+	var reg uint64
+	shift := uint(0)
 	for _, p := range suff {
-		mv.AppendBit(int(p)%idx.s == 0)
+		if int(p)%idx.s == 0 {
+			reg |= 1 << shift
+			idx.saSamp = append(idx.saSamp, p)
+		}
+		if shift++; shift == 64 {
+			mv.AppendWord(reg, 64)
+			reg, shift = 0, 0
+		}
+	}
+	if shift > 0 {
+		mv.AppendWord(reg, int(shift))
 	}
 	mv.Seal()
 	idx.marked = mv
-	idx.saSamp = make([]int32, 0, idx.n/idx.s+1)
-	for _, p := range suff {
-		if int(p)%idx.s == 0 {
-			idx.saSamp = append(idx.saSamp, p)
-		}
-	}
 
 	// ISA samples at positions 0, s, 2s, … and n-1.
 	idx.isaSamp = make([]int32, (idx.n-1)/idx.s+2)
@@ -160,7 +212,11 @@ func Build(docs []Doc, opts Options) *Index {
 	}
 
 	// Exact LF targets for separator rows, via the inverse suffix array.
-	isa := sa.Inverse(suff)
+	isa := sa.Grow(sc.inv, idx.n)
+	for i, p := range suff {
+		isa[p] = int32(i)
+	}
+	sc.inv = isa
 	for row, b := range bwtBytes {
 		if b == Sep {
 			idx.sepRows = append(idx.sepRows, int32(row))
@@ -168,6 +224,8 @@ func Build(docs []Doc, opts Options) *Index {
 			idx.sepTargets = append(idx.sepTargets, isa[prev])
 		}
 	}
+	idx.bwt = <-treeDone
+	scratchPool.Put(sc)
 	return idx
 }
 
@@ -206,14 +264,16 @@ func (x *Index) SampleRate() int { return x.s }
 func (x *Index) LF(row int) int { return x.lf(row) }
 
 func (x *Index) lf(row int) int {
-	b := byte(x.bwt.Access(row))
-	if b == Sep {
+	// One fused walk yields the BWT symbol and its rank at the row; the
+	// pointer-era code paid two full wavelet traversals here.
+	b, r := x.bwt.AccessRank(row)
+	if byte(b) == Sep {
 		i := sort.Search(len(x.sepRows), func(i int) bool {
 			return x.sepRows[i] >= int32(row)
 		})
 		return int(x.sepTargets[i])
 	}
-	return x.c[b] + x.bwt.Rank(uint32(b), row)
+	return x.c[b] + r
 }
 
 // Range returns the half-open suffix-array interval [lo, hi) of rows
@@ -224,8 +284,11 @@ func (x *Index) Range(pattern []byte) (lo, hi int) {
 	lo, hi = 0, x.n
 	for i := len(pattern) - 1; i >= 0 && lo < hi; i-- {
 		b := pattern[i]
-		lo = x.c[b] + x.bwt.Rank(uint32(b), lo)
-		hi = x.c[b] + x.bwt.Rank(uint32(b), hi)
+		// Both interval endpoints rank the same symbol, so one fused
+		// walk shares the node path and bit-vector directory loads.
+		rl, rh := x.bwt.RankPair(uint32(b), lo, hi)
+		lo = x.c[b] + rl
+		hi = x.c[b] + rh
 	}
 	return lo, hi
 }
@@ -276,11 +339,12 @@ func (x *Index) SuffixRank(doc, off int) int {
 	return row
 }
 
-// charAtRow returns the first character of the suffix at the given row.
+// charAtRow returns the first character of the suffix at the given row:
+// the symbol b with c[b] ≤ row < c[b+1], via the sampled row→symbol
+// table (the closure-driven binary search this replaces was the hot
+// inner step of Extract).
 func (x *Index) charAtRow(row int) byte {
-	// Binary search over the C array: the symbol b with c[b] ≤ row < c[b+1].
-	b := sort.Search(256, func(b int) bool { return x.c[b+1] > row })
-	return byte(b)
+	return x.sym.at(row)
 }
 
 // Extract returns length symbols of document doc starting at offset off.

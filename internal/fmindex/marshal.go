@@ -168,6 +168,7 @@ func (x *Index) UnmarshalBinary(data []byte) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
+	nx.buildSymTable()
 	*x = *nx
 	return nil
 }
@@ -332,6 +333,7 @@ func (x *CSA) UnmarshalBinary(data []byte) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
+	nx.sym.build(nx.c, nx.n)
 	*x = *nx
 	return nil
 }

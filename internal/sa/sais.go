@@ -16,6 +16,63 @@
 // build.
 package sa
 
+// Workspace holds reusable construction buffers for repeated suffix-
+// array builds. The engine's rebuild pipeline constructs thousands of
+// static indexes over its lifetime; routing them through a workspace
+// replaces the O(n) (and recursive o(n)) allocations of every build
+// with buffer reuse. The zero value is ready to use. A Workspace is
+// not safe for concurrent use; pool one per build goroutine.
+type Workspace struct {
+	t, sa []int32   // top-level text and suffix buffers
+	ints  [][]int32 // free list for recursion scratch
+	bools [][]bool
+}
+
+func (w *Workspace) getInts(n int) []int32 {
+	for i := len(w.ints) - 1; i >= 0; i-- {
+		if cap(w.ints[i]) >= n {
+			b := w.ints[i][:n]
+			w.ints = append(w.ints[:i], w.ints[i+1:]...)
+			return b
+		}
+	}
+	return make([]int32, n)
+}
+
+func (w *Workspace) putInts(b []int32) {
+	if cap(b) > 0 && len(w.ints) < 16 {
+		w.ints = append(w.ints, b[:0])
+	}
+}
+
+func (w *Workspace) getBools(n int) []bool {
+	for i := len(w.bools) - 1; i >= 0; i-- {
+		if cap(w.bools[i]) >= n {
+			b := w.bools[i][:n]
+			w.bools = append(w.bools[:i], w.bools[i+1:]...)
+			return b
+		}
+	}
+	return make([]bool, n)
+}
+
+func (w *Workspace) putBools(b []bool) {
+	if cap(b) > 0 && len(w.bools) < 16 {
+		w.bools = append(w.bools, b[:0])
+	}
+}
+
+// Grow returns buf resized to n, reallocating only when capacity is
+// insufficient; the returned contents are unspecified. Shared by every
+// scratch-buffer consumer of the build pipeline (this package's
+// workspace, fmindex's pooled build scratch).
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // SuffixArray returns the suffix array of text: a permutation sa of
 // [0,len(text)) such that the suffixes text[sa[0]:] < text[sa[1]:] < …
 // in lexicographic order. Bytes compare unsigned. The implicit suffix
@@ -26,18 +83,31 @@ func SuffixArray(text []byte) []int32 {
 	if n == 0 {
 		return nil
 	}
+	out := make([]int32, n)
+	copy(out, SuffixArrayWS(text, &Workspace{}))
+	return out
+}
+
+// SuffixArrayWS is SuffixArray computed through a reusable workspace.
+// The returned slice is owned by ws: it stays valid only until the next
+// build through the same workspace, and callers must copy anything they
+// keep.
+func SuffixArrayWS(text []byte, ws *Workspace) []int32 {
+	n := len(text)
+	if n == 0 {
+		return nil
+	}
 	// Shift the alphabet by one so 0 is free for the sentinel.
-	t := make([]int32, n+1)
+	ws.t = Grow(ws.t, n+1)
+	t := ws.t
 	for i, b := range text {
 		t[i] = int32(b) + 1
 	}
 	t[n] = 0
-	sa := make([]int32, n+1)
-	saIS(t, sa, 257)
+	ws.sa = Grow(ws.sa, n+1)
+	saIS(t, ws.sa, 257, ws)
 	// sa[0] is the sentinel suffix; drop it.
-	out := make([]int32, n)
-	copy(out, sa[1:])
-	return out
+	return ws.sa[1:]
 }
 
 // SuffixArrayInts is SuffixArray over an integer text with symbols in
@@ -57,7 +127,7 @@ func SuffixArrayInts(text []int32, sigma int) []int32 {
 	}
 	t[n] = 0
 	sa := make([]int32, n+1)
-	saIS(t, sa, sigma+1)
+	saIS(t, sa, sigma+1, &Workspace{})
 	out := make([]int32, n)
 	copy(out, sa[1:])
 	return out
@@ -65,48 +135,50 @@ func SuffixArrayInts(text []int32, sigma int) []int32 {
 
 // saIS computes the suffix array of t into sa. t must end with a unique
 // smallest sentinel (value 0 occurring exactly once, at the end), and
-// symbols lie in [0, sigma).
-func saIS(t []int32, sa []int32, sigma int) {
+// symbols lie in [0, sigma). Scratch buffers come from ws and return to
+// it, across recursion levels too.
+func saIS(t []int32, sa []int32, sigma int, ws *Workspace) {
 	n := len(t)
 	if n == 1 {
 		sa[0] = 0
 		return
 	}
 	// Classify suffixes: S-type (true) or L-type (false).
-	isS := make([]bool, n)
+	isS := ws.getBools(n)
 	isS[n-1] = true
 	for i := n - 2; i >= 0; i-- {
 		isS[i] = t[i] < t[i+1] || (t[i] == t[i+1] && isS[i+1])
 	}
 	isLMS := func(i int) bool { return i > 0 && isS[i] && !isS[i-1] }
 
-	bkt := make([]int32, sigma)
-	bucketSizes := func() {
-		for i := range bkt {
-			bkt[i] = 0
-		}
-		for _, c := range t {
-			bkt[c]++
-		}
+	// Count symbol frequencies once; bucket heads/tails are O(sigma)
+	// prefix sums over the counts, so re-deriving them for every induce
+	// pass no longer costs an O(n) recount each time.
+	cnt := ws.getInts(sigma)
+	for i := range cnt {
+		cnt[i] = 0
 	}
+	for _, c := range t {
+		cnt[c]++
+	}
+	bkt := ws.getInts(sigma)
 	bucketHeads := func() {
 		var s int32
 		for c := 0; c < sigma; c++ {
-			s += bkt[c]
-			bkt[c] = s - bkt[c]
+			bkt[c] = s
+			s += cnt[c]
 		}
 	}
 	bucketTails := func() {
 		var s int32
 		for c := 0; c < sigma; c++ {
-			s += bkt[c]
+			s += cnt[c]
 			bkt[c] = s
 		}
 	}
 
 	induce := func() {
 		// Induce L-type suffixes left to right.
-		bucketSizes()
 		bucketHeads()
 		for i := 0; i < n; i++ {
 			j := sa[i] - 1
@@ -116,7 +188,6 @@ func saIS(t []int32, sa []int32, sigma int) {
 			}
 		}
 		// Induce S-type suffixes right to left.
-		bucketSizes()
 		bucketTails()
 		for i := n - 1; i >= 0; i-- {
 			j := sa[i] - 1
@@ -131,7 +202,6 @@ func saIS(t []int32, sa []int32, sigma int) {
 	for i := range sa {
 		sa[i] = -1
 	}
-	bucketSizes()
 	bucketTails()
 	for i := 1; i < n; i++ {
 		if isLMS(i) {
@@ -180,8 +250,8 @@ func saIS(t []int32, sa []int32, sigma int) {
 		names[pos/2] = name
 	}
 	// Collect names in text order.
-	lmsPos := make([]int32, 0, nLMS)
-	reduced := make([]int32, 0, nLMS)
+	lmsPos := ws.getInts(nLMS)[:0]
+	reduced := ws.getInts(nLMS)[:0]
 	for i := 1; i < n; i++ {
 		if isLMS(i) {
 			lmsPos = append(lmsPos, int32(i))
@@ -190,23 +260,23 @@ func saIS(t []int32, sa []int32, sigma int) {
 	}
 
 	// Step 3: sort the reduced problem.
-	sortedLMS := make([]int32, nLMS)
+	sortedLMS := ws.getInts(nLMS)
 	if int(name)+1 == nLMS {
 		// All names unique: order directly.
 		for i, nm := range reduced {
 			sortedLMS[nm] = int32(i)
 		}
 	} else {
-		sub := make([]int32, nLMS)
-		saIS(reduced, sub, int(name)+1)
+		sub := ws.getInts(nLMS)
+		saIS(reduced, sub, int(name)+1, ws)
 		copy(sortedLMS, sub)
+		ws.putInts(sub)
 	}
 
 	// Step 4: place LMS suffixes in their final relative order, induce.
 	for i := range sa {
 		sa[i] = -1
 	}
-	bucketSizes()
 	bucketTails()
 	for i := nLMS - 1; i >= 0; i-- {
 		j := lmsPos[sortedLMS[i]]
@@ -214,4 +284,10 @@ func saIS(t []int32, sa []int32, sigma int) {
 		sa[bkt[t[j]]] = j
 	}
 	induce()
+	ws.putInts(lmsPos)
+	ws.putInts(reduced)
+	ws.putInts(sortedLMS)
+	ws.putInts(bkt)
+	ws.putInts(cnt)
+	ws.putBools(isS)
 }

@@ -206,15 +206,7 @@ func (c *Compressed) Zero(i int) {
 	w, off := i/c.tau, uint16(i%c.tau)
 	zs := c.words[w]
 	// Insert off into the sorted list if absent.
-	lo, hi := 0, len(zs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if zs[mid] < off {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
+	lo := sortedSearch(zs, int(off))
 	if lo < len(zs) && zs[lo] == off {
 		return
 	}
@@ -268,6 +260,60 @@ func (c *Compressed) Report(s, e int, fn func(pos int) bool) {
 		}
 		w = c.dir.Next(w + 1)
 	}
+}
+
+// Count1 returns the number of set bits in [s, e]. Unlike counting via
+// Report, it works per τ-word — span length minus the zeros falling in
+// the span, found by two binary searches in the word's sorted zero
+// list — so the cost is O(words touched · log τ) instead of O(bits),
+// and no callback is involved.
+func (c *Compressed) Count1(s, e int) int {
+	if s < 0 {
+		s = 0
+	}
+	if e >= c.n {
+		e = c.n - 1
+	}
+	if s > e {
+		return 0
+	}
+	ws, we := s/c.tau, e/c.tau
+	n := 0
+	w := c.dir.Next(ws)
+	for w >= 0 && w <= we {
+		base := w * c.tau
+		lo, hi := 0, c.wordLen(w)-1
+		if w == ws {
+			lo = s - base
+		}
+		if w == we {
+			hi = e - base
+		}
+		if hi >= lo {
+			zs := c.words[w]
+			// Zeros in [lo, hi]: first zero ≥ lo to first zero > hi.
+			zlo := sortedSearch(zs, lo)
+			zhi := sortedSearch(zs, hi+1)
+			n += (hi - lo + 1) - (zhi - zlo)
+		}
+		w = c.dir.Next(w + 1)
+	}
+	return n
+}
+
+// sortedSearch returns the index of the first element of zs that is
+// ≥ v (a closure-free sort.Search).
+func sortedSearch(zs []uint16, v int) int {
+	lo, hi := 0, len(zs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(zs[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // AppendRange appends all set positions in [s, e] to dst and returns it.

@@ -12,6 +12,14 @@ import (
 // 2 = internal + bit vector + children). Code lengths fit in 64 bits,
 // so tree depth is bounded and decode recursion cannot blow the stack
 // even on corrupt input.
+//
+// The in-memory representation is the flat level-order layout, but the
+// wire format is unchanged from the pointer-node era: EncodeTo slices
+// each node's bit run back out of its shared level vector
+// (bitvec.EncodeRangeTo emits exactly what a standalone vector would),
+// and DecodeFrom reads the per-node vectors and re-concatenates them
+// into level vectors. Snapshots therefore round-trip byte-identically
+// across the layout change.
 
 // EncodeTo writes the tree's portable form into an encoder.
 func (t *Tree) EncodeTo(e *snap.Encoder) {
@@ -22,22 +30,28 @@ func (t *Tree) EncodeTo(e *snap.Encoder) {
 		e.Uvarint(uint64(c.Len))
 		e.Uvarint(c.Bits)
 	}
-	var walk func(nd *node)
-	walk = func(nd *node) {
-		switch {
-		case nd == nil:
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		if ni < 0 {
 			e.Byte(0)
-		case nd.leaf >= 0:
+			return
+		}
+		nd := &t.nodes[ni]
+		if nd.leaf >= 0 {
 			e.Byte(1)
 			e.Uvarint(uint64(nd.leaf))
-		default:
-			e.Byte(2)
-			nd.bits.EncodeTo(e)
-			walk(nd.zero)
-			walk(nd.one)
+			return
 		}
+		e.Byte(2)
+		t.levels[nd.depth].EncodeRangeTo(e, int(nd.off), int(nd.count))
+		walk(nd.zero)
+		walk(nd.one)
 	}
-	walk(t.root)
+	if len(t.nodes) == 0 {
+		e.Byte(0)
+		return
+	}
+	walk(0)
 }
 
 // AppendBinary appends the tree's portable form to buf.
@@ -45,6 +59,15 @@ func (t *Tree) AppendBinary(buf []byte) ([]byte, error) {
 	e := snap.Encoder{}
 	t.EncodeTo(&e)
 	return append(buf, e.Bytes()...), nil
+}
+
+// decNode is the transient pointer shape used while reading the
+// pre-order wire format; flatten converts it to the flat layout.
+type decNode struct {
+	bits      *bitvec.Vector
+	zero, one *decNode
+	leaf      int32
+	count     int32
 }
 
 // DecodeFrom reads a tree from a decoder; corrupt input latches an
@@ -72,11 +95,11 @@ func DecodeFrom(d *snap.Decoder) *Tree {
 	}
 	// walk decodes one node. want is the bit count the node must hold to
 	// keep parent-to-child rank projections in range (leaves hold no
-	// bits, so they accept any count); enforcing it at decode time means
-	// Access/Rank/Select on a loaded tree can never index a child out of
-	// range, even if the input was crafted.
-	var walk func(depth, want int) *node
-	walk = func(depth, want int) *node {
+	// bits, so they record want as their occurrence count); enforcing it
+	// at decode time means Access/Rank/Select on a loaded tree can never
+	// index a child out of range, even if the input was crafted.
+	var walk func(depth, want int) *decNode
+	walk = func(depth, want int) *decNode {
 		if d.Err() != nil {
 			return nil
 		}
@@ -96,9 +119,9 @@ func DecodeFrom(d *snap.Decoder) *Tree {
 				d.Fail("wavelet leaf symbol %d outside alphabet %d", leaf, sigma)
 				return nil
 			}
-			return &node{leaf: leaf}
+			return &decNode{leaf: int32(leaf), count: int32(want)}
 		case 2:
-			nd := &node{leaf: -1}
+			nd := &decNode{leaf: -1}
 			nd.bits = bitvec.DecodeFrom(d)
 			if d.Err() != nil {
 				return nil
@@ -107,6 +130,7 @@ func DecodeFrom(d *snap.Decoder) *Tree {
 				d.Fail("wavelet node holds %d bits, want %d", nd.bits.Len(), want)
 				return nil
 			}
+			nd.count = int32(want)
 			nd.zero = walk(depth+1, nd.bits.Zeros())
 			nd.one = walk(depth+1, nd.bits.Ones())
 			return nd
@@ -119,7 +143,70 @@ func DecodeFrom(d *snap.Decoder) *Tree {
 	if d.Err() != nil {
 		return nil
 	}
-	return &Tree{sigma: sigma, n: n, root: root, codes: codes}
+	t := &Tree{sigma: sigma, n: n, codes: codes}
+	t.flatten(root)
+	return t
+}
+
+// flatten converts the decoded pointer shape into the flat level-order
+// layout: nodes in one slice, per-level bit runs concatenated into one
+// shared vector each.
+func (t *Tree) flatten(root *decNode) {
+	if root == nil {
+		return
+	}
+	type queued struct {
+		src *decNode
+		ni  int32
+	}
+	t.nodes = append(t.nodes, node{zero: -1, one: -1, leaf: -1})
+	level := []queued{{src: root, ni: 0}}
+	var next []queued
+	for depth := int32(0); len(level) > 0; depth++ {
+		var lv *bitvec.Vector
+		levelOnes := int32(0)
+		next = next[:0]
+		for _, q := range level {
+			nd := t.nodes[q.ni] // copy: child appends below may reallocate
+			nd.depth = depth
+			nd.count = q.src.count
+			if q.src.leaf >= 0 {
+				nd.leaf = q.src.leaf
+				t.nodes[q.ni] = nd
+				continue
+			}
+			if lv == nil {
+				lv = bitvec.New(0)
+			}
+			nd.off = int32(lv.Len())
+			nd.onesBefore = levelOnes
+			words, nb := q.src.bits.Words(), q.src.bits.Len()
+			for wi := 0; wi < len(words); wi++ {
+				nbits := 64
+				if rest := nb - wi*64; rest < 64 {
+					nbits = rest
+				}
+				lv.AppendWord(words[wi], nbits)
+			}
+			levelOnes += int32(q.src.bits.Ones())
+			if q.src.zero != nil {
+				nd.zero = int32(len(t.nodes))
+				t.nodes = append(t.nodes, node{zero: -1, one: -1, leaf: -1})
+				next = append(next, queued{src: q.src.zero, ni: nd.zero})
+			}
+			if q.src.one != nil {
+				nd.one = int32(len(t.nodes))
+				t.nodes = append(t.nodes, node{zero: -1, one: -1, leaf: -1})
+				next = append(next, queued{src: q.src.one, ni: nd.one})
+			}
+			t.nodes[q.ni] = nd
+		}
+		if lv != nil {
+			lv.Seal()
+			t.levels = append(t.levels, lv)
+		}
+		level, next = next, level
+	}
 }
 
 // UnmarshalBinary replaces t with the tree encoded in data.
