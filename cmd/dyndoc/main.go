@@ -50,6 +50,7 @@ import (
 	"strings"
 
 	"dyncoll"
+	"dyncoll/internal/server"
 )
 
 func main() {
@@ -159,23 +160,13 @@ var errQuit = fmt.Errorf("quit")
 
 // printStats renders the uniform engine-level report every mode shares:
 // live size, space, shard count, ladder occupancy, in-flight background
-// builds, and top collections.
-func printStats(st dyncoll.IndexStats, unit string, live int, sizeBits int64) {
-	fmt.Printf("%-10s %d\n", unit+"s:", live)
-	fmt.Printf("%-10s %d bits (%.2f bits/%s)\n", "size:",
-		sizeBits, float64(sizeBits)/float64(max(1, live)), unit)
-	if st.Shards > 0 {
-		fmt.Printf("%-10s %d\n", "shards:", st.Shards)
-	}
-	fmt.Printf("%-10s τ=%d, rebuilds=%d, global=%d, pending builds=%d\n",
-		"engine:", st.Tau, st.Rebuilds, st.GlobalRebuilds, st.PendingBuilds)
-	fmt.Printf("%-10s %d slots (occupancy/capacity, level 0 = uncompressed C0)\n", "ladder:", st.Levels)
-	for j, sz := range st.LevelSizes {
-		fmt.Printf("  level %-3d %12d / %d\n", j, sz, st.LevelCaps[j])
-	}
-	if st.Tops > 0 {
-		fmt.Printf("%-10s %d collections, sizes %v\n", "tops:", st.Tops, st.TopSizes)
-	}
+// builds, and top collections. The report is built from the same
+// server.LadderVarz type the dyndocd /varz endpoint serves, so the CLI
+// and the service metrics cannot drift.
+func printStats(st dyncoll.IndexStats, unit string, live int, sizeBits int64, shardSizes []int) {
+	v := server.NewLadderVarz(st, unit, live, sizeBits)
+	v.ShardSizes = shardSizes
+	v.WriteText(os.Stdout)
 }
 
 func runCollection(c *dyncoll.Collection, cmd, rest string) error {
@@ -268,7 +259,7 @@ func runCollection(c *dyncoll.Collection, cmd, rest string) error {
 	case "stats":
 		c.WaitIdle()
 		fmt.Printf("%-10s %d\n", "documents:", c.DocCount())
-		printStats(c.Stats(), "symbol", c.Len(), c.SizeBits())
+		printStats(c.Stats(), "symbol", c.Len(), c.SizeBits(), c.ShardSizes())
 
 	default:
 		return fmt.Errorf("unknown command %q (add addfile del find count extract save load stats quit)", cmd)
@@ -380,7 +371,7 @@ func runRelation(r *dyncoll.Relation, cmd, rest string) error {
 
 	case "stats":
 		r.WaitIdle()
-		printStats(r.Stats(), "pair", r.Len(), r.SizeBits())
+		printStats(r.Stats(), "pair", r.Len(), r.SizeBits(), nil)
 
 	default:
 		return fmt.Errorf("unknown command %q (rel unrel related labels objects save load stats quit)", cmd)
@@ -441,17 +432,10 @@ func runGraph(g *dyncoll.Graph, cmd, rest string) error {
 
 	case "stats":
 		g.WaitIdle()
-		printStats(g.Stats(), "edge", g.EdgeCount(), g.SizeBits())
+		printStats(g.Stats(), "edge", g.EdgeCount(), g.SizeBits(), nil)
 
 	default:
 		return fmt.Errorf("unknown command %q (edge deledge has succ pred save load stats quit)", cmd)
 	}
 	return nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyncoll/internal/server"
+)
+
+// The load test drives a running dyndocd (backend or frontend — the
+// API is identical) with a configurable writer/reader mix and reports
+// throughput and latency percentiles per operation class, reusing the
+// server's own latency histogram so the client-side numbers and /varz
+// are computed identically.
+
+type loadtestConfig struct {
+	target           string
+	writers, readers int
+	duration         time.Duration
+	batch, docBytes  int
+	preload          int
+	idBase           uint64
+}
+
+// vocab is the word pool documents are generated from; read patterns
+// draw from the same pool so queries hit real matches.
+var vocab = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliett", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango", "uniform",
+	"victor", "whiskey", "xray", "yankee", "zulu",
+}
+
+// opStats aggregates one operation class across all goroutines.
+type opStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	hist     server.Histogram
+}
+
+func (s *opStats) observe(d time.Duration, ok bool) {
+	s.requests.Add(1)
+	if !ok {
+		s.errors.Add(1)
+	}
+	s.hist.Observe(d)
+}
+
+func runLoadtest(cfg loadtestConfig) {
+	base := strings.TrimRight(cfg.target, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.writers + cfg.readers + 4}}
+
+	// Readiness, so a scripted "start server; loadtest" doesn't race.
+	if err := waitHealthy(client, base, 10*time.Second); err != nil {
+		log.Fatalf("loadtest: target %s not healthy: %v", base, err)
+	}
+
+	var nextID atomic.Uint64
+	nextID.Store(cfg.idBase)
+	genDoc := func(rng *rand.Rand) map[string]any {
+		var sb strings.Builder
+		for sb.Len() < cfg.docBytes {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			sb.WriteByte(' ')
+		}
+		return map[string]any{"id": nextID.Add(1) - 1, "text": sb.String()}
+	}
+	postInsert := func(rng *rand.Rand, n int) (time.Duration, bool) {
+		docs := make([]map[string]any, n)
+		for i := range docs {
+			docs[i] = genDoc(rng)
+		}
+		body, _ := json.Marshal(map[string]any{"docs": docs})
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/insert", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return time.Since(start), false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return time.Since(start), resp.StatusCode == http.StatusOK
+	}
+
+	log.Printf("preloading %d document(s) into %s …", cfg.preload, base)
+	preRng := rand.New(rand.NewSource(1))
+	for done := 0; done < cfg.preload; done += cfg.batch {
+		n := min(cfg.batch, cfg.preload-done)
+		if _, ok := postInsert(preRng, n); !ok {
+			log.Fatalf("loadtest: preload insert failed (is %s a dyndocd?)", base)
+		}
+	}
+
+	var insertStats, countStats, findStats opStats
+	var docsInserted atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, ok := postInsert(rng, cfg.batch)
+				insertStats.observe(d, ok)
+				if ok {
+					docsInserted.Add(int64(cfg.batch))
+				}
+			}
+		}(int64(100 + w))
+	}
+
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				word := vocab[rng.Intn(len(vocab))]
+				if i%2 == 0 {
+					start := time.Now()
+					resp, err := client.Get(base + "/v1/count?q=" + url.QueryEscape(word))
+					ok := err == nil && resp.StatusCode == http.StatusOK
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					countStats.observe(time.Since(start), ok)
+				} else {
+					// Streaming find with a limit: measure time-to-last-line
+					// of a bounded result page, the interactive-search shape.
+					start := time.Now()
+					resp, err := client.Get(base + "/v1/find?q=" + url.QueryEscape(word) + "&limit=100")
+					ok := err == nil && resp.StatusCode == http.StatusOK
+					if err == nil {
+						sc := bufio.NewScanner(resp.Body)
+						for sc.Scan() {
+						}
+						resp.Body.Close()
+						ok = ok && sc.Err() == nil
+					}
+					findStats.observe(time.Since(start), ok)
+				}
+			}
+		}(int64(200 + r))
+	}
+
+	log.Printf("measuring: %d writer(s) × batch %d, %d reader(s), %v …",
+		cfg.writers, cfg.batch, cfg.readers, cfg.duration)
+	time.Sleep(cfg.duration)
+	close(stop)
+	wg.Wait()
+
+	secs := cfg.duration.Seconds()
+	fmt.Printf("\ntarget: %s   duration: %v   writers: %d (batch %d)   readers: %d\n",
+		base, cfg.duration, cfg.writers, cfg.batch, cfg.readers)
+	fmt.Printf("documents inserted during measurement: %d (%.0f docs/s)\n\n",
+		docsInserted.Load(), float64(docsInserted.Load())/secs)
+	fmt.Printf("%-22s %10s %7s %9s %9s %9s %9s\n", "op", "requests", "errors", "qps", "p50(ms)", "p95(ms)", "p99(ms)")
+	printOp := func(name string, s *opStats) {
+		q := server.QuantilesOf(&s.hist)
+		fmt.Printf("%-22s %10d %7d %9.1f %9.2f %9.2f %9.2f\n",
+			name, s.requests.Load(), s.errors.Load(), float64(s.requests.Load())/secs, q.P50, q.P95, q.P99)
+	}
+	printOp(fmt.Sprintf("insert (batch=%d)", cfg.batch), &insertStats)
+	printOp("count", &countStats)
+	printOp("find (limit=100)", &findStats)
+
+	if insertStats.errors.Load()+countStats.errors.Load()+findStats.errors.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// waitHealthy polls /healthz until it answers 200 or the deadline
+// passes.
+func waitHealthy(client *http.Client, base string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,206 @@
+// Command dyndocd serves the dynamic document collection over
+// HTTP/JSON (stdlib only — no dependencies). It runs in one of three
+// modes:
+//
+//	-mode=backend   (default) owns a sharded Collection and serves the
+//	                full API: POST /v1/insert, POST /v1/delete,
+//	                GET /v1/find (streaming NDJSON), /v1/count,
+//	                /v1/extract, plus /varz metrics and /healthz.
+//	                -snapshot=PATH restores the collection before
+//	                listening (when the file exists) and writes the
+//	                drain snapshot on SIGTERM.
+//	-mode=frontend  stateless query router over -backends=h1,h2,…:
+//	                keyed ops proxy to the backend owning the document
+//	                (deterministic shard map), un-routable queries fan
+//	                out across all backends and the NDJSON streams merge
+//	                with propagated early break.
+//	-mode=loadtest  drives a running server (-target=URL) with a
+//	                configurable writer/reader mix and reports QPS and
+//	                p50/p95/p99 latency per operation.
+//
+// Graceful drain: on SIGTERM (or Ctrl-C) the server stops accepting,
+// finishes in-flight requests, quiesces background rebuilds (WaitIdle),
+// writes the snapshot if -snapshot is set, and exits 0. A second signal
+// kills the process immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dyncoll"
+	"dyncoll/internal/server"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "backend", "backend | frontend | loadtest")
+		listen   = flag.String("listen", "127.0.0.1:7080", "listen address (backend, frontend)")
+		snapshot = flag.String("snapshot", "", "snapshot path: restored before listening if present, written on drain (backend)")
+		backends = flag.String("backends", "", "comma-separated backend addresses (frontend)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+
+		// Collection construction (backend).
+		index     = flag.String("index", "fm", "static index by registry name (backend)")
+		sample    = flag.Int("s", 16, "suffix-array sample rate s (backend)")
+		tau       = flag.Int("tau", 0, "lazy-deletion parameter τ, 0 = automatic (backend)")
+		shards    = flag.Int("shards", 1, "shard count p ≥ 1; the server requires the concurrency-safe sharded collection (backend)")
+		counting  = flag.Bool("counting", false, "enable Theorem 1 counting structures (backend)")
+		transform = flag.String("transform", "", "transformation: amortized | worstcase | fastinsert (backend; default worstcase)")
+
+		// Load test (loadtest).
+		target   = flag.String("target", "http://127.0.0.1:7080", "server URL to drive (loadtest)")
+		writers  = flag.Int("writers", 2, "concurrent writer goroutines (loadtest)")
+		readers  = flag.Int("readers", 8, "concurrent reader goroutines (loadtest)")
+		duration = flag.Duration("duration", 10*time.Second, "measurement duration (loadtest)")
+		batch    = flag.Int("batch", 16, "documents per insert batch (loadtest)")
+		docBytes = flag.Int("doc-bytes", 256, "approximate payload bytes per document (loadtest)")
+		preload  = flag.Int("preload", 500, "documents inserted before measurement starts (loadtest)")
+		idBase   = flag.Uint64("id-base", 1_000_000_000, "first document ID the load test allocates (loadtest)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "backend":
+		runBackend(backendConfig{
+			listen: *listen, snapshot: *snapshot, drainTimeout: *drainFor,
+			index: *index, sample: *sample, tau: *tau, shards: *shards,
+			counting: *counting, transform: *transform,
+		})
+	case "frontend":
+		runFrontend(*listen, *backends, *drainFor)
+	case "loadtest":
+		runLoadtest(loadtestConfig{
+			target: *target, writers: *writers, readers: *readers,
+			duration: *duration, batch: *batch, docBytes: *docBytes,
+			preload: *preload, idBase: *idBase,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (backend | frontend | loadtest)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+type backendConfig struct {
+	listen, snapshot    string
+	drainTimeout        time.Duration
+	index               string
+	sample, tau, shards int
+	counting            bool
+	transform           string
+}
+
+// buildCollection constructs the backend's collection from flags. The
+// shard floor is 1: WithShards(1) is the documented concurrency-safe
+// minimum, and HTTP handlers run concurrently.
+func buildCollection(cfg backendConfig) (*dyncoll.Collection, error) {
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("-shards must be ≥ 1: the server runs handlers concurrently and needs the sharded locking layer")
+	}
+	opts := []dyncoll.Option{
+		dyncoll.WithIndex(cfg.index),
+		dyncoll.WithSampleRate(cfg.sample),
+		dyncoll.WithTau(cfg.tau),
+		dyncoll.WithShards(cfg.shards),
+	}
+	if cfg.counting {
+		opts = append(opts, dyncoll.WithCounting())
+	}
+	switch cfg.transform {
+	case "amortized":
+		opts = append(opts, dyncoll.WithTransformation(dyncoll.Amortized))
+	case "fastinsert":
+		opts = append(opts, dyncoll.WithTransformation(dyncoll.AmortizedFastInsert))
+	case "worstcase", "":
+		opts = append(opts, dyncoll.WithTransformation(dyncoll.WorstCase))
+	default:
+		return nil, fmt.Errorf("unknown transformation %q", cfg.transform)
+	}
+	return dyncoll.NewCollection(opts...)
+}
+
+func runBackend(cfg backendConfig) {
+	c, err := buildCollection(cfg)
+	if err != nil {
+		log.Fatalf("dyndocd: %v", err)
+	}
+	if cfg.snapshot != "" {
+		switch err := c.LoadFile(cfg.snapshot); {
+		case err == nil:
+			log.Printf("restored snapshot %s: %d document(s), %d symbol(s)", cfg.snapshot, c.DocCount(), c.Len())
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("snapshot %s not present yet; starting empty (it will be written on drain)", cfg.snapshot)
+		default:
+			// A corrupt snapshot must not silently serve an empty corpus.
+			log.Fatalf("dyndocd: restore %s: %v", cfg.snapshot, err)
+		}
+	}
+	b := server.NewBackend(c)
+	serveUntilSignal("backend", cfg.listen, b.Handler(), cfg.drainTimeout, func() {
+		c.WaitIdle() // background rebuilds land before the state is captured
+		if cfg.snapshot == "" {
+			return
+		}
+		if err := c.SaveFile(cfg.snapshot); err != nil {
+			log.Fatalf("dyndocd: drain snapshot %s: %v", cfg.snapshot, err)
+		}
+		log.Printf("drain snapshot: %d document(s), %d symbol(s) → %s", c.DocCount(), c.Len(), cfg.snapshot)
+	})
+}
+
+func runFrontend(listen, backendList string, drainTimeout time.Duration) {
+	var addrs []string
+	for _, a := range strings.Split(backendList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	f, err := server.NewFrontend(addrs)
+	if err != nil {
+		log.Fatalf("dyndocd: %v (use -backends=host1:port,host2:port,…)", err)
+	}
+	log.Printf("routing across %d backend(s): %s", len(f.Backends()), strings.Join(f.Backends(), ", "))
+	serveUntilSignal("frontend", listen, f.Handler(), drainTimeout, nil)
+}
+
+// serveUntilSignal runs the HTTP server until SIGTERM/SIGINT, then
+// drains: stop accepting, finish in-flight requests (bounded by
+// drainTimeout), run the optional onDrained hook (snapshot), exit 0.
+func serveUntilSignal(role, listen string, h http.Handler, drainTimeout time.Duration, onDrained func()) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatalf("dyndocd: listen %s: %v", listen, err)
+	}
+	srv := &http.Server{Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("dyndocd %s listening on http://%s", role, ln.Addr())
+	select {
+	case err := <-errc:
+		log.Fatalf("dyndocd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // second signal: default handling (kill) instead of a stuck drain
+	log.Printf("draining: stopped accepting, waiting for in-flight requests (max %v)", drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("drain: %v (continuing to snapshot)", err)
+	}
+	if onDrained != nil {
+		onDrained()
+	}
+	log.Printf("dyndocd %s: drained, exiting 0", role)
+}

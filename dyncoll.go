@@ -292,6 +292,24 @@ func (c *Collection) Stats() IndexStats {
 	return st
 }
 
+// ShardSizes reports live payload symbols per shard, in shard order —
+// the occupancy view /varz serves so an operator can see whether the
+// key hash is spreading the corpus. It returns nil for an unsharded
+// collection.
+func (c *Collection) ShardSizes() []int {
+	sh, ok := c.impl.(*shardedColl)
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(sh.shards))
+	for i, s := range sh.shards {
+		s.mu.RLock()
+		out[i] = s.impl.Len()
+		s.mu.RUnlock()
+	}
+	return out
+}
+
 // BaselineCollection is the pre-paper state of the art: a dynamic
 // FM-index whose every query symbol costs a dynamic rank (Θ(log n)).
 // It exists for comparison benchmarks; prefer Collection.

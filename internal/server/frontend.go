@@ -1,0 +1,477 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dyncoll/internal/fanout"
+	"dyncoll/internal/shardmap"
+)
+
+// Frontend is the stateless query router: every document ID maps to the
+// backend owning it through shardmap.BackendFor (a pure function, so
+// any number of frontend replicas agree with no coordination), keyed
+// operations proxy to that one backend, and un-routable queries fan out
+// across the whole fleet merging the per-backend NDJSON streams through
+// the same fanout contract the in-process sharding layer uses — with
+// early break propagated to backends by cancelling their requests.
+type Frontend struct {
+	backends []string // normalized base URLs, index = backend number
+	client   *http.Client
+	met      *Metrics
+}
+
+// NewFrontend builds a frontend over the given backend addresses
+// (host:port or full http:// URLs). The order is the shard map: the
+// same list in the same order must be handed to every frontend replica.
+func NewFrontend(backends []string) (*Frontend, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("server: frontend needs at least one backend")
+	}
+	norm := make([]string, len(backends))
+	for i, b := range backends {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b == "" {
+			return nil, fmt.Errorf("server: empty backend address at position %d", i)
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		norm[i] = b
+	}
+	return &Frontend{
+		backends: norm,
+		// Connection pooling matters here: every query opens one request
+		// per backend, so idle conns per host must cover the fan-out.
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		met: NewMetrics("insert", "delete", "find", "count", "extract"),
+	}, nil
+}
+
+// Backends returns the normalized backend base URLs.
+func (f *Frontend) Backends() []string { return f.backends }
+
+// Metrics returns the frontend's request metrics.
+func (f *Frontend) Metrics() *Metrics { return f.met }
+
+// Handler returns the frontend's route table — the same API surface as
+// a backend, so clients need not care which role they talk to.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/insert", f.met.Wrap("insert", f.handleInsert))
+	mux.HandleFunc("POST /v1/delete", f.met.Wrap("delete", f.handleDelete))
+	mux.HandleFunc("GET /v1/find", f.met.Wrap("find", f.handleFind))
+	mux.HandleFunc("GET /v1/count", f.met.Wrap("count", f.handleCount))
+	mux.HandleFunc("GET /v1/extract", f.met.Wrap("extract", f.handleExtract))
+	mux.HandleFunc("GET /varz", f.handleVarz)
+	mux.HandleFunc("GET /healthz", handleHealth)
+	return mux
+}
+
+// owner returns the base URL of the backend owning a document ID.
+func (f *Frontend) owner(id uint64) string {
+	return f.backends[shardmap.BackendFor(id, len(f.backends))]
+}
+
+// postJSON sends one JSON request and decodes the reply; a non-2xx
+// reply is returned as (status, ErrorResponse).
+func (f *Frontend) postJSON(ctx context.Context, url string, body, out any) (int, *ErrorResponse, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error == "" {
+			e = ErrorResponse{Error: CodeInternal, Message: fmt.Sprintf("backend returned status %d", resp.StatusCode)}
+		}
+		return resp.StatusCode, &e, nil
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, nil, err
+		}
+	}
+	return http.StatusOK, nil, nil
+}
+
+// backendFault is one backend's failure during a fan-out or split.
+type backendFault struct {
+	url    string
+	status int
+	werr   *ErrorResponse
+	err    error
+}
+
+func (bf *backendFault) message() string {
+	if bf.err != nil {
+		return fmt.Sprintf("backend %s: %v", bf.url, bf.err)
+	}
+	return fmt.Sprintf("backend %s: %s", bf.url, bf.werr.Message)
+}
+
+// writeFault maps a backend fault onto the frontend's reply: transport
+// errors become 502 backend_unreachable; application errors keep their
+// backend status and code.
+func writeFault(w http.ResponseWriter, bf *backendFault) {
+	if bf.err != nil {
+		writeError(w, http.StatusBadGateway, CodeUnreachable, bf.message())
+		return
+	}
+	writeError(w, bf.status, bf.werr.Error, bf.message())
+}
+
+// handleInsert splits the batch by owning backend and posts the parts
+// concurrently. The frontend validates the whole batch first (in-batch
+// duplicate IDs, reserved bytes), so the common failure modes reject
+// before any backend is touched; a backend-side rejection (e.g. an ID
+// already live) is atomic within that backend, but parts already
+// applied on other backends stay applied — the reply's message says so.
+func (f *Frontend) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Docs) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty docs batch")
+		return
+	}
+	n := len(f.backends)
+	parts := make([][]DocJSON, n)
+	seen := make(map[uint64]bool, len(req.Docs))
+	for _, d := range req.Docs {
+		if seen[d.ID] {
+			writeError(w, http.StatusConflict, CodeDuplicateID,
+				fmt.Sprintf("id %d repeated within the batch", d.ID))
+			return
+		}
+		seen[d.ID] = true
+		if bytes.IndexByte(d.Payload(), 0) >= 0 {
+			writeError(w, http.StatusBadRequest, CodeReservedByte,
+				fmt.Sprintf("document %d contains the reserved byte 0x00", d.ID))
+			return
+		}
+		t := shardmap.BackendFor(d.ID, n)
+		parts[t] = append(parts[t], d)
+	}
+	var involved []int
+	for i, part := range parts {
+		if part != nil {
+			involved = append(involved, i)
+		}
+	}
+	faults := make([]*backendFault, len(involved))
+	var inserted atomic.Int64
+	fanout.ForEach(len(involved), func(k int) {
+		i := involved[k]
+		url := f.backends[i] + "/v1/insert"
+		var out InsertResponse
+		status, werr, err := f.postJSON(r.Context(), url, InsertRequest{Docs: parts[i]}, &out)
+		if err != nil || werr != nil {
+			faults[k] = &backendFault{url: f.backends[i], status: status, werr: werr, err: err}
+			return
+		}
+		inserted.Add(int64(out.Inserted))
+	})
+	for _, bf := range faults {
+		if bf != nil {
+			msg := bf.message()
+			if got := inserted.Load(); got > 0 {
+				msg = fmt.Sprintf("%s (%d document(s) on other backends were inserted)", msg, got)
+			}
+			if bf.err != nil {
+				writeError(w, http.StatusBadGateway, CodeUnreachable, msg)
+			} else {
+				writeError(w, bf.status, bf.werr.Error, msg)
+			}
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: int(inserted.Load())})
+}
+
+// handleDelete splits the IDs by owning backend; deletion is idempotent
+// (absent IDs are skipped) so partial application is benign.
+func (f *Frontend) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n := len(f.backends)
+	parts := make([][]uint64, n)
+	for _, id := range req.IDs {
+		t := shardmap.BackendFor(id, n)
+		parts[t] = append(parts[t], id)
+	}
+	var involved []int
+	for i, part := range parts {
+		if part != nil {
+			involved = append(involved, i)
+		}
+	}
+	faults := make([]*backendFault, len(involved))
+	var deleted atomic.Int64
+	fanout.ForEach(len(involved), func(k int) {
+		i := involved[k]
+		var out DeleteResponse
+		status, werr, err := f.postJSON(r.Context(), f.backends[i]+"/v1/delete", DeleteRequest{IDs: parts[i]}, &out)
+		if err != nil || werr != nil {
+			faults[k] = &backendFault{url: f.backends[i], status: status, werr: werr, err: err}
+			return
+		}
+		deleted.Add(int64(out.Deleted))
+	})
+	for _, bf := range faults {
+		if bf != nil {
+			writeFault(w, bf)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: int(deleted.Load())})
+}
+
+// handleFind fans the query out to every backend and merges the NDJSON
+// streams. Early break propagates in both directions: when this
+// frontend's client disconnects (or the merged limit is reached), every
+// backend request is cancelled, which each backend observes as a client
+// disconnect and stops its enumeration — the in-process early-break
+// contract, lifted to processes.
+//
+// A backend that fails mid-merge cannot change the already-streaming
+// 200 status; the failure is reported in-band as a final NDJSON line
+// with a non-empty "error" field.
+func (f *Frontend) handleFind(w http.ResponseWriter, r *http.Request) {
+	pattern, ok := queryPattern(w, r)
+	if !ok {
+		return
+	}
+	limit, ok := queryLimit(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	ctx := r.Context()
+	n := 0
+	var failures atomic.Int32
+	var firstFault atomic.Pointer[backendFault]
+	fanout.FanOut(len(f.backends), func(i int, emit func([]byte) bool) {
+		// Each backend's limit mirrors the merged limit: no single
+		// backend can satisfy more than the whole query needs.
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel() // early break → cancel → backend stops enumerating
+		url := f.backends[i] + "/v1/find?" + findQuery(pattern, limit)
+		req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
+		if err != nil {
+			failures.Add(1)
+			firstFault.CompareAndSwap(nil, &backendFault{url: f.backends[i], err: err})
+			return
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			failures.Add(1)
+			firstFault.CompareAndSwap(nil, &backendFault{url: f.backends[i], err: err})
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			failures.Add(1)
+			firstFault.CompareAndSwap(nil, &backendFault{url: f.backends[i],
+				err: fmt.Errorf("status %d", resp.StatusCode)})
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			// Copy: the scanner reuses its buffer and the fan-out banks
+			// lines in chunks before the consumer sees them.
+			line := append([]byte(nil), sc.Bytes()...)
+			if !emit(line) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil && cctx.Err() == nil {
+			failures.Add(1)
+			firstFault.CompareAndSwap(nil, &backendFault{url: f.backends[i], err: err})
+		}
+	}, func(line []byte) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return false
+		}
+		n++
+		if n%fanout.Chunk == 0 {
+			if rc.Flush() != nil {
+				return false
+			}
+		}
+		return limit == 0 || n < limit
+	})
+	if bf := firstFault.Load(); bf != nil && ctx.Err() == nil {
+		// In-band trailer; with no results streamed yet the status can
+		// still change, so prefer a real 502 then.
+		if n == 0 {
+			writeError(w, http.StatusBadGateway, CodeUnreachable, bf.message())
+			return
+		}
+		json.NewEncoder(w).Encode(FindResult{Err: fmt.Sprintf("%s (%d backend(s) failed)", bf.message(), failures.Load())})
+	}
+	f.met.AddStreamed("find", n)
+}
+
+// findQuery renders the find query string for a backend request.
+func findQuery(pattern []byte, limit int) string {
+	v := make([]string, 0, 2)
+	v = append(v, "q="+urlEscape(pattern))
+	if limit > 0 {
+		v = append(v, fmt.Sprintf("limit=%d", limit))
+	}
+	return strings.Join(v, "&")
+}
+
+// urlEscape query-escapes a byte pattern.
+func urlEscape(b []byte) string {
+	return url.QueryEscape(string(b))
+}
+
+// handleCount fans out and sums; a single unreachable backend fails the
+// whole count (a partial count is indistinguishable from a correct
+// one, so it must not be served).
+func (f *Frontend) handleCount(w http.ResponseWriter, r *http.Request) {
+	pattern, ok := queryPattern(w, r)
+	if !ok {
+		return
+	}
+	n := len(f.backends)
+	faults := make([]*backendFault, n)
+	var total atomic.Int64
+	fanout.ForEach(n, func(i int) {
+		url := f.backends[i] + "/v1/count?q=" + urlEscape(pattern)
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+		if err != nil {
+			faults[i] = &backendFault{url: f.backends[i], err: err}
+			return
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			faults[i] = &backendFault{url: f.backends[i], err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var out CountResponse
+		if resp.StatusCode != http.StatusOK {
+			faults[i] = &backendFault{url: f.backends[i], err: fmt.Errorf("status %d", resp.StatusCode)}
+			return
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			faults[i] = &backendFault{url: f.backends[i], err: err}
+			return
+		}
+		total.Add(int64(out.Count))
+	})
+	for _, bf := range faults {
+		if bf != nil {
+			writeError(w, http.StatusBadGateway, CodeUnreachable, bf.message())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, CountResponse{Count: int(total.Load())})
+}
+
+// handleExtract routes to the owning backend and relays its reply
+// verbatim — status, error envelope and all.
+func (f *Frontend) handleExtract(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("id")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "id must be a uint64")
+		return
+	}
+	url := f.owner(id) + "/v1/extract?" + r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeUnreachable,
+			(&backendFault{url: f.owner(id), err: err}).message())
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// handleVarz reports the frontend's own endpoint metrics plus a health
+// and occupancy summary for each backend (polled live with a short
+// timeout; /varz is an operator endpoint, not a hot path).
+func (f *Frontend) handleVarz(w http.ResponseWriter, r *http.Request) {
+	n := len(f.backends)
+	views := make([]BackendVarz, n)
+	fanout.ForEach(n, func(i int) {
+		views[i] = BackendVarz{URL: f.backends[i]}
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.backends[i]+"/varz", nil)
+		if err != nil {
+			views[i].Error = err.Error()
+			return
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			views[i].Error = err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		var v Varz
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			views[i].Error = err.Error()
+			return
+		}
+		views[i].OK = true
+		views[i].Docs = v.Docs
+		if v.Ladder != nil {
+			views[i].Symbols = v.Ladder.Live
+		}
+	})
+	writeJSON(w, http.StatusOK, Varz{
+		Role:          "frontend",
+		UptimeSeconds: f.met.Uptime().Seconds(),
+		Endpoints:     f.met.Snapshot(),
+		Backends:      views,
+	})
+}

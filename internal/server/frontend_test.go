@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dyncoll/internal/shardmap"
+)
+
+// newCluster starts nBackends backend servers and a frontend routing
+// over them, returning the frontend's test server plus the backends for
+// direct inspection.
+func newCluster(t *testing.T, nBackends int) (*httptest.Server, []*Backend, []*httptest.Server) {
+	t.Helper()
+	var backends []*Backend
+	var servers []*httptest.Server
+	var addrs []string
+	for i := 0; i < nBackends; i++ {
+		b, ts := newTestBackend(t)
+		backends = append(backends, b)
+		servers = append(servers, ts)
+		addrs = append(addrs, ts.URL)
+	}
+	fe, err := NewFrontend(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(fe.Handler())
+	t.Cleanup(fts.Close)
+	return fts, backends, servers
+}
+
+// TestFrontendRouting: documents inserted through the frontend must land
+// on exactly the backend shardmap.BackendFor assigns, and extract must
+// route back to that owner.
+func TestFrontendRouting(t *testing.T) {
+	fts, backends, _ := newCluster(t, 2)
+
+	const nDocs = 60
+	var docs []string
+	for id := uint64(1); id <= nDocs; id++ {
+		docs = append(docs, fmt.Sprintf(`{"id":%d,"text":"doc %d payload"}`, id, id))
+	}
+	status, out := postJSON(t, fts.URL+"/v1/insert", `{"docs":[`+strings.Join(docs, ",")+`]}`)
+	if status != http.StatusOK || out["inserted"] != float64(nDocs) {
+		t.Fatalf("insert via frontend: status %d, reply %v", status, out)
+	}
+
+	for id := uint64(1); id <= nDocs; id++ {
+		owner := shardmap.BackendFor(id, 2)
+		if !backends[owner].Collection().Has(id) {
+			t.Errorf("doc %d missing from its owner, backend %d", id, owner)
+		}
+		if backends[1-owner].Collection().Has(id) {
+			t.Errorf("doc %d duplicated on non-owner backend %d", id, 1-owner)
+		}
+	}
+	if c0, c1 := backends[0].Collection().DocCount(), backends[1].Collection().DocCount(); c0 == 0 || c1 == 0 || c0+c1 != nDocs {
+		t.Fatalf("placement %d + %d, want both non-zero summing to %d", c0, c1, nDocs)
+	}
+
+	// Extract through the frontend proxies to the owner.
+	for _, id := range []uint64{1, 2, 7, 42} {
+		var ex ExtractResponse
+		if s := getJSON(t, fmt.Sprintf("%s/v1/extract?id=%d&off=0&len=3", fts.URL, id), &ex); s != http.StatusOK || string(ex.Data) != "doc" {
+			t.Fatalf("extract doc %d via frontend: status %d data %q", id, s, ex.Data)
+		}
+	}
+	var er map[string]any
+	if s := getJSON(t, fts.URL+"/v1/extract?id=9999&off=0&len=1", &er); s != http.StatusNotFound || er["error"] != CodeNotFound {
+		t.Fatalf("extract of absent doc: status %d reply %v", s, er)
+	}
+
+	// Delete through the frontend routes each ID to its owner.
+	status, out = postJSON(t, fts.URL+"/v1/delete", `{"ids":[1,2,3,9999]}`)
+	if status != http.StatusOK || out["deleted"] != float64(3) {
+		t.Fatalf("delete via frontend: status %d reply %v", status, out)
+	}
+	for _, b := range backends {
+		for _, id := range []uint64{1, 2, 3} {
+			if b.Collection().Has(id) {
+				t.Errorf("doc %d survived a frontend delete", id)
+			}
+		}
+	}
+}
+
+// TestFrontendMergedQueries: count must sum across backends and find
+// must merge both NDJSON streams.
+func TestFrontendMergedQueries(t *testing.T) {
+	fts, backends, _ := newCluster(t, 2)
+	var docs []string
+	for id := uint64(1); id <= 40; id++ {
+		docs = append(docs, fmt.Sprintf(`{"id":%d,"text":"needle and thread %d"}`, id, id))
+	}
+	postJSON(t, fts.URL+"/v1/insert", `{"docs":[`+strings.Join(docs, ",")+`]}`)
+
+	var count CountResponse
+	if s := getJSON(t, fts.URL+"/v1/count?q=needle", &count); s != http.StatusOK || count.Count != 40 {
+		t.Fatalf("merged count: status %d count %d, want 40", s, count.Count)
+	}
+	perBackend := backends[0].Collection().Count([]byte("needle")) + backends[1].Collection().Count([]byte("needle"))
+	if count.Count != perBackend {
+		t.Fatalf("frontend count %d != per-backend sum %d", count.Count, perBackend)
+	}
+
+	resp, err := http.Get(fts.URL + "/v1/find?q=needle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	seen := make(map[uint64]bool)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r FindResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad merged NDJSON line %q: %v", sc.Text(), err)
+		}
+		if r.Err != "" {
+			t.Fatalf("unexpected error trailer: %s", r.Err)
+		}
+		seen[r.Doc] = true
+	}
+	if len(seen) != 40 {
+		t.Fatalf("merged find saw %d distinct docs, want 40", len(seen))
+	}
+}
+
+// TestFrontendFindLimit: a limit through the frontend bounds the merged
+// stream exactly, and the early break propagates so backends stop
+// streaming shortly after.
+func TestFrontendFindLimit(t *testing.T) {
+	fts, backends, _ := newCluster(t, 2)
+	var docs []string
+	for id := uint64(1); id <= 20; id++ {
+		docs = append(docs, fmt.Sprintf(`{"id":%d,"text":"%s"}`, id, strings.Repeat("qq ", 2000)))
+	}
+	postJSON(t, fts.URL+"/v1/insert", `{"docs":[`+strings.Join(docs, ",")+`]}`)
+	const total = 40000 // 20 docs × 2000 occurrences
+
+	resp, err := http.Get(fts.URL + "/v1/find?q=qq&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 5 {
+		t.Fatalf("limit=5 through frontend streamed %d lines", lines)
+	}
+
+	// The frontend forwards the limit to each backend, so neither should
+	// stream more than the limit (wait for both handlers to finish).
+	deadline := time.Now().Add(5 * time.Second)
+	for backends[0].Metrics().Requests("find")+backends[1].Metrics().Requests("find") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("backend find handlers did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, b := range backends {
+		if n := b.Metrics().Streamed("find"); n > 5 {
+			t.Errorf("backend %d streamed %d occurrences despite limit=5 (early break did not propagate)", i, n)
+		}
+	}
+	_ = total
+}
+
+// TestFrontendBatchAtomicityLocalChecks: batches the frontend can reject
+// locally (in-batch duplicates, reserved bytes) must reach no backend.
+func TestFrontendBatchAtomicityLocalChecks(t *testing.T) {
+	fts, backends, _ := newCluster(t, 2)
+	status, out := postJSON(t, fts.URL+"/v1/insert", `{"docs":[{"id":10,"text":"x"},{"id":10,"text":"y"}]}`)
+	if status != http.StatusConflict || out["error"] != CodeDuplicateID {
+		t.Fatalf("in-batch dup via frontend: status %d reply %v", status, out)
+	}
+	status, out = postJSON(t, fts.URL+"/v1/insert", `{"docs":[{"id":11,"text":"ok"},{"id":12,"data":"AGE="}]}`)
+	if status != http.StatusBadRequest || out["error"] != CodeReservedByte {
+		t.Fatalf("reserved byte via frontend: status %d reply %v", status, out)
+	}
+	for i, b := range backends {
+		if n := b.Collection().DocCount(); n != 0 {
+			t.Errorf("backend %d holds %d doc(s) after rejected batches, want 0", i, n)
+		}
+	}
+}
+
+// TestFrontendBackendDown: with a backend gone, routable ops to the dead
+// backend and whole-fleet queries must fail loudly — never a silently
+// partial count.
+func TestFrontendBackendDown(t *testing.T) {
+	fts, _, servers := newCluster(t, 2)
+	postJSON(t, fts.URL+"/v1/insert", `{"docs":[{"id":1,"text":"before the fall"}]}`)
+	servers[1].Close() // backend 1 goes away
+
+	var out map[string]any
+	if s := getJSON(t, fts.URL+"/v1/count?q=before", &out); s != http.StatusBadGateway || out["error"] != CodeUnreachable {
+		t.Fatalf("count with dead backend: status %d reply %v, want 502 %s", s, out, CodeUnreachable)
+	}
+
+	// A find that streams nothing before the fault is a clean 502.
+	if s := getJSON(t, fts.URL+"/v1/find?q=nosuchword", &out); s != http.StatusBadGateway || out["error"] != CodeUnreachable {
+		t.Fatalf("find with dead backend: status %d reply %v", s, out)
+	}
+
+	// Ops routable to the dead owner fail; ops owned by the live backend
+	// still work. Golden assignments under n=2: key 1 → backend 1 (now
+	// dead), key 2 → backend 0 (alive).
+	deadOwned, liveOwned := uint64(1), uint64(2)
+	if shardmap.BackendFor(deadOwned, 2) != 1 || shardmap.BackendFor(liveOwned, 2) != 0 {
+		t.Fatal("test assumption broken: key ownership changed")
+	}
+	status, out := postJSON(t, fts.URL+"/v1/insert", fmt.Sprintf(`{"docs":[{"id":%d,"text":"still alive"}]}`, liveOwned))
+	if status != http.StatusOK {
+		t.Fatalf("insert owned by live backend failed: status %d reply %v", status, out)
+	}
+	status, out = postJSON(t, fts.URL+"/v1/delete", fmt.Sprintf(`{"ids":[%d]}`, deadOwned))
+	if status != http.StatusBadGateway || out["error"] != CodeUnreachable {
+		t.Fatalf("delete routed to dead backend: status %d reply %v", status, out)
+	}
+}
+
+// TestFrontendVarz: the frontend's varz must report per-backend health.
+func TestFrontendVarz(t *testing.T) {
+	fts, _, servers := newCluster(t, 2)
+	postJSON(t, fts.URL+"/v1/insert", `{"docs":[{"id":1,"text":"hello"},{"id":2,"text":"world"},{"id":3,"text":"again"}]}`)
+
+	var v Varz
+	if s := getJSON(t, fts.URL+"/varz", &v); s != http.StatusOK {
+		t.Fatalf("frontend varz status %d", s)
+	}
+	if v.Role != "frontend" || len(v.Backends) != 2 {
+		t.Fatalf("frontend varz: role %q, %d backend(s)", v.Role, len(v.Backends))
+	}
+	var docs int
+	for _, b := range v.Backends {
+		if !b.OK {
+			t.Fatalf("backend %s reported unhealthy: %s", b.URL, b.Error)
+		}
+		docs += b.Docs
+	}
+	if docs != 3 {
+		t.Fatalf("backends report %d docs total, want 3", docs)
+	}
+
+	servers[0].Close()
+	if getJSON(t, fts.URL+"/varz", &v); len(v.Backends) != 2 {
+		t.Fatal("varz must still list dead backends")
+	}
+	okCount := 0
+	for _, b := range v.Backends {
+		if b.OK {
+			okCount++
+		} else if b.Error == "" {
+			t.Errorf("dead backend %s has no error string", b.URL)
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("%d backends healthy after killing one of two", okCount)
+	}
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency histogram buckets: bucket i
+// covers (2^(i-1), 2^i] microseconds, bucket 0 covers ≤ 1µs, and the
+// last bucket is open-ended, so the range spans 1µs to ~67s.
+const histBuckets = 27
+
+// Histogram is a lock-free exponential latency histogram. Observe is
+// safe for concurrent use from request handlers; Quantile estimates
+// percentiles by log-linear interpolation within the owning bucket
+// (bucket bounds grow ×2, so the estimate is within ~2× and in practice
+// much closer).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+func bucketOf(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(us - 1) // ceil(log2(us))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one measurement.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(d.Nanoseconds())
+	for {
+		old := h.max.Load()
+		if d.Nanoseconds() <= old || h.max.CompareAndSwap(old, d.Nanoseconds()) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Quantile returns the estimated q-quantile (0 < q ≤ 1). With no
+// observations it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo, hi := bucketBounds(i)
+			if hi > time.Duration(h.max.Load()) {
+				hi = time.Duration(h.max.Load()) // never report past the observed max
+			}
+			if hi < lo {
+				return hi
+			}
+			frac := float64(target-cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(h.max.Load())
+}
+
+// bucketBounds returns bucket i's (lower, upper] bounds.
+func bucketBounds(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, time.Microsecond
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond / 2, time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// ringSize slots of one second each back the short-window QPS estimate.
+// 16 slots comfortably cover the 10-second window.
+const ringSize = 16
+
+// secRing counts events per wall-clock second in a fixed ring. A slot
+// is lazily reset when a hit or read observes it holding a stale
+// second. The reset race can drop a handful of counts at second
+// boundaries; the window rate is an operator signal, not an invariant.
+type secRing struct {
+	secs   [ringSize]atomic.Int64
+	counts [ringSize]atomic.Int64
+}
+
+func (r *secRing) hit(now int64) {
+	i := now % ringSize
+	old := r.secs[i].Load()
+	if old != now && r.secs[i].CompareAndSwap(old, now) {
+		r.counts[i].Store(0)
+	}
+	r.counts[i].Add(1)
+}
+
+// rate returns events/second over the trailing window (full seconds
+// only, so an in-progress second never deflates the rate).
+func (r *secRing) rate(now int64, window int64) float64 {
+	var total int64
+	for i := 0; i < ringSize; i++ {
+		sec := r.secs[i].Load()
+		if sec >= now-window && sec < now {
+			total += r.counts[i].Load()
+		}
+	}
+	return float64(total) / float64(window)
+}
+
+// qpsWindow is the short-window QPS horizon reported by /varz.
+const qpsWindow = 10
+
+// endpointMetrics is one endpoint's counters. All fields are atomics;
+// request handlers never take a lock to record.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	streamed atomic.Int64 // NDJSON lines written (streaming endpoints)
+	ring     secRing
+	lat      Histogram
+}
+
+// Metrics tracks per-endpoint request counters for one server role. The
+// endpoint set is fixed at construction so the map is read-only
+// afterwards and handlers touch only atomics.
+type Metrics struct {
+	start time.Time
+	eps   map[string]*endpointMetrics
+}
+
+// NewMetrics creates a metrics registry for the named endpoints.
+func NewMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{start: time.Now(), eps: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, name := range endpoints {
+		m.eps[name] = &endpointMetrics{}
+	}
+	return m
+}
+
+// Uptime returns the time since the registry was created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// AddStreamed records n streamed NDJSON lines for an endpoint.
+func (m *Metrics) AddStreamed(endpoint string, n int) {
+	if ep := m.eps[endpoint]; ep != nil {
+		ep.streamed.Add(int64(n))
+	}
+}
+
+// Streamed returns the NDJSON lines streamed by an endpoint so far.
+func (m *Metrics) Streamed(endpoint string) int64 {
+	if ep := m.eps[endpoint]; ep != nil {
+		return ep.streamed.Load()
+	}
+	return 0
+}
+
+// Requests returns the requests completed by an endpoint so far.
+func (m *Metrics) Requests(endpoint string) int64 {
+	if ep := m.eps[endpoint]; ep != nil {
+		return ep.requests.Load()
+	}
+	return 0
+}
+
+// statusWriter captures the response status for error accounting.
+// Unwrap exposes the underlying writer so http.NewResponseController
+// (flushing the NDJSON stream) keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Wrap instruments a handler: request count, error count (status ≥
+// 400), short-window rate, and latency histogram.
+func (m *Metrics) Wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	ep := m.eps[endpoint]
+	if ep == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		ep.requests.Add(1)
+		ep.ring.hit(time.Now().Unix())
+		if sw.status >= 400 {
+			ep.errors.Add(1)
+		}
+		ep.lat.Observe(time.Since(start))
+	}
+}
+
+// EndpointVarz is one endpoint's exported metrics snapshot.
+type EndpointVarz struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Streamed int64 `json:"streamed,omitempty"`
+	// QPS is the lifetime average; QPSWindow the trailing-10s rate.
+	QPS       float64   `json:"qps"`
+	QPSWindow float64   `json:"qps_10s"`
+	LatencyMs Quantiles `json:"latency_ms"`
+}
+
+// Quantiles reports latency percentiles in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// QuantilesOf snapshots a histogram's percentiles in milliseconds.
+func QuantilesOf(h *Histogram) Quantiles {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	return Quantiles{
+		P50: ms(h.Quantile(0.50)),
+		P95: ms(h.Quantile(0.95)),
+		P99: ms(h.Quantile(0.99)),
+		Max: float64(h.max.Load()) / 1e6,
+	}
+}
+
+// Snapshot exports every endpoint's counters.
+func (m *Metrics) Snapshot() map[string]EndpointVarz {
+	now := time.Now().Unix()
+	up := m.Uptime().Seconds()
+	out := make(map[string]EndpointVarz, len(m.eps))
+	for name, ep := range m.eps {
+		v := EndpointVarz{
+			Requests:  ep.requests.Load(),
+			Errors:    ep.errors.Load(),
+			Streamed:  ep.streamed.Load(),
+			QPSWindow: ep.ring.rate(now, qpsWindow),
+			LatencyMs: QuantilesOf(&ep.lat),
+		}
+		if up > 0 {
+			v.QPS = float64(v.Requests) / up
+		}
+		out[name] = v
+	}
+	return out
+}

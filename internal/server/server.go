@@ -1,0 +1,335 @@
+// Package server is the networked serving layer over the dynamic
+// document collection: a backend exposes one (sharded) Collection over
+// HTTP/JSON with streaming NDJSON query results, and a frontend routes
+// keyed operations to the backend owning each document while fanning
+// un-routable queries out across the whole fleet — the same union-over-
+// sub-collections contract the in-process sharding layer implements,
+// lifted to processes (a backend is one more shard level; see
+// DESIGN.md). Only the standard library is used.
+//
+// Endpoints (both roles serve the same API):
+//
+//	POST /v1/insert   {"docs":[{"id":1,"text":"…"} | {"id":2,"data":"<base64>"}]}
+//	POST /v1/delete   {"ids":[1,2,3]}
+//	GET  /v1/find?q=pat[&limit=n]   NDJSON stream of {"doc":id,"off":o}
+//	GET  /v1/count?q=pat            {"count":n}
+//	GET  /v1/extract?id=1&off=0&len=8
+//	GET  /varz                      JSON metrics (see Varz)
+//	GET  /healthz                   "ok"
+//
+// Errors are JSON objects {"error":"<code>","message":"…"} with the
+// code drawn from the fixed set bad_request, duplicate_id,
+// reserved_byte, not_found, backend_unreachable, internal.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"dyncoll"
+	"dyncoll/internal/fanout"
+)
+
+// maxBodyBytes bounds request bodies (batch inserts included) so one
+// request cannot balloon resident memory; 64 MiB comfortably holds the
+// batch sizes the engine is tuned for.
+const maxBodyBytes = 64 << 20
+
+// DocJSON is a document on the wire. Exactly one of Text (convenience
+// for UTF-8 payloads) or Data (base64 in JSON, arbitrary bytes) should
+// be set; Text wins when both are present.
+type DocJSON struct {
+	ID   uint64 `json:"id"`
+	Text string `json:"text,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// Payload returns the document body the wire form denotes.
+func (d DocJSON) Payload() []byte {
+	if d.Text != "" {
+		return []byte(d.Text)
+	}
+	return d.Data
+}
+
+// InsertRequest is the POST /v1/insert body. The batch is atomic: on
+// any error no document is inserted.
+type InsertRequest struct {
+	Docs []DocJSON `json:"docs"`
+}
+
+// InsertResponse reports a successful batch insert.
+type InsertResponse struct {
+	Inserted int `json:"inserted"`
+}
+
+// DeleteRequest is the POST /v1/delete body. Absent IDs are skipped,
+// matching Collection.DeleteBatch.
+type DeleteRequest struct {
+	IDs []uint64 `json:"ids"`
+}
+
+// DeleteResponse reports how many documents were actually removed.
+type DeleteResponse struct {
+	Deleted int `json:"deleted"`
+}
+
+// CountResponse is the GET /v1/count reply.
+type CountResponse struct {
+	Count int `json:"count"`
+}
+
+// ExtractResponse is the GET /v1/extract reply; Data carries the raw
+// bytes (base64 in JSON).
+type ExtractResponse struct {
+	ID   uint64 `json:"id"`
+	Off  int    `json:"off"`
+	Data []byte `json:"data"`
+}
+
+// FindResult is one NDJSON line of a GET /v1/find stream. A line with
+// Err set reports a mid-stream failure (frontend fan-out only): by the
+// time a backend dies the stream status is already 200, so the error
+// travels in-band as the final line.
+type FindResult struct {
+	Doc uint64 `json:"doc"`
+	Off int    `json:"off"`
+	Err string `json:"error,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error   string `json:"error"`
+	Message string `json:"message"`
+}
+
+// Error codes: stable strings clients can switch on.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeDuplicateID  = "duplicate_id"
+	CodeReservedByte = "reserved_byte"
+	CodeNotFound     = "not_found"
+	CodeUnreachable  = "backend_unreachable"
+	CodeInternal     = "internal"
+)
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorResponse{Error: code, Message: message})
+}
+
+// writeCollErr maps a collection error onto the wire: the sentinel
+// picks the stable code and status, the wrapped detail rides in the
+// message.
+func writeCollErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dyncoll.ErrDuplicateID):
+		writeError(w, http.StatusConflict, CodeDuplicateID, err.Error())
+	case errors.Is(err, dyncoll.ErrReservedByte):
+		writeError(w, http.StatusBadRequest, CodeReservedByte, err.Error())
+	case errors.Is(err, dyncoll.ErrNotFound):
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+// decodeBody decodes a JSON request body into v, enforcing the size cap
+// and rejecting trailing garbage.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// queryPattern extracts the required q parameter.
+func queryPattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing query parameter q")
+		return nil, false
+	}
+	return []byte(q), true
+}
+
+// queryLimit extracts the optional limit parameter (0 = unlimited).
+func queryLimit(w http.ResponseWriter, r *http.Request) (int, bool) {
+	s := r.URL.Query().Get("limit")
+	if s == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "limit must be a non-negative integer")
+		return 0, false
+	}
+	return n, true
+}
+
+// Backend serves one Collection over HTTP. The collection must be
+// sharded (WithShards ≥ 1, the concurrency-safe floor): the HTTP server
+// runs handlers concurrently and an unsharded collection is not safe
+// for concurrent use.
+type Backend struct {
+	coll *dyncoll.Collection
+	met  *Metrics
+}
+
+// NewBackend wraps a (sharded) collection in the serving layer.
+func NewBackend(c *dyncoll.Collection) *Backend {
+	return &Backend{
+		coll: c,
+		met:  NewMetrics("insert", "delete", "find", "count", "extract"),
+	}
+}
+
+// Collection returns the served collection (the drain path saves it).
+func (b *Backend) Collection() *dyncoll.Collection { return b.coll }
+
+// Metrics returns the backend's request metrics.
+func (b *Backend) Metrics() *Metrics { return b.met }
+
+// Handler returns the backend's full route table.
+func (b *Backend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/insert", b.met.Wrap("insert", b.handleInsert))
+	mux.HandleFunc("POST /v1/delete", b.met.Wrap("delete", b.handleDelete))
+	mux.HandleFunc("GET /v1/find", b.met.Wrap("find", b.handleFind))
+	mux.HandleFunc("GET /v1/count", b.met.Wrap("count", b.handleCount))
+	mux.HandleFunc("GET /v1/extract", b.met.Wrap("extract", b.handleExtract))
+	mux.HandleFunc("GET /varz", b.handleVarz)
+	mux.HandleFunc("GET /healthz", handleHealth)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ok\n")
+}
+
+func (b *Backend) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Docs) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty docs batch")
+		return
+	}
+	docs := make([]dyncoll.Document, len(req.Docs))
+	for i, d := range req.Docs {
+		docs[i] = dyncoll.Document{ID: d.ID, Data: d.Payload()}
+	}
+	// InsertBatch is atomic: validation runs under every involved
+	// shard's write lock, so on error nothing was inserted.
+	if err := b.coll.InsertBatch(docs); err != nil {
+		writeCollErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: len(docs)})
+}
+
+func (b *Backend) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: b.coll.DeleteBatch(req.IDs)})
+}
+
+// handleFind streams matches as NDJSON backed by the collection's lazy
+// enumeration: results are written (and periodically flushed) as the
+// backward search produces them, and a client disconnect cancels the
+// request context, which stops the enumeration at the next match — the
+// early-break contract of FindIter carried over the wire.
+func (b *Backend) handleFind(w http.ResponseWriter, r *http.Request) {
+	pattern, ok := queryPattern(w, r)
+	if !ok {
+		return
+	}
+	limit, ok := queryLimit(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	ctx := r.Context()
+	enc := json.NewEncoder(w)
+	n := 0
+	b.coll.FindFunc(pattern, func(o dyncoll.Occurrence) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if enc.Encode(FindResult{Doc: o.DocID, Off: o.Off}) != nil {
+			return false
+		}
+		n++
+		if n%fanout.Chunk == 0 {
+			if rc.Flush() != nil {
+				return false
+			}
+		}
+		return limit == 0 || n < limit
+	})
+	b.met.AddStreamed("find", n)
+}
+
+func (b *Backend) handleCount(w http.ResponseWriter, r *http.Request) {
+	pattern, ok := queryPattern(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, CountResponse{Count: b.coll.Count(pattern)})
+}
+
+func (b *Backend) handleExtract(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id, err := strconv.ParseUint(q.Get("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "id must be a uint64")
+		return
+	}
+	off, err1 := strconv.Atoi(q.Get("off"))
+	length, err2 := strconv.Atoi(q.Get("len"))
+	if err1 != nil || err2 != nil || off < 0 || length < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "off and len must be non-negative integers")
+		return
+	}
+	data, ok := b.coll.Extract(id, off, length)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no document %d or range [%d,%d) out of bounds", id, off, off+length))
+		return
+	}
+	writeJSON(w, http.StatusOK, ExtractResponse{ID: id, Off: off, Data: data})
+}
+
+func (b *Backend) handleVarz(w http.ResponseWriter, r *http.Request) {
+	lv := NewLadderVarz(b.coll.Stats(), "symbol", b.coll.Len(), b.coll.SizeBits())
+	lv.ShardSizes = b.coll.ShardSizes()
+	writeJSON(w, http.StatusOK, Varz{
+		Role:          "backend",
+		UptimeSeconds: b.met.Uptime().Seconds(),
+		Endpoints:     b.met.Snapshot(),
+		Docs:          b.coll.DocCount(),
+		Ladder:        &lv,
+	})
+}

@@ -1,0 +1,53 @@
+// Package shardmap is the single source of truth for deterministic
+// key→shard and key→backend placement. Both the in-process sharding
+// layer (dyncoll.WithShards) and the networked frontend (cmd/dyndocd
+// -mode=frontend) route through it, so a document's owner is a pure
+// function of its ID and the partition count — any frontend replica,
+// any backend, and any offline tool computes the same answer with no
+// coordination, exactly the Debian Code Search shard-mapping contract.
+//
+// The mapping is part of the persistence story: a fleet of backends can
+// be restarted from per-backend snapshots and keys keep routing to the
+// data that owns them, as long as the backend count is unchanged. The
+// assignments are pinned by golden tests; changing them is a
+// data-placement migration, not a refactor.
+package shardmap
+
+// Mix finalizes a key with the splitmix64 mixer so dense sequential IDs
+// (the common case) spread evenly across partitions instead of striping.
+func Mix(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return key
+}
+
+// ShardOf maps a key to one of p in-process shards. p ≤ 1 always maps
+// to shard 0.
+func ShardOf(key uint64, p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return int(Mix(key) % uint64(p))
+}
+
+// backendSalt decorrelates the backend stream from the shard stream:
+// BackendFor must not reuse ShardOf's mixed value directly, because a
+// backend that itself runs WithShards(p) re-applies Mix to the same
+// keys — every key on backend b would satisfy Mix(key) % n == b, and
+// whenever n and p share a factor the backend's internal shards would
+// stripe (at n == p, one shard per backend gets every document).
+const backendSalt = 0x9e3779b97f4a7c15 // golden-ratio increment, splitmix64's own stream constant
+
+// BackendFor maps a key to one of n backend processes. n ≤ 1 always
+// maps to backend 0. The assignment is pinned by golden tests
+// (shardmap_test.go): changing it silently re-homes every document in a
+// deployed fleet.
+func BackendFor(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Mix(key+backendSalt) % uint64(n))
+}

@@ -1,0 +1,97 @@
+package shardmap
+
+import "testing"
+
+// goldenKeys are the probe keys every golden table below is indexed by.
+var goldenKeys = []uint64{0, 1, 2, 3, 7, 42, 1000, 65536, 1 << 32, 0xffffffffffffffff, 0xdeadbeef, 123456789}
+
+// TestBackendForGolden pins key→backend assignments. These values are a
+// deployed-fleet contract: a frontend restarted with the same backend
+// list must route every key to the backend that already owns its data,
+// so any change here is a data-placement migration, not a refactor.
+func TestBackendForGolden(t *testing.T) {
+	golden := map[int][]int{
+		2:  {1, 1, 0, 1, 1, 1, 0, 1, 0, 0, 1, 1},
+		3:  {1, 2, 1, 0, 0, 1, 1, 0, 1, 2, 1, 2},
+		4:  {3, 1, 2, 1, 3, 1, 0, 3, 0, 0, 3, 1},
+		8:  {7, 1, 6, 5, 7, 5, 0, 3, 0, 0, 3, 1},
+		16: {15, 1, 14, 13, 7, 5, 8, 3, 8, 0, 11, 9},
+	}
+	for n, want := range golden {
+		for i, k := range goldenKeys {
+			if got := BackendFor(k, n); got != want[i] {
+				t.Errorf("BackendFor(%d, %d) = %d, want %d (golden assignment changed!)", k, n, got, want[i])
+			}
+		}
+	}
+}
+
+// TestShardOfGolden pins key→shard assignments: snapshots of a sharded
+// structure record per-shard ladders, so the in-process mapping is as
+// much a persistence contract as the backend one.
+func TestShardOfGolden(t *testing.T) {
+	golden := map[int][]int{
+		2: {0, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0},
+		4: {0, 1, 2, 0, 0, 2, 3, 1, 3, 3, 2, 0},
+		8: {0, 5, 2, 0, 4, 2, 7, 5, 7, 3, 2, 0},
+	}
+	for p, want := range golden {
+		for i, k := range goldenKeys {
+			if got := ShardOf(k, p); got != want[i] {
+				t.Errorf("ShardOf(%d, %d) = %d, want %d (golden assignment changed!)", k, p, got, want[i])
+			}
+		}
+	}
+}
+
+// TestSingletonPartitions checks the p ≤ 1 fast paths.
+func TestSingletonPartitions(t *testing.T) {
+	for _, k := range goldenKeys {
+		for _, n := range []int{-1, 0, 1} {
+			if ShardOf(k, n) != 0 || BackendFor(k, n) != 0 {
+				t.Fatalf("partition count %d must map every key to 0", n)
+			}
+		}
+	}
+}
+
+// TestBackendShardDecorrelated is the reason BackendFor salts the key:
+// keys owned by one backend, re-sharded inside that backend with the
+// same partition count, must still spread across all internal shards.
+// Without the salt, Mix(key) % n == b striping would put every document
+// of backend b into internal shard b.
+func TestBackendShardDecorrelated(t *testing.T) {
+	const n = 4                         // backends, and shards inside each backend
+	counts := make(map[int]map[int]int) // backend → shard → keys
+	for k := uint64(0); k < 4096; k++ {
+		b := BackendFor(k, n)
+		s := ShardOf(k, n)
+		if counts[b] == nil {
+			counts[b] = make(map[int]int)
+		}
+		counts[b][s]++
+	}
+	for b := 0; b < n; b++ {
+		for s := 0; s < n; s++ {
+			if counts[b][s] == 0 {
+				t.Fatalf("backend %d internal shard %d received zero of 4096 keys: backend and shard streams are correlated", b, s)
+			}
+		}
+	}
+}
+
+// TestBackendBalance sanity-checks that dense sequential IDs spread
+// evenly (each of 8 backends within ±25%% of the mean over 64k keys).
+func TestBackendBalance(t *testing.T) {
+	const n, keys = 8, 65536
+	var counts [n]int
+	for k := uint64(0); k < keys; k++ {
+		counts[BackendFor(k, n)]++
+	}
+	mean := keys / n
+	for b, c := range counts {
+		if c < mean*3/4 || c > mean*5/4 {
+			t.Errorf("backend %d holds %d of %d keys (mean %d): unbalanced", b, c, keys, mean)
+		}
+	}
+}

@@ -24,135 +24,28 @@ import (
 	"dyncoll/internal/binrel"
 	"dyncoll/internal/core"
 	"dyncoll/internal/doc"
+	"dyncoll/internal/fanout"
 	"dyncoll/internal/graph"
+	"dyncoll/internal/shardmap"
 )
 
-// shardOf maps a key to one of p shards. The key is finalized with the
-// splitmix64 mixer so that dense sequential IDs (the common case) spread
-// evenly instead of striping.
-func shardOf(key uint64, p int) int {
-	if p <= 1 {
-		return 0
-	}
-	key ^= key >> 30
-	key *= 0xbf58476d1ce4e5b9
-	key ^= key >> 27
-	key *= 0x94d049bb133111eb
-	key ^= key >> 31
-	return int(key % uint64(p))
-}
+// shardOf maps a key to one of p shards through the module-wide
+// placement contract (internal/shardmap): the same function the
+// networked frontend uses for key→backend routing, pinned by golden
+// tests because snapshots record per-shard ladders.
+func shardOf(key uint64, p int) int { return shardmap.ShardOf(key, p) }
 
-// fanOutChunk is the number of values a producer banks locally before
-// one channel send hands them to the consumer. PR 2 paid one channel
-// operation per emitted value, which measured as a 3–6× serial Find
-// regression (15.7/23.5/33.1µs at p=2/4/8 vs 5.2µs unsharded on the
-// 1-core CI box); chunking amortizes the synchronization to 1/64 of a
-// channel op per value while a per-value atomic load keeps early-break
-// responsive.
-const fanOutChunk = 64
-
-// fanOut merges n per-shard enumerations into a single consumer. Each
-// shard streams through run(i, emit) in its own goroutine; values are
-// banked into small chunks and multiplexed over a channel into fn on
-// the caller's goroutine. When fn returns false every producer observes
-// the stop flag at its next emit and unwinds.
-//
-// The deferred epilogue signals stop and then waits for every producer
-// to exit before fanOut returns — on normal completion, early break,
-// and consumer panic/Goexit alike. The wait matters beyond lock
-// hygiene: producers read caller-owned arguments (the pattern slice),
-// so returning while one was still scanning would hand the caller back
-// a buffer a goroutine is reading (a data race if the caller reuses
-// it). With n == 1 the enumeration runs inline with no goroutines or
-// chunking at all.
+// fanOut, forEachShard and gather are the in-process face of the
+// fan-out/merge contract in internal/fanout — the same contract the
+// networked frontend applies to per-backend NDJSON streams. See that
+// package for the chunking and early-break semantics.
 func fanOut[T any](n int, run func(i int, emit func(T) bool), fn func(T) bool) {
-	if n == 1 {
-		run(0, fn)
-		return
-	}
-	var stop atomic.Bool        // consumer gone: producers finish at their next emit
-	done := make(chan struct{}) // closed with stop; unblocks in-flight chunk sends
-	ch := make(chan []T, n)
-	var wg sync.WaitGroup
-	defer func() {
-		stop.Store(true)
-		close(done)
-		wg.Wait()
-	}()
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			chunk := make([]T, 0, fanOutChunk)
-			flush := func() bool {
-				if len(chunk) == 0 {
-					return true
-				}
-				select {
-				case ch <- chunk:
-					chunk = make([]T, 0, fanOutChunk)
-					return true
-				case <-done:
-					return false
-				}
-			}
-			run(i, func(v T) bool {
-				if stop.Load() {
-					return false
-				}
-				chunk = append(chunk, v)
-				if len(chunk) == fanOutChunk {
-					return flush()
-				}
-				return true
-			})
-			flush() // final partial chunk; a refused send means the consumer left
-		}(i)
-	}
-	go func() {
-		wg.Wait()
-		close(ch)
-	}()
-	for chunk := range ch {
-		for _, v := range chunk {
-			if !fn(v) {
-				return
-			}
-		}
-	}
+	fanout.FanOut(n, run, fn)
 }
 
-// forEachShard runs fn for shards 0..n-1 concurrently and waits. Like
-// fanOut, a single shard runs inline so WithShards(1) — the documented
-// concurrency-safe floor — pays no goroutine overhead per operation.
-func forEachShard(n int, fn func(i int)) {
-	if n == 1 {
-		fn(0)
-		return
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
-}
+func forEachShard(n int, fn func(i int)) { fanout.ForEach(n, fn) }
 
-// gather runs collect for every shard concurrently and concatenates the
-// per-shard slices (shard order, so the result is deterministic given
-// deterministic shards). collect is responsible for its shard's lock.
-func gather[T any](n int, collect func(i int) []T) []T {
-	parts := make([][]T, n)
-	forEachShard(n, func(i int) { parts[i] = collect(i) })
-	var out []T
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
-}
+func gather[T any](n int, collect func(i int) []T) []T { return fanout.Gather(n, collect) }
 
 // aggStats merges per-shard engine stats into one: counters sum,
 // per-level numbers sum element-wise, top lists concatenate, Tau is

@@ -1,11 +1,13 @@
 package dyncoll
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"dyncoll/internal/core"
 	"dyncoll/internal/snap"
@@ -203,7 +205,11 @@ func parallelShards(n int, fn func(i int) error) error {
 
 // atomicWriteFile writes data via a temp file in the target directory
 // plus rename, so the destination path always holds either the old
-// bytes or the complete new bytes.
+// bytes or the complete new bytes. After the rename the containing
+// directory is fsynced: the rename updates a directory entry, and
+// without the directory sync a crash right after a "successful" save
+// could lose the entry even though the file's own blocks were synced —
+// the snapshot would simply not exist on reboot.
 func atomicWriteFile(path string, save func(w io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -233,7 +239,27 @@ func atomicWriteFile(path string, save func(w io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry inside it is
+// durable. Filesystems that cannot fsync a directory handle (it is
+// valid for open directories to reject Sync on some platforms) degrade
+// to the pre-sync behaviour rather than failing the save.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, syscall.EBADF) {
+		return err
+	}
+	return nil
 }
 
 func loadFile(path string, load func(r io.Reader) error) error {

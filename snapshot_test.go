@@ -452,3 +452,55 @@ func TestSnapshotConcurrentReaders(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestSaveFileDurableRename covers the atomic-save path end to end: the
+// snapshot must land under its final name (rename complete, containing
+// directory synced so the entry is durable), leave no temp files
+// behind, and overwrite an existing snapshot in place — and the file
+// that survives must load back to identical query answers.
+func TestSaveFileDurableRename(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "coll.snap")
+	c := mustCollection(t, WithShards(2), WithSyncRebuilds(), WithMinCapacity(16))
+	snapCollectionCorpus(t, c)
+	if err := c.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	// Overwrite: the rename path must replace, not fail on, an existing
+	// destination.
+	mustInsert(t, c, Document{ID: 900, Data: []byte("post-first-save")})
+	if err := c.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile over existing: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "coll.snap" {
+			t.Errorf("unexpected file %q next to the snapshot (leaked temp file?)", e.Name())
+		}
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot missing or empty after rename: %v", err)
+	}
+	loaded := mustCollection(t)
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	collectionsEqual(t, "durable rename", c, loaded)
+}
+
+// TestSyncDir checks the directory-fsync helper both on a real
+// directory and on a missing one.
+func TestSyncDir(t *testing.T) {
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir on a real directory: %v", err)
+	}
+	if err := syncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("syncDir on a missing directory: expected error")
+	}
+}
