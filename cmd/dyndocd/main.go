@@ -8,7 +8,12 @@
 //	                /v1/extract, plus /varz metrics and /healthz.
 //	                -snapshot=PATH restores the collection before
 //	                listening (when the file exists) and writes the
-//	                drain snapshot on SIGTERM.
+//	                drain snapshot on SIGTERM. -wal=DIR instead makes
+//	                the backend durable: mutations are WAL-logged and
+//	                fsynced before the HTTP reply, checkpoints are
+//	                incremental, and recovery (checkpoint + WAL tail)
+//	                runs before listening — kill -9 loses nothing
+//	                acknowledged.
 //	-mode=frontend  stateless query router over -backends=h1,h2,…:
 //	                keyed ops proxy to the backend owning the document
 //	                (deterministic shard map), un-routable queries fan
@@ -50,6 +55,11 @@ func main() {
 		backends = flag.String("backends", "", "comma-separated backend addresses (frontend)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 
+		// Durability (backend; mutually exclusive with -snapshot).
+		walDir    = flag.String("wal", "", "durable directory: WAL + incremental checkpoints; every acknowledged write survives kill -9 (backend)")
+		walCkpt   = flag.Int64("wal-checkpoint", 0, "WAL bytes between automatic checkpoints; 0 = 64 MiB default, negative disables (backend)")
+		walWindow = flag.Duration("wal-sync-window", time.Millisecond, "group-commit fsync batching window (backend)")
+
 		// Collection construction (backend).
 		index     = flag.String("index", "fm", "static index by registry name (backend)")
 		sample    = flag.Int("s", 16, "suffix-array sample rate s (backend)")
@@ -74,6 +84,7 @@ func main() {
 	case "backend":
 		runBackend(backendConfig{
 			listen: *listen, snapshot: *snapshot, drainTimeout: *drainFor,
+			wal: *walDir, walCheckpoint: *walCkpt, walSyncWindow: *walWindow,
 			index: *index, sample: *sample, tau: *tau, shards: *shards,
 			counting: *counting, transform: *transform,
 		})
@@ -94,16 +105,19 @@ func main() {
 type backendConfig struct {
 	listen, snapshot    string
 	drainTimeout        time.Duration
+	wal                 string
+	walCheckpoint       int64
+	walSyncWindow       time.Duration
 	index               string
 	sample, tau, shards int
 	counting            bool
 	transform           string
 }
 
-// buildCollection constructs the backend's collection from flags. The
-// shard floor is 1: WithShards(1) is the documented concurrency-safe
+// buildOptions assembles the collection options from flags. The shard
+// floor is 1: WithShards(1) is the documented concurrency-safe
 // minimum, and HTTP handlers run concurrently.
-func buildCollection(cfg backendConfig) (*dyncoll.Collection, error) {
+func buildOptions(cfg backendConfig) ([]dyncoll.Option, error) {
 	if cfg.shards < 1 {
 		return nil, fmt.Errorf("-shards must be ≥ 1: the server runs handlers concurrently and needs the sharded locking layer")
 	}
@@ -126,11 +140,22 @@ func buildCollection(cfg backendConfig) (*dyncoll.Collection, error) {
 	default:
 		return nil, fmt.Errorf("unknown transformation %q", cfg.transform)
 	}
-	return dyncoll.NewCollection(opts...)
+	return opts, nil
 }
 
 func runBackend(cfg backendConfig) {
-	c, err := buildCollection(cfg)
+	if cfg.wal != "" && cfg.snapshot != "" {
+		log.Fatalf("dyndocd: -wal and -snapshot are mutually exclusive (the WAL directory subsumes drain snapshots)")
+	}
+	opts, err := buildOptions(cfg)
+	if err != nil {
+		log.Fatalf("dyndocd: %v", err)
+	}
+	if cfg.wal != "" {
+		runDurableBackend(cfg, opts)
+		return
+	}
+	c, err := dyncoll.NewCollection(opts...)
 	if err != nil {
 		log.Fatalf("dyndocd: %v", err)
 	}
@@ -145,7 +170,7 @@ func runBackend(cfg backendConfig) {
 			log.Fatalf("dyndocd: restore %s: %v", cfg.snapshot, err)
 		}
 	}
-	b := server.NewBackend(c)
+	b := server.NewBackend(server.PlainColl{Collection: c})
 	serveUntilSignal("backend", cfg.listen, b.Handler(), cfg.drainTimeout, func() {
 		c.WaitIdle() // background rebuilds land before the state is captured
 		if cfg.snapshot == "" {
@@ -155,6 +180,35 @@ func runBackend(cfg backendConfig) {
 			log.Fatalf("dyndocd: drain snapshot %s: %v", cfg.snapshot, err)
 		}
 		log.Printf("drain snapshot: %d document(s), %d symbol(s) → %s", c.DocCount(), c.Len(), cfg.snapshot)
+	})
+}
+
+// runDurableBackend serves a WAL-backed collection: recovery happens
+// before listening, every acknowledged mutation is fsynced before the
+// HTTP reply, and the drain closes the log — though with a WAL a drain
+// is a courtesy, not a requirement; kill -9 loses nothing acknowledged.
+func runDurableBackend(cfg backendConfig, opts []dyncoll.Option) {
+	dc, err := dyncoll.OpenDurableCollection(cfg.wal, dyncoll.WALOptions{
+		SyncWindow:      cfg.walSyncWindow,
+		CheckpointEvery: cfg.walCheckpoint,
+	}, opts...)
+	if err != nil {
+		log.Fatalf("dyndocd: open durable %s: %v", cfg.wal, err)
+	}
+	rec := dc.RecoveryStats()
+	log.Printf("recovered %s in %v: checkpoint=%v, %d WAL record(s) in %d file(s), torn tail truncated=%v → %d document(s)",
+		cfg.wal, rec.Duration.Round(time.Millisecond), rec.CheckpointLoaded,
+		rec.WALRecords, rec.WALFiles, rec.TornTailTruncated, dc.DocCount())
+	b := server.NewBackend(dc)
+	serveUntilSignal("backend", cfg.listen, b.Handler(), cfg.drainTimeout, func() {
+		dc.WaitIdle()
+		if err := dc.Checkpoint(); err != nil {
+			log.Printf("drain checkpoint: %v (WAL tail still replays on restart)", err)
+		}
+		if err := dc.Close(); err != nil {
+			log.Printf("drain close: %v", err)
+		}
+		log.Printf("drain: WAL closed, %d document(s) durable in %s", dc.DocCount(), cfg.wal)
 	})
 }
 

@@ -1,0 +1,740 @@
+package dyncoll
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dyncoll/internal/core"
+	"dyncoll/internal/snap"
+	"dyncoll/internal/wal"
+)
+
+// Durable structures: the same Collection/Relation/Graph facades with
+// a write-ahead log and incremental checkpoints underneath, so a
+// process killed at any instant — kill -9, power loss — reopens to
+// exactly the operations it acknowledged. Every mutation is applied
+// in memory, appended to the WAL, and acknowledged only after an fsync
+// covers its record; group commit batches the fsyncs of concurrent
+// writers. Checkpoints bound recovery time: reopening replays the
+// newest checkpoint plus only the WAL tail written after it.
+//
+// The concurrency contract matches the underlying structure: durable
+// wrappers built WithShards(p) are safe for concurrent readers and
+// writers (mutations additionally serialize on the WAL, which is what
+// makes "log order = apply order" hold); unsharded wrappers allow
+// concurrent mutators but reads must not race them, exactly as for the
+// plain facades.
+
+// ErrClosed reports an operation on a closed durable structure.
+var ErrClosed = errors.New("dyncoll: durable structure closed")
+
+// defaultCheckpointEvery is the WAL-tail size that triggers an
+// automatic incremental checkpoint when WALOptions.CheckpointEvery is
+// zero.
+const defaultCheckpointEvery = 64 << 20
+
+// WALOptions configures durability for the OpenDurable constructors.
+// The zero value is ready to use: per-commit fsync, automatic
+// checkpoints every 64 MiB of WAL, the real filesystem.
+type WALOptions struct {
+	// SyncWindow is the group-commit batching window: an acknowledgment
+	// may be delayed up to this long so concurrent writers share one
+	// fsync. Zero syncs as soon as possible — still batching whatever
+	// accumulated while the previous fsync was in flight.
+	SyncWindow time.Duration
+	// CheckpointEvery is the WAL-tail byte size that triggers an
+	// automatic incremental checkpoint after a mutation. Zero means the
+	// 64 MiB default; a negative value disables automatic checkpoints
+	// (call Checkpoint explicitly).
+	CheckpointEvery int64
+	// FS overrides the filesystem — the fault-injection and fuzzing
+	// seam. Nil means the real filesystem.
+	FS wal.FS
+}
+
+// RecoveryStats describes what the last OpenDurable call did.
+type RecoveryStats struct {
+	// CheckpointLoaded reports that a checkpoint was restored (false
+	// means the structure was rebuilt from the WAL alone).
+	CheckpointLoaded bool
+	// WALFiles and WALRecords count the WAL tail replayed on top.
+	WALFiles   int
+	WALRecords int
+	// WALBytes is the replayed tail's size.
+	WALBytes int64
+	// TornTailTruncated reports that the newest WAL file ended in a
+	// partially-written record (the signature of a crash mid-append)
+	// that was truncated away.
+	TornTailTruncated bool
+	// Duration is the total open time: checkpoint restore plus replay.
+	Duration time.Duration
+}
+
+// durable is the kind-independent durability core shared by the three
+// facades: the WAL, the current checkpoint's segment directory, and
+// the mutation mutex that makes log order equal apply order.
+type durable struct {
+	fs      wal.FS
+	dir     string
+	log     *wal.Log
+	ckEvery int64
+
+	// mu serializes mutations (apply + append) and checkpoints. It is
+	// NOT held while waiting for the fsync — that is what lets
+	// concurrent writers group-commit.
+	mu     sync.Mutex
+	closed bool
+	ckSeq  uint64
+	segs   []map[uint64]segMeta // per shard: gen → current checkpoint segment
+	rec    RecoveryStats
+
+	cfg     func() config
+	dumpAll func(reuse func(shard, level int, gen uint64, dead int) bool) ([][]byte, [][]snap.Section, error)
+}
+
+// collSectImpl is implemented by the unsharded collection cores.
+type collSectImpl interface {
+	DumpSections(fastPath bool, reuse func(level int, gen uint64, dead int) bool) ([]byte, []snap.Section)
+	RestoreSections(spine []byte, secs []snap.Section, decode core.IndexDecoder) error
+}
+
+// relSectImpl is implemented by the unsharded relation and graph cores.
+type relSectImpl interface {
+	DumpSections(reuse func(level int, gen uint64, dead int) bool) ([]byte, []snap.Section)
+	RestoreSections(spine []byte, secs []snap.Section) error
+}
+
+// recoveredCkpt is a checkpoint loaded and verified from disk.
+type recoveredCkpt struct {
+	cfg    config
+	seq    uint64
+	spines [][]byte
+	secs   [][]snap.Section
+	metas  [][]segMeta
+}
+
+// openRecoveryPoint reads the manifest and, if it names a checkpoint,
+// loads and CRC-verifies the spine and every segment. A nil
+// recoveredCkpt with nil error means "no checkpoint" (fresh directory
+// or WAL-only); corruption anywhere fails with ErrBadSnapshot.
+func openRecoveryPoint(fs wal.FS, dir string, kind structKind) (wal.Manifest, *recoveredCkpt, error) {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return wal.Manifest{}, nil, err
+	}
+	man, ok, err := wal.ReadManifest(fs, dir)
+	if err != nil || !ok || man.Checkpoint == "" {
+		return man, nil, err
+	}
+	data, err := fs.ReadFile(filepath.Join(dir, man.Checkpoint))
+	if err != nil {
+		return man, nil, snap.Corruptf("checkpoint spine %s: %v", man.Checkpoint, err)
+	}
+	if crc32.Checksum(data, ckptCRC) != man.CheckpointCRC {
+		return man, nil, snap.Corruptf("checkpoint spine %s: checksum mismatch", man.Checkpoint)
+	}
+	cfg, seq, spines, metas, err := decodeCkptSpine(data, kind)
+	if err != nil {
+		return man, nil, err
+	}
+	ck := &recoveredCkpt{cfg: cfg, seq: seq, spines: spines, metas: metas}
+	ck.secs = make([][]snap.Section, len(metas))
+	for i, ss := range metas {
+		for _, m := range ss {
+			b, err := readSegment(fs, dir, m)
+			if err != nil {
+				return man, nil, err
+			}
+			ck.secs[i] = append(ck.secs[i], snap.Section{Level: m.level, Gen: m.gen, Dead: m.dead, Bytes: b})
+		}
+	}
+	return man, ck, nil
+}
+
+// newDurable opens the WAL for appending and assembles the durability
+// core; the caller has already restored the checkpoint and replayed
+// the tail.
+func newDurable(fsi wal.FS, dir string, wopts WALOptions, man wal.Manifest, ck *recoveredCkpt, st wal.ReplayStats, dur time.Duration) (*durable, error) {
+	log, err := wal.Open(dir, man.WALStart, wal.Options{SyncWindow: wopts.SyncWindow, FS: fsi})
+	if err != nil {
+		return nil, err
+	}
+	ckEvery := wopts.CheckpointEvery
+	switch {
+	case ckEvery == 0:
+		ckEvery = defaultCheckpointEvery
+	case ckEvery < 0:
+		ckEvery = 0
+	}
+	d := &durable{fs: fsi, dir: dir, log: log, ckEvery: ckEvery, ckSeq: 1}
+	if ck != nil {
+		d.ckSeq = ck.seq + 1
+		d.segs = segMaps(ck.metas)
+	}
+	d.rec = RecoveryStats{
+		CheckpointLoaded:  ck != nil,
+		WALFiles:          st.Files,
+		WALRecords:        st.Records,
+		WALBytes:          st.Bytes,
+		TornTailTruncated: st.TornTail,
+		Duration:          dur,
+	}
+	return d, nil
+}
+
+// commitUnlock appends the already-applied mutation's record, releases
+// the mutation mutex, waits for durability and runs the
+// auto-checkpoint check. The caller holds d.mu; only after this
+// returns nil may the mutation be acknowledged.
+func (d *durable) commitUnlock(payload []byte) error {
+	lsn, err := d.log.Append(payload)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := d.log.Commit(lsn); err != nil {
+		return err
+	}
+	return d.maybeCheckpoint()
+}
+
+// maybeCheckpoint runs an incremental checkpoint when the WAL tail has
+// outgrown the configured threshold.
+func (d *durable) maybeCheckpoint() error {
+	if d.ckEvery <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.log.Size() < d.ckEvery {
+		return nil
+	}
+	return d.checkpointLocked()
+}
+
+func (d *durable) checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *durable) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}
+
+// segReuse is the predicate checkpointLocked hands to dumpAll: a
+// section is reusable when the current checkpoint already holds a
+// segment for the same store (generation) at the same slot with the
+// same dead weight.
+func (d *durable) segReuse(shard, level int, gen uint64, dead int) bool {
+	if gen == 0 || shard >= len(d.segs) || d.segs[shard] == nil {
+		return false
+	}
+	m, ok := d.segs[shard][gen]
+	return ok && m.level == level && m.dead == dead
+}
+
+// --- DurableCollection ---
+
+// DurableCollection is a Collection whose mutations survive kill -9.
+// Reads and stats come from the embedded Collection; mutations go
+// through the WAL. See the package section above for the concurrency
+// contract.
+type DurableCollection struct {
+	*Collection
+	d *durable
+}
+
+// OpenDurableCollection opens (or creates) the durable collection
+// stored in dir: the newest checkpoint is restored, the WAL tail
+// replayed — truncating a torn final record — and the WAL reopened for
+// appending. On first open the options configure the new collection;
+// on reopen the stored configuration wins, exactly like LoadFile.
+// Corrupt files fail with ErrBadSnapshot and never panic.
+func OpenDurableCollection(dir string, wopts WALOptions, opts ...Option) (dc *DurableCollection, err error) {
+	defer guard(&err)
+	start := time.Now()
+	fsi := wopts.FS
+	if fsi == nil {
+		fsi = wal.OS
+	}
+	man, ck, err := openRecoveryPoint(fsi, dir, kindCollection)
+	if err != nil {
+		return nil, err
+	}
+	var coll *Collection
+	if ck != nil {
+		if _, err := lookupIndex(ck.cfg.index); err != nil {
+			return nil, err
+		}
+		decode := lookupDecoder(ck.cfg.index)
+		impl, err := newCollAnyImpl(ck.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if sh, ok := impl.(*shardedColl); ok {
+			if err := parallelShards(len(sh.shards), func(i int) (err error) {
+				defer guard(&err)
+				si, ok := sh.shards[i].impl.(collSectImpl)
+				if !ok {
+					return fmt.Errorf("dyncoll: collection shard does not support checkpoints")
+				}
+				return si.RestoreSections(ck.spines[i], ck.secs[i], decode)
+			}); err != nil {
+				return nil, err
+			}
+		} else {
+			si, ok := impl.(collSectImpl)
+			if !ok {
+				return nil, fmt.Errorf("dyncoll: collection does not support checkpoints")
+			}
+			if err := si.RestoreSections(ck.spines[0], ck.secs[0], decode); err != nil {
+				return nil, err
+			}
+		}
+		coll = &Collection{impl: impl, cfg: ck.cfg}
+	} else {
+		cfg, cerr := newConfig(kindCollection, opts)
+		if cerr != nil {
+			return nil, cerr
+		}
+		coll, err = newCollection(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st, err := wal.Replay(fsi, dir, man.WALStart, func(p []byte) error {
+		return applyCollRecord(coll, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := newDurable(fsi, dir, wopts, man, ck, st, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	dc = &DurableCollection{Collection: coll, d: d}
+	d.cfg = func() config { return dc.cfg }
+	d.dumpAll = dc.dumpSections
+	d.gcLocked(man)
+	return dc, nil
+}
+
+// dumpSections captures every shard in sectioned form, holding shard
+// read locks for a consistent cut (mutations are already excluded by
+// d.mu; the locks shut out misuse that bypasses the durable facade).
+func (c *DurableCollection) dumpSections(reuse func(shard, level int, gen uint64, dead int) bool) ([][]byte, [][]snap.Section, error) {
+	fast := lookupDecoder(c.cfg.index) != nil
+	if sh, ok := c.impl.(*shardedColl); ok {
+		p := len(sh.shards)
+		for _, s := range sh.shards {
+			s.mu.RLock()
+		}
+		defer func() {
+			for _, s := range sh.shards {
+				s.mu.RUnlock()
+			}
+		}()
+		spines := make([][]byte, p)
+		secs := make([][]snap.Section, p)
+		if err := parallelShards(p, func(i int) error {
+			si, ok := sh.shards[i].impl.(collSectImpl)
+			if !ok {
+				return fmt.Errorf("dyncoll: collection shard does not support checkpoints")
+			}
+			spines[i], secs[i] = si.DumpSections(fast, func(level int, gen uint64, dead int) bool {
+				return reuse(i, level, gen, dead)
+			})
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		return spines, secs, nil
+	}
+	si, ok := c.impl.(collSectImpl)
+	if !ok {
+		return nil, nil, fmt.Errorf("dyncoll: collection does not support checkpoints")
+	}
+	spine, ss := si.DumpSections(fast, func(level int, gen uint64, dead int) bool {
+		return reuse(0, level, gen, dead)
+	})
+	return [][]byte{spine}, [][]snap.Section{ss}, nil
+}
+
+// Insert adds a document durably; it is acknowledged only after its
+// WAL record is fsynced.
+func (c *DurableCollection) Insert(d Document) error {
+	return c.InsertBatch([]Document{d})
+}
+
+// InsertBatch adds many documents in one atomic, durable ingest: the
+// batch travels as one WAL record, so after any crash it is either
+// fully present or fully absent.
+func (c *DurableCollection) InsertBatch(docs []Document) error {
+	c.d.mu.Lock()
+	if c.d.closed {
+		c.d.mu.Unlock()
+		return ErrClosed
+	}
+	if err := c.Collection.InsertBatch(docs); err != nil {
+		c.d.mu.Unlock()
+		return err
+	}
+	if len(docs) == 0 {
+		c.d.mu.Unlock()
+		return nil
+	}
+	return c.d.commitUnlock(encodeInsertBatch(docs))
+}
+
+// Delete removes a document durably. It fails with ErrNotFound if no
+// such document is live.
+func (c *DurableCollection) Delete(id uint64) error {
+	n, err := c.DeleteBatch([]uint64{id})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("dyncoll: delete id %d: %w", id, ErrNotFound)
+	}
+	return nil
+}
+
+// DeleteBatch removes every listed live document durably and returns
+// the number removed. Unlike the plain facade it can also fail: a
+// non-nil error means durability was not established (though the
+// in-memory deletion did happen and will be re-lost on reopen).
+func (c *DurableCollection) DeleteBatch(ids []uint64) (int, error) {
+	c.d.mu.Lock()
+	if c.d.closed {
+		c.d.mu.Unlock()
+		return 0, ErrClosed
+	}
+	n := c.Collection.DeleteBatch(ids)
+	if n == 0 {
+		c.d.mu.Unlock()
+		return 0, nil
+	}
+	if err := c.d.commitUnlock(encodeDeleteBatch(ids)); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Checkpoint forces an incremental checkpoint: only levels rebuilt (or
+// further deleted-from) since the previous checkpoint are written; the
+// WAL is rotated so recovery replays just the tail from here on.
+func (c *DurableCollection) Checkpoint() error { return c.d.checkpoint() }
+
+// RecoveryStats reports what the OpenDurableCollection call that
+// produced this collection did.
+func (c *DurableCollection) RecoveryStats() RecoveryStats { return c.d.rec }
+
+// Close flushes and closes the WAL. The collection remains readable;
+// further mutations fail with ErrClosed.
+func (c *DurableCollection) Close() error { return c.d.close() }
+
+// --- DurableRelation ---
+
+// DurableRelation is a Relation whose mutations survive kill -9; see
+// DurableCollection.
+type DurableRelation struct {
+	*Relation
+	d *durable
+}
+
+// OpenDurableRelation opens (or creates) the durable relation stored
+// in dir; see OpenDurableCollection for semantics.
+func OpenDurableRelation(dir string, wopts WALOptions, opts ...Option) (dr *DurableRelation, err error) {
+	defer guard(&err)
+	start := time.Now()
+	fsi := wopts.FS
+	if fsi == nil {
+		fsi = wal.OS
+	}
+	man, ck, err := openRecoveryPoint(fsi, dir, kindRelation)
+	if err != nil {
+		return nil, err
+	}
+	var rel *Relation
+	if ck != nil {
+		impl := newRelAnyImpl(ck.cfg)
+		if err := restoreRelShards(impl, ck); err != nil {
+			return nil, err
+		}
+		rel = &Relation{rel: impl, cfg: ck.cfg}
+	} else {
+		cfg, cerr := newConfig(kindRelation, opts)
+		if cerr != nil {
+			return nil, cerr
+		}
+		rel = &Relation{rel: newRelAnyImpl(cfg), cfg: cfg}
+	}
+	st, err := wal.Replay(fsi, dir, man.WALStart, func(p []byte) error {
+		return applyRelRecord(rel, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := newDurable(fsi, dir, wopts, man, ck, st, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	dr = &DurableRelation{Relation: rel, d: d}
+	d.cfg = func() config { return dr.cfg }
+	d.dumpAll = dr.dumpSections
+	d.gcLocked(man)
+	return dr, nil
+}
+
+// restoreRelShards installs a recovered checkpoint into a fresh
+// relation implementation.
+func restoreRelShards(impl relationImpl, ck *recoveredCkpt) error {
+	if sh, ok := impl.(*shardedRelation); ok {
+		return parallelShards(len(sh.shards), func(i int) (err error) {
+			defer guard(&err)
+			si, ok := sh.shards[i].rel.(relSectImpl)
+			if !ok {
+				return fmt.Errorf("dyncoll: relation shard does not support checkpoints")
+			}
+			return si.RestoreSections(ck.spines[i], ck.secs[i])
+		})
+	}
+	si, ok := impl.(relSectImpl)
+	if !ok {
+		return fmt.Errorf("dyncoll: relation does not support checkpoints")
+	}
+	return si.RestoreSections(ck.spines[0], ck.secs[0])
+}
+
+// dumpSections captures every shard in sectioned form; see the
+// collection counterpart.
+func (r *DurableRelation) dumpSections(reuse func(shard, level int, gen uint64, dead int) bool) ([][]byte, [][]snap.Section, error) {
+	if sh, ok := r.rel.(*shardedRelation); ok {
+		p := len(sh.shards)
+		for _, s := range sh.shards {
+			s.mu.RLock()
+		}
+		defer func() {
+			for _, s := range sh.shards {
+				s.mu.RUnlock()
+			}
+		}()
+		spines := make([][]byte, p)
+		secs := make([][]snap.Section, p)
+		if err := parallelShards(p, func(i int) error {
+			si, ok := sh.shards[i].rel.(relSectImpl)
+			if !ok {
+				return fmt.Errorf("dyncoll: relation shard does not support checkpoints")
+			}
+			spines[i], secs[i] = si.DumpSections(func(level int, gen uint64, dead int) bool {
+				return reuse(i, level, gen, dead)
+			})
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		return spines, secs, nil
+	}
+	si, ok := r.rel.(relSectImpl)
+	if !ok {
+		return nil, nil, fmt.Errorf("dyncoll: relation does not support checkpoints")
+	}
+	spine, ss := si.DumpSections(func(level int, gen uint64, dead int) bool {
+		return reuse(0, level, gen, dead)
+	})
+	return [][]byte{spine}, [][]snap.Section{ss}, nil
+}
+
+// Add inserts the pair (object, label) durably. It fails with
+// ErrDuplicatePair if the pair is already related.
+func (r *DurableRelation) Add(object, label uint64) error {
+	r.d.mu.Lock()
+	if r.d.closed {
+		r.d.mu.Unlock()
+		return ErrClosed
+	}
+	if !r.rel.Add(object, label) {
+		r.d.mu.Unlock()
+		return fmt.Errorf("dyncoll: add (%d, %d): %w", object, label, ErrDuplicatePair)
+	}
+	return r.d.commitUnlock(encodePairOp(opRelAdd, object, label))
+}
+
+// Delete removes the pair (object, label) durably. It fails with
+// ErrNotFound if the pair is not related.
+func (r *DurableRelation) Delete(object, label uint64) error {
+	r.d.mu.Lock()
+	if r.d.closed {
+		r.d.mu.Unlock()
+		return ErrClosed
+	}
+	if !r.rel.Delete(object, label) {
+		r.d.mu.Unlock()
+		return fmt.Errorf("dyncoll: delete (%d, %d): %w", object, label, ErrNotFound)
+	}
+	return r.d.commitUnlock(encodePairOp(opRelDelete, object, label))
+}
+
+// Checkpoint forces an incremental checkpoint; see
+// DurableCollection.Checkpoint.
+func (r *DurableRelation) Checkpoint() error { return r.d.checkpoint() }
+
+// RecoveryStats reports what the open that produced this relation did.
+func (r *DurableRelation) RecoveryStats() RecoveryStats { return r.d.rec }
+
+// Close flushes and closes the WAL; further mutations fail ErrClosed.
+func (r *DurableRelation) Close() error { return r.d.close() }
+
+// --- DurableGraph ---
+
+// DurableGraph is a Graph whose mutations survive kill -9; see
+// DurableCollection.
+type DurableGraph struct {
+	*Graph
+	d *durable
+}
+
+// OpenDurableGraph opens (or creates) the durable graph stored in dir;
+// see OpenDurableCollection for semantics.
+func OpenDurableGraph(dir string, wopts WALOptions, opts ...Option) (dg *DurableGraph, err error) {
+	defer guard(&err)
+	start := time.Now()
+	fsi := wopts.FS
+	if fsi == nil {
+		fsi = wal.OS
+	}
+	man, ck, err := openRecoveryPoint(fsi, dir, kindGraph)
+	if err != nil {
+		return nil, err
+	}
+	var g *Graph
+	if ck != nil {
+		impl := newGraphAnyImpl(ck.cfg)
+		if err := restoreGraphShards(impl, ck); err != nil {
+			return nil, err
+		}
+		g = &Graph{g: impl, cfg: ck.cfg}
+	} else {
+		cfg, cerr := newConfig(kindGraph, opts)
+		if cerr != nil {
+			return nil, cerr
+		}
+		g = &Graph{g: newGraphAnyImpl(cfg), cfg: cfg}
+	}
+	st, err := wal.Replay(fsi, dir, man.WALStart, func(p []byte) error {
+		return applyGraphRecord(g, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := newDurable(fsi, dir, wopts, man, ck, st, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	dg = &DurableGraph{Graph: g, d: d}
+	d.cfg = func() config { return dg.cfg }
+	d.dumpAll = dg.dumpSections
+	d.gcLocked(man)
+	return dg, nil
+}
+
+// restoreGraphShards installs a recovered checkpoint into a fresh
+// graph implementation.
+func restoreGraphShards(impl graphImpl, ck *recoveredCkpt) error {
+	if sh, ok := impl.(*shardedGraph); ok {
+		return parallelShards(len(sh.shards), func(i int) (err error) {
+			defer guard(&err)
+			return sh.shards[i].g.RestoreSections(ck.spines[i], ck.secs[i])
+		})
+	}
+	si, ok := impl.(relSectImpl)
+	if !ok {
+		return fmt.Errorf("dyncoll: graph does not support checkpoints")
+	}
+	return si.RestoreSections(ck.spines[0], ck.secs[0])
+}
+
+// dumpSections captures every shard in sectioned form; see the
+// collection counterpart.
+func (g *DurableGraph) dumpSections(reuse func(shard, level int, gen uint64, dead int) bool) ([][]byte, [][]snap.Section, error) {
+	if sh, ok := g.g.(*shardedGraph); ok {
+		p := len(sh.shards)
+		for _, s := range sh.shards {
+			s.mu.RLock()
+		}
+		defer func() {
+			for _, s := range sh.shards {
+				s.mu.RUnlock()
+			}
+		}()
+		spines := make([][]byte, p)
+		secs := make([][]snap.Section, p)
+		if err := parallelShards(p, func(i int) error {
+			spines[i], secs[i] = sh.shards[i].g.DumpSections(func(level int, gen uint64, dead int) bool {
+				return reuse(i, level, gen, dead)
+			})
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		return spines, secs, nil
+	}
+	si, ok := g.g.(relSectImpl)
+	if !ok {
+		return nil, nil, fmt.Errorf("dyncoll: graph does not support checkpoints")
+	}
+	spine, ss := si.DumpSections(func(level int, gen uint64, dead int) bool {
+		return reuse(0, level, gen, dead)
+	})
+	return [][]byte{spine}, [][]snap.Section{ss}, nil
+}
+
+// AddEdge inserts the edge u→v durably. It fails with ErrDuplicateEdge
+// if the edge already exists.
+func (g *DurableGraph) AddEdge(u, v uint64) error {
+	g.d.mu.Lock()
+	if g.d.closed {
+		g.d.mu.Unlock()
+		return ErrClosed
+	}
+	if !g.g.AddEdge(u, v) {
+		g.d.mu.Unlock()
+		return fmt.Errorf("dyncoll: add edge %d→%d: %w", u, v, ErrDuplicateEdge)
+	}
+	return g.d.commitUnlock(encodePairOp(opGraphAdd, u, v))
+}
+
+// DeleteEdge removes the edge u→v durably. It fails with ErrNotFound
+// if the edge does not exist.
+func (g *DurableGraph) DeleteEdge(u, v uint64) error {
+	g.d.mu.Lock()
+	if g.d.closed {
+		g.d.mu.Unlock()
+		return ErrClosed
+	}
+	if !g.g.DeleteEdge(u, v) {
+		g.d.mu.Unlock()
+		return fmt.Errorf("dyncoll: delete edge %d→%d: %w", u, v, ErrNotFound)
+	}
+	return g.d.commitUnlock(encodePairOp(opGraphDelete, u, v))
+}
+
+// Checkpoint forces an incremental checkpoint; see
+// DurableCollection.Checkpoint.
+func (g *DurableGraph) Checkpoint() error { return g.d.checkpoint() }
+
+// RecoveryStats reports what the open that produced this graph did.
+func (g *DurableGraph) RecoveryStats() RecoveryStats { return g.d.rec }
+
+// Close flushes and closes the WAL; further mutations fail ErrClosed.
+func (g *DurableGraph) Close() error { return g.d.close() }

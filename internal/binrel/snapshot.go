@@ -37,17 +37,49 @@ func decodePairs(dec *snap.Decoder) []Pair {
 	return pairs
 }
 
-// EncodeSnapshot writes the relation's quiesced ladder into e.
-func (r *Relation) EncodeSnapshot(e *snap.Encoder) {
-	d := r.eng.Dump()
+// encodeSpine writes the ladder's schedule anchors and raw C0 pairs.
+func encodeSpine(e *snap.Encoder, d *engine.Dump[Pair, Pair]) {
 	e.Uvarint(uint64(d.NF))
 	e.Uvarint(uint64(d.Tau))
 	encodePairs(e, d.C0)
+}
+
+// encodeStore writes one static store's section: slot plus live pairs.
+func encodeStore(e *snap.Encoder, ds engine.StoreDump[Pair, Pair]) {
+	e.Varint(int64(ds.Level))
+	encodePairs(e, ds.Store.LiveItems())
+}
+
+// EncodeSnapshot writes the relation's quiesced ladder into e.
+func (r *Relation) EncodeSnapshot(e *snap.Encoder) {
+	d := r.eng.Dump()
+	encodeSpine(e, &d)
 	e.Uvarint(uint64(len(d.Stores)))
 	for _, ds := range d.Stores {
-		e.Varint(int64(ds.Level))
-		encodePairs(e, ds.Store.LiveItems())
+		encodeStore(e, ds)
 	}
+}
+
+// DumpSections captures the quiesced ladder as a spine (schedule
+// anchors + C0 pairs) plus one Section per static store, encoded
+// exactly as EncodeSnapshot would; see the collection counterpart in
+// internal/core for the reuse contract.
+func (r *Relation) DumpSections(reuse func(level int, gen uint64, dead int) bool) ([]byte, []snap.Section) {
+	d := r.eng.Dump()
+	var se snap.Encoder
+	encodeSpine(&se, &d)
+	secs := make([]snap.Section, 0, len(d.Stores))
+	for _, ds := range d.Stores {
+		dead := ds.Store.DeadWeight()
+		sec := snap.Section{Level: ds.Level, Gen: ds.Gen, Dead: dead}
+		if reuse == nil || !reuse(ds.Level, ds.Gen, dead) {
+			var e snap.Encoder
+			encodeStore(&e, ds)
+			sec.Bytes = e.Bytes()
+		}
+		secs = append(secs, sec)
+	}
+	return se.Bytes(), secs
 }
 
 // DecodeSnapshot reads a ladder section from dec and installs it into
@@ -57,29 +89,85 @@ func (r *Relation) EncodeSnapshot(e *snap.Encoder) {
 // on error.
 func (r *Relation) DecodeSnapshot(dec *snap.Decoder) error {
 	var d engine.Dump[Pair, Pair]
-	d.NF = dec.Int()
-	d.Tau = dec.Int()
-	d.C0 = decodePairs(dec)
+	if err := decodeSpine(dec, &d); err != nil {
+		return err
+	}
 	nStores := dec.Count(2)
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	tau := d.Tau // buildSemi clamps out-of-range values itself
 	for i := 0; i < nStores; i++ {
-		level := int(dec.Varint())
-		pairs := decodePairs(dec)
-		if err := dec.Err(); err != nil {
+		ds, err := decodeStore(dec, d.Tau)
+		if err != nil {
 			return err
 		}
-		if len(pairs) == 0 {
+		if ds.Store == nil {
 			// An empty store contributes nothing (and the compressed
 			// encoding requires a non-empty alphabet).
 			continue
 		}
-		d.Stores = append(d.Stores, engine.StoreDump[Pair, Pair]{
-			Level: level,
-			Store: buildSemi(pairs, tau),
-		})
+		d.Stores = append(d.Stores, ds)
+	}
+	return r.eng.Restore(d)
+}
+
+// decodeSpine reads the schedule anchors and C0 pairs.
+func decodeSpine(dec *snap.Decoder, d *engine.Dump[Pair, Pair]) error {
+	d.NF = dec.Int()
+	d.Tau = dec.Int()
+	d.C0 = decodePairs(dec)
+	return dec.Err()
+}
+
+// decodeStore reads one static store's section, rebuilding the
+// compressed level from its pairs. An empty pair list yields a zero
+// StoreDump (nil Store) the caller must skip. tau is the ladder's
+// lazy-deletion parameter (buildSemi clamps out-of-range values
+// itself).
+func decodeStore(dec *snap.Decoder, tau int) (engine.StoreDump[Pair, Pair], error) {
+	var zero engine.StoreDump[Pair, Pair]
+	level := int(dec.Varint())
+	pairs := decodePairs(dec)
+	if err := dec.Err(); err != nil {
+		return zero, err
+	}
+	if len(pairs) == 0 {
+		return zero, nil
+	}
+	return engine.StoreDump[Pair, Pair]{
+		Level: level,
+		Store: buildSemi(pairs, tau),
+	}, nil
+}
+
+// RestoreSections is DecodeSnapshot for the sectioned form: spine bytes
+// plus one Section per store, as produced by DumpSections (possibly
+// reassembled from checkpoint segment files). Each section's Gen is
+// installed into the engine so the next incremental checkpoint can
+// reuse the very segments this relation was loaded from.
+func (r *Relation) RestoreSections(spine []byte, secs []snap.Section) error {
+	dec := snap.NewDecoder(spine)
+	var d engine.Dump[Pair, Pair]
+	if err := decodeSpine(dec, &d); err != nil {
+		return err
+	}
+	if n := dec.Remaining(); n != 0 {
+		return snap.Corruptf("%d trailing spine bytes", n)
+	}
+	for _, s := range secs {
+		sdec := snap.NewDecoder(s.Bytes)
+		ds, err := decodeStore(sdec, d.Tau)
+		if err != nil {
+			return err
+		}
+		if n := sdec.Remaining(); n != 0 {
+			return snap.Corruptf("%d trailing section bytes at level %d", n, ds.Level)
+		}
+		if ds.Store == nil {
+			continue
+		}
+		ds.Gen = s.Gen
+		d.Stores = append(d.Stores, ds)
 	}
 	return r.eng.Restore(d)
 }

@@ -61,32 +61,69 @@ func decodeDocs(dec *snap.Decoder) []doc.Doc {
 	return docs
 }
 
+// encodeSpine writes the ladder's schedule anchors and raw C0 items —
+// everything except the static stores.
+func encodeSpine(e *snap.Encoder, d *engine.Dump[uint64, doc.Doc]) {
+	e.Uvarint(uint64(d.NF))
+	e.Uvarint(uint64(d.Tau))
+	encodeDocs(e, d.C0)
+}
+
+// encodeStore writes one static store's section: slot, mode byte, and
+// the mode's payload.
+func encodeStore(e *snap.Encoder, ds engine.StoreDump[uint64, doc.Doc], fastPath bool) {
+	e.Varint(int64(ds.Level))
+	sd, isSemi := ds.Store.(*SemiDynamic)
+	if fastPath && isSemi {
+		if bi, ok := sd.idx.(binaryIndex); ok {
+			blob, err := bi.AppendBinary(nil)
+			if err == nil {
+				e.Byte(snap.ModeBinary)
+				e.Blob(blob)
+				e.Uint64s(sd.deadIDs())
+				return
+			}
+		}
+	}
+	e.Byte(snap.ModeItems)
+	encodeDocs(e, ds.Store.LiveItems())
+}
+
 // EncodeSnapshot writes the collection's quiesced ladder into e.
 // fastPath enables the binary index encoding; pass false when the
 // loader will not have a decoder for the collection's index name.
 func (c *collection) EncodeSnapshot(e *snap.Encoder, fastPath bool) {
 	d := c.eng.Dump()
-	e.Uvarint(uint64(d.NF))
-	e.Uvarint(uint64(d.Tau))
-	encodeDocs(e, d.C0)
+	encodeSpine(e, &d)
 	e.Uvarint(uint64(len(d.Stores)))
 	for _, ds := range d.Stores {
-		e.Varint(int64(ds.Level))
-		sd, isSemi := ds.Store.(*SemiDynamic)
-		if fastPath && isSemi {
-			if bi, ok := sd.idx.(binaryIndex); ok {
-				blob, err := bi.AppendBinary(nil)
-				if err == nil {
-					e.Byte(snap.ModeBinary)
-					e.Blob(blob)
-					e.Uint64s(sd.deadIDs())
-					continue
-				}
-			}
-		}
-		e.Byte(snap.ModeItems)
-		encodeDocs(e, ds.Store.LiveItems())
+		encodeStore(e, ds, fastPath)
 	}
+}
+
+// DumpSections captures the quiesced ladder as a spine (schedule
+// anchors + C0) plus one Section per static store, encoded exactly as
+// EncodeSnapshot would. reuse, when non-nil, is asked per store
+// whether the checkpoint writer already holds an identical persisted
+// section (same build generation, same dead weight); a reused store's
+// Section carries nil Bytes and is never serialized — the incremental
+// part of incremental checkpoints.
+func (c *collection) DumpSections(fastPath bool, reuse func(level int, gen uint64, dead int) bool) ([]byte, []snap.Section) {
+	d := c.eng.Dump()
+	var se snap.Encoder
+	encodeSpine(&se, &d)
+	secs := make([]snap.Section, 0, len(d.Stores))
+	for _, ds := range d.Stores {
+		dead := ds.Store.DeadWeight()
+		sec := snap.Section{Level: ds.Level, Gen: ds.Gen, Dead: dead}
+		if reuse == nil || !reuse(ds.Level, ds.Gen, dead) {
+			var e snap.Encoder
+			encodeStore(&e, ds, fastPath)
+			sec.Bytes = e.Bytes()
+		}
+		secs = append(secs, sec)
+	}
+	return se.Bytes(), secs
 }
 
 // deadIDs lists the documents the wrapped index contains but that have
@@ -112,62 +149,111 @@ func (s *SemiDynamic) deadIDs() []uint64 {
 // discarded on error.
 func (c *collection) DecodeSnapshot(dec *snap.Decoder, decode IndexDecoder) error {
 	var d engine.Dump[uint64, doc.Doc]
-	d.NF = dec.Int()
-	d.Tau = dec.Int()
-	d.C0 = decodeDocs(dec)
+	if err := decodeSpine(dec, &d); err != nil {
+		return err
+	}
 	nStores := dec.Count(2)
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	tau := d.Tau // NewSemiDynamic clamps out-of-range values itself
 	for i := 0; i < nStores; i++ {
-		level := int(dec.Varint())
-		mode := dec.Byte()
-		if err := dec.Err(); err != nil {
+		ds, err := c.decodeStore(dec, d.Tau, decode)
+		if err != nil {
 			return err
 		}
-		var st engine.Store[uint64, doc.Doc]
-		switch mode {
-		case snap.ModeItems:
-			docs := decodeDocs(dec)
-			if err := dec.Err(); err != nil {
-				return err
-			}
-			sd := NewSemiDynamic(c.opts.Builder(docs), tau, c.opts.Counting)
-			// A repeated doc ID collapses in the wrapper's byID map, so
-			// the engine's ownership check would never see the second
-			// copy — queries would double-report it instead.
-			if len(sd.byID) != len(docs) {
-				return snap.Corruptf("level %d repeats document IDs", level)
-			}
-			st = sd
-		case snap.ModeBinary:
-			blob := dec.Blob()
-			dead := dec.Uint64s()
-			if err := dec.Err(); err != nil {
-				return err
-			}
-			if decode == nil {
-				return snap.Corruptf("binary level %d but index has no registered decoder", level)
-			}
-			idx, err := decode(blob)
-			if err != nil {
-				return snap.Corruptf("level %d index: %v", level, err)
-			}
-			sd := NewSemiDynamic(idx, tau, c.opts.Counting)
-			if len(sd.byID) != idx.DocCount() {
-				return snap.Corruptf("level %d index repeats document IDs", level)
-			}
-			for _, id := range dead {
-				if _, ok := sd.Delete(id); !ok {
-					return snap.Corruptf("level %d deletes unknown document %d", level, id)
-				}
-			}
-			st = sd
-		default:
-			return snap.Corruptf("unknown store mode %d", mode)
+		d.Stores = append(d.Stores, ds)
+	}
+	return c.eng.Restore(d)
+}
+
+// decodeSpine reads the schedule anchors and C0 items.
+func decodeSpine(dec *snap.Decoder, d *engine.Dump[uint64, doc.Doc]) error {
+	d.NF = dec.Int()
+	d.Tau = dec.Int()
+	d.C0 = decodeDocs(dec)
+	return dec.Err()
+}
+
+// decodeStore reads one static store's section (slot, mode, payload)
+// and reconstructs the store. tau is the ladder's lazy-deletion
+// parameter (NewSemiDynamic clamps out-of-range values itself).
+func (c *collection) decodeStore(dec *snap.Decoder, tau int, decode IndexDecoder) (engine.StoreDump[uint64, doc.Doc], error) {
+	var zero engine.StoreDump[uint64, doc.Doc]
+	level := int(dec.Varint())
+	mode := dec.Byte()
+	if err := dec.Err(); err != nil {
+		return zero, err
+	}
+	var st engine.Store[uint64, doc.Doc]
+	switch mode {
+	case snap.ModeItems:
+		docs := decodeDocs(dec)
+		if err := dec.Err(); err != nil {
+			return zero, err
 		}
-		d.Stores = append(d.Stores, engine.StoreDump[uint64, doc.Doc]{Level: level, Store: st})
+		sd := NewSemiDynamic(c.opts.Builder(docs), tau, c.opts.Counting)
+		// A repeated doc ID collapses in the wrapper's byID map, so
+		// the engine's ownership check would never see the second
+		// copy — queries would double-report it instead.
+		if len(sd.byID) != len(docs) {
+			return zero, snap.Corruptf("level %d repeats document IDs", level)
+		}
+		st = sd
+	case snap.ModeBinary:
+		blob := dec.Blob()
+		dead := dec.Uint64s()
+		if err := dec.Err(); err != nil {
+			return zero, err
+		}
+		if decode == nil {
+			return zero, snap.Corruptf("binary level %d but index has no registered decoder", level)
+		}
+		idx, err := decode(blob)
+		if err != nil {
+			return zero, snap.Corruptf("level %d index: %v", level, err)
+		}
+		sd := NewSemiDynamic(idx, tau, c.opts.Counting)
+		if len(sd.byID) != idx.DocCount() {
+			return zero, snap.Corruptf("level %d index repeats document IDs", level)
+		}
+		for _, id := range dead {
+			if _, ok := sd.Delete(id); !ok {
+				return zero, snap.Corruptf("level %d deletes unknown document %d", level, id)
+			}
+		}
+		st = sd
+	default:
+		return zero, snap.Corruptf("unknown store mode %d", mode)
+	}
+	return engine.StoreDump[uint64, doc.Doc]{Level: level, Store: st}, nil
+}
+
+// RestoreSections is DecodeSnapshot for the sectioned form: spine bytes
+// plus one Section per store, as produced by DumpSections (possibly
+// reassembled from checkpoint segment files). Each section's Gen is
+// installed into the engine so the next incremental checkpoint can
+// reuse the very segments this collection was loaded from. The error
+// contract matches DecodeSnapshot.
+func (c *collection) RestoreSections(spine []byte, secs []snap.Section, decode IndexDecoder) error {
+	dec := snap.NewDecoder(spine)
+	var d engine.Dump[uint64, doc.Doc]
+	if err := decodeSpine(dec, &d); err != nil {
+		return err
+	}
+	if n := dec.Remaining(); n != 0 {
+		return snap.Corruptf("%d trailing spine bytes", n)
+	}
+	for _, s := range secs {
+		sdec := snap.NewDecoder(s.Bytes)
+		ds, err := c.decodeStore(sdec, d.Tau, decode)
+		if err != nil {
+			return err
+		}
+		if n := sdec.Remaining(); n != 0 {
+			return snap.Corruptf("%d trailing section bytes at level %d", n, ds.Level)
+		}
+		ds.Gen = s.Gen
+		d.Stores = append(d.Stores, ds)
 	}
 	return c.eng.Restore(d)
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Amortized is Transformation 1 (and, with Config.Ratio2, Transformation
@@ -35,6 +36,14 @@ type Amortized[K comparable, I any] struct {
 
 	nf  int // live weight at the last global rebuild
 	tau int // τ in effect since the last global rebuild
+
+	// gens/genc track per-store build generations for incremental
+	// checkpoints; maintained only by Dump/Restore (see snapshot.go).
+	// genMu guards them: Dump is otherwise read-only here, and sharded
+	// facades allow concurrent Dumps under shard read locks.
+	genMu sync.Mutex
+	gens  map[Store[K, I]]uint64
+	genc  uint64
 
 	rebuilds       int // level rebuilds
 	globalRebuilds int

@@ -16,11 +16,62 @@ type StoreDump[K comparable, I any] struct {
 	// Level is the ladder slot (j ≥ 1) the store occupies, or TopLevel
 	// for a top collection of the worst-case engine.
 	Level int
+	// Gen is the store's build generation: a per-ladder monotonic
+	// counter assigned when the store is first observed by Dump and kept
+	// for as long as the store object lives. A store's static content is
+	// immutable after its build (only the lazy-deletion state mutates),
+	// so an unchanged Gen across two dumps means the underlying
+	// structure was not rebuilt in between — the property incremental
+	// checkpoints key on. Gen 0 means "unassigned" (dumps produced
+	// before generation tracking).
+	Gen   uint64
 	Store Store[K, I]
 }
 
 // TopLevel is the StoreDump.Level value of worst-case top collections.
 const TopLevel = -1
+
+// assignGens stamps every dumped store with its build generation,
+// allocating fresh generations for stores seen for the first time, and
+// returns the pruned identity→generation map (retired stores drop out,
+// so the map never outgrows the live ladder). Store identity is pointer
+// identity: a rebuild produces a new store object and therefore a new
+// generation, while lazy deletions mutate a store in place and keep it.
+func assignGens[K comparable, I any](gens map[Store[K, I]]uint64, genc *uint64, d *Dump[K, I]) map[Store[K, I]]uint64 {
+	next := make(map[Store[K, I]]uint64, len(d.Stores))
+	for i := range d.Stores {
+		st := d.Stores[i].Store
+		g, ok := gens[st]
+		if !ok {
+			*genc++
+			g = *genc
+		}
+		next[st] = g
+		d.Stores[i].Gen = g
+	}
+	return next
+}
+
+// seedGens installs a restored dump's generations so a ladder loaded
+// from a checkpoint keeps reporting the same generations — which is
+// what lets the next incremental checkpoint reuse the segments it was
+// itself loaded from. Stores restored without a generation are stamped
+// fresh at the next Dump.
+func seedGens[K comparable, I any](gens map[Store[K, I]]uint64, genc *uint64, d Dump[K, I]) map[Store[K, I]]uint64 {
+	if gens == nil {
+		gens = make(map[Store[K, I]]uint64, len(d.Stores))
+	}
+	for _, ds := range d.Stores {
+		if ds.Gen == 0 {
+			continue
+		}
+		gens[ds.Store] = ds.Gen
+		if ds.Gen > *genc {
+			*genc = ds.Gen
+		}
+	}
+	return gens
+}
 
 // Dump is the structural snapshot of a quiesced ladder.
 type Dump[K comparable, I any] struct {
@@ -44,6 +95,9 @@ func (a *Amortized[K, I]) Dump() Dump[K, I] {
 			d.Stores = append(d.Stores, StoreDump[K, I]{Level: j, Store: a.levels[j]})
 		}
 	}
+	a.genMu.Lock()
+	a.gens = assignGens(a.gens, &a.genc, &d)
+	a.genMu.Unlock()
 	return d
 }
 
@@ -99,6 +153,9 @@ func (a *Amortized[K, I]) Restore(d Dump[K, I]) error {
 			return snap.Corruptf("replaying %d displaced items: %v", len(leftover), err)
 		}
 	}
+	a.genMu.Lock()
+	a.gens = seedGens(a.gens, &a.genc, d)
+	a.genMu.Unlock()
 	return nil
 }
 
@@ -124,6 +181,7 @@ func (w *WorstCase[K, I]) Dump() Dump[K, I] {
 	for _, tp := range w.tops {
 		d.Stores = append(d.Stores, StoreDump[K, I]{Level: TopLevel, Store: tp})
 	}
+	w.gens = assignGens(w.gens, &w.genc, &d)
 	return d
 }
 
@@ -166,5 +224,6 @@ func (w *WorstCase[K, I]) Restore(d Dump[K, I]) error {
 	if len(w.tops) > w.stats.MaxTops {
 		w.stats.MaxTops = len(w.tops)
 	}
+	w.gens = seedGens(w.gens, &w.genc, d)
 	return nil
 }

@@ -70,6 +70,11 @@ type WorstCase[K comparable, I any] struct {
 
 	nf, tau int
 
+	// gens/genc track per-store build generations for incremental
+	// checkpoints; maintained only by Dump/Restore (see snapshot.go).
+	gens map[Store[K, I]]uint64
+	genc uint64
+
 	deletedSinceSweep int
 
 	stats Stats

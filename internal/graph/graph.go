@@ -98,6 +98,18 @@ func (g *Graph) EncodeSnapshot(e *snap.Encoder) { g.rel.EncodeSnapshot(e) }
 // graph; corrupt input fails with snap.ErrBadSnapshot, never a panic.
 func (g *Graph) DecodeSnapshot(dec *snap.Decoder) error { return g.rel.DecodeSnapshot(dec) }
 
+// DumpSections captures the quiesced ladder in the sectioned form used
+// by incremental checkpoints; see binrel.Relation.DumpSections.
+func (g *Graph) DumpSections(reuse func(level int, gen uint64, dead int) bool) ([]byte, []snap.Section) {
+	return g.rel.DumpSections(reuse)
+}
+
+// RestoreSections installs a sectioned dump into the empty graph; see
+// binrel.Relation.RestoreSections.
+func (g *Graph) RestoreSections(spine []byte, secs []snap.Section) error {
+	return g.rel.RestoreSections(spine, secs)
+}
+
 // Stats returns the underlying engine's rebuild counters and ladder
 // layout.
 func (g *Graph) Stats() binrel.Stats { return g.rel.Stats() }

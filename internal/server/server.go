@@ -184,17 +184,46 @@ func queryLimit(w http.ResponseWriter, r *http.Request) (int, bool) {
 	return n, true
 }
 
-// Backend serves one Collection over HTTP. The collection must be
+// Coll is the collection surface the backend serves: everything the
+// handlers touch, satisfied by both the plain sharded Collection (via
+// the PlainColl adapter) and the WAL-backed DurableCollection — the
+// durable variant's DeleteBatch can fail, so the interface carries the
+// error and the adapter supplies a nil one.
+type Coll interface {
+	InsertBatch(docs []dyncoll.Document) error
+	DeleteBatch(ids []uint64) (int, error)
+	FindFunc(pattern []byte, fn func(dyncoll.Occurrence) bool)
+	Count(pattern []byte) int
+	Extract(id uint64, off, length int) ([]byte, bool)
+	Has(id uint64) bool
+	DocCount() int
+	Len() int
+	SizeBits() int64
+	Stats() dyncoll.IndexStats
+	ShardSizes() []int
+	WaitIdle()
+}
+
+// PlainColl adapts *dyncoll.Collection to Coll (its DeleteBatch cannot
+// fail, so the adapter adds the nil error).
+type PlainColl struct{ *dyncoll.Collection }
+
+// DeleteBatch removes the listed documents; the error is always nil.
+func (p PlainColl) DeleteBatch(ids []uint64) (int, error) {
+	return p.Collection.DeleteBatch(ids), nil
+}
+
+// Backend serves one collection over HTTP. The collection must be
 // sharded (WithShards ≥ 1, the concurrency-safe floor): the HTTP server
 // runs handlers concurrently and an unsharded collection is not safe
 // for concurrent use.
 type Backend struct {
-	coll *dyncoll.Collection
+	coll Coll
 	met  *Metrics
 }
 
 // NewBackend wraps a (sharded) collection in the serving layer.
-func NewBackend(c *dyncoll.Collection) *Backend {
+func NewBackend(c Coll) *Backend {
 	return &Backend{
 		coll: c,
 		met:  NewMetrics("insert", "delete", "find", "count", "extract"),
@@ -202,7 +231,7 @@ func NewBackend(c *dyncoll.Collection) *Backend {
 }
 
 // Collection returns the served collection (the drain path saves it).
-func (b *Backend) Collection() *dyncoll.Collection { return b.coll }
+func (b *Backend) Collection() Coll { return b.coll }
 
 // Metrics returns the backend's request metrics.
 func (b *Backend) Metrics() *Metrics { return b.met }
@@ -252,7 +281,15 @@ func (b *Backend) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: b.coll.DeleteBatch(req.IDs)})
+	n, err := b.coll.DeleteBatch(req.IDs)
+	if err != nil {
+		// Durable backends refuse the op when the WAL cannot make it
+		// safe; the in-memory deletion may have happened, but it will be
+		// re-lost on restart, so the client must not treat it as done.
+		writeCollErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: n})
 }
 
 // handleFind streams matches as NDJSON backed by the collection's lazy

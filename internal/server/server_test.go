@@ -25,7 +25,7 @@ func newTestBackend(t *testing.T) (*Backend, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewBackend(c)
+	b := NewBackend(PlainColl{c})
 	ts := httptest.NewServer(b.Handler())
 	t.Cleanup(ts.Close)
 	return b, ts

@@ -48,6 +48,23 @@ const (
 	ModeBinary byte = 1
 )
 
+// Section is one static store's encoded section — the exact bytes the
+// full-snapshot encoding would emit for that store — plus the identity
+// metadata incremental checkpoints key on. A store's static content is
+// immutable after its build and its dead weight only grows, so a
+// section with the same (Gen, Dead) as a previously persisted one is
+// byte-identical and the old segment file can be reused verbatim.
+type Section struct {
+	// Level is the ladder slot (engine.TopLevel for top collections).
+	Level int
+	// Gen is the store's build generation (see engine.StoreDump.Gen).
+	Gen uint64
+	// Dead is the store's dead weight when the section was encoded.
+	Dead int
+	// Bytes is the encoded store section.
+	Bytes []byte
+}
+
 // ErrBadSnapshot reports snapshot bytes that are not a well-formed
 // snapshot of the expected kind and version: wrong magic, unknown
 // version, truncation, or any internal inconsistency. Match with

@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"errors"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// The filesystem seam. Every byte the durability layer persists goes
+// through this interface, for two reasons: tests can fault-inject
+// fsync (block it, fail it) to prove commit-before-ack ordering, and
+// the replay fuzzer can corrupt files in memory at full speed instead
+// of hitting disk thousands of times per second.
+
+// File is the writable-file subset the WAL needs.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the durability layer.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens a file for writing with os.OpenFile semantics for
+	// the O_CREATE, O_APPEND, O_TRUNC and O_EXCL flags.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory so renamed/created entries inside it
+	// are durable; filesystems that cannot sync a directory handle
+	// degrade to a no-op rather than failing.
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, syscall.EBADF) {
+		return err
+	}
+	return nil
+}
+
+// MemFS is an in-memory FS for tests: a flat map of paths to byte
+// slices with directories existing implicitly. The OnSync hook runs
+// inside every File.Sync call (while no MemFS lock is held), so a test
+// can block or fail the fsync of a chosen file and observe what the
+// WAL acknowledges in the meantime.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	// OnSync, when non-nil, is called with the file's path on every
+	// Sync; returning an error fails the sync.
+	OnSync func(name string) error
+}
+
+type memFile struct {
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+// Snapshot returns a copy of every file's current bytes — "what would
+// be on disk now" for crash-simulation tests.
+func (m *MemFS) Snapshot() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.files))
+	for p, f := range m.files {
+		out[p] = append([]byte(nil), f.data...)
+	}
+	return out
+}
+
+// Restore replaces the filesystem's contents with a Snapshot.
+func (m *MemFS) Restore(files map[string][]byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files = make(map[string]*memFile, len(files))
+	for p, b := range files {
+		m.files[p] = &memFile{data: append([]byte(nil), b...)}
+	}
+}
+
+// SetFile overwrites (or creates) a file's bytes directly — the
+// fuzzer's corruption primitive.
+func (m *MemFS) SetFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{data: append([]byte(nil), data...)}
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	case ok && flag&os.O_EXCL != 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrExist}
+	case !ok:
+		f = &memFile{}
+		m.files[name] = f
+	case flag&os.O_TRUNC != 0:
+		f.data = nil
+	}
+	return &memHandle{fs: m, name: name, f: f, append: flag&os.O_APPEND != 0}, nil
+}
+
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	f      *memFile
+	append bool
+	off    int
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.append {
+		h.f.data = append(h.f.data, p...)
+		return len(p), nil
+	}
+	for len(h.f.data) < h.off {
+		h.f.data = append(h.f.data, 0)
+	}
+	h.f.data = append(h.f.data[:h.off], p...)
+	h.off += len(p)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	if hook := h.fs.OnSync; hook != nil {
+		if err := hook(h.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	m.files[newpath] = f
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) ReadDir(name string) ([]os.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []os.DirEntry
+	for p := range m.files {
+		if filepath.Dir(p) == filepath.Clean(name) {
+			out = append(out, memDirEntry{filepath.Base(p)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error { return nil }
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrInvalid}
+	}
+	f.data = f.data[:size]
+	return nil
+}
+
+func (m *MemFS) SyncDir(name string) error { return nil }
+
+type memDirEntry struct{ name string }
+
+func (e memDirEntry) Name() string                 { return e.name }
+func (e memDirEntry) IsDir() bool                  { return false }
+func (e memDirEntry) Type() iofs.FileMode          { return 0 }
+func (e memDirEntry) Info() (iofs.FileInfo, error) { return memFileInfo{e.name}, nil }
+
+type memFileInfo struct{ name string }
+
+func (i memFileInfo) Name() string        { return i.name }
+func (i memFileInfo) Size() int64         { return 0 }
+func (i memFileInfo) Mode() iofs.FileMode { return 0o644 }
+func (i memFileInfo) ModTime() time.Time  { return time.Time{} }
+func (i memFileInfo) IsDir() bool         { return false }
+func (i memFileInfo) Sys() any            { return nil }

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"dyncoll/internal/snap"
+)
+
+// The manifest is the single source of truth for "what is the current
+// recovery point": which checkpoint file (if any) to load and which
+// WAL file to start replaying from. It is written with the atomic
+// tmp+rename+dir-fsync dance, so recovery always sees either the old
+// manifest or the complete new one — the instant of the rename is the
+// instant a checkpoint becomes the recovery point, and until then the
+// old checkpoint and full WAL history are still on disk.
+
+// ManifestName is the manifest's file name inside a durable directory.
+const ManifestName = "MANIFEST"
+
+// manifestMagic guards against feeding some other file to the decoder.
+var manifestMagic = [4]byte{'d', 'w', 'm', 'f'}
+
+const manifestVersion = 1
+
+// Manifest names one recovery point.
+type Manifest struct {
+	// WALStart is the sequence number of the first WAL file to replay.
+	WALStart uint64
+	// Checkpoint is the checkpoint spine file's name within the same
+	// directory; empty means no checkpoint (replay the WAL from the
+	// beginning into an empty structure).
+	Checkpoint string
+	// CheckpointCRC is the CRC32C of the checkpoint spine file, so a
+	// manifest can never pair with a mismatched or corrupted spine.
+	CheckpointCRC uint32
+	// Segments names every checkpoint segment file referenced by the
+	// spine, so recovery and garbage collection know the full file set
+	// without parsing the spine first.
+	Segments []string
+}
+
+// encode serializes the manifest with a trailing CRC over everything
+// before it.
+func (m Manifest) encode() []byte {
+	e := &snap.Encoder{}
+	e.Raw(manifestMagic[:])
+	e.Byte(manifestVersion)
+	e.Uvarint(m.WALStart)
+	e.String(m.Checkpoint)
+	e.Uvarint(uint64(m.CheckpointCRC))
+	e.Uvarint(uint64(len(m.Segments)))
+	for _, s := range m.Segments {
+		e.String(s)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(e.Bytes(), castagnoli))
+	e.Raw(sum[:])
+	return e.Bytes()
+}
+
+// decodeManifest parses and validates manifest bytes.
+func decodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) < 4 {
+		return m, snap.Corruptf("manifest truncated")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return m, snap.Corruptf("manifest checksum mismatch")
+	}
+	dec := snap.NewDecoder(body)
+	magic := dec.Raw(4)
+	if err := dec.Err(); err != nil {
+		return m, err
+	}
+	if string(magic) != string(manifestMagic[:]) {
+		return m, snap.Corruptf("manifest magic %q", magic)
+	}
+	if v := dec.Byte(); v != manifestVersion {
+		return m, snap.Corruptf("unsupported manifest version %d", v)
+	}
+	m.WALStart = dec.Uvarint()
+	m.Checkpoint = dec.String()
+	crcv := dec.Uvarint()
+	if crcv > 0xffffffff {
+		return m, snap.Corruptf("manifest checkpoint CRC overflows uint32")
+	}
+	m.CheckpointCRC = uint32(crcv)
+	n := dec.Count(1)
+	if err := dec.Err(); err != nil {
+		return m, err
+	}
+	for i := 0; i < n; i++ {
+		m.Segments = append(m.Segments, dec.String())
+	}
+	if err := dec.Err(); err != nil {
+		return m, err
+	}
+	if dec.Remaining() != 0 {
+		return m, snap.Corruptf("%d trailing manifest bytes", dec.Remaining())
+	}
+	return m, nil
+}
+
+// WriteManifest atomically replaces dir's manifest.
+func WriteManifest(fs FS, dir string, m Manifest) error {
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(m.encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// ReadManifest loads dir's manifest. ok=false (with nil error) means
+// no manifest exists — a fresh directory.
+func ReadManifest(fs FS, dir string) (m Manifest, ok bool, err error) {
+	data, err := fs.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Manifest{}, false, nil
+		}
+		return Manifest{}, false, err
+	}
+	m, err = decodeManifest(data)
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	return m, true, nil
+}

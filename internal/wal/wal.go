@@ -1,0 +1,500 @@
+// Package wal is a write-ahead log with group commit, plus the
+// manifest that ties a checkpoint and the WAL tail into one recovery
+// point.
+//
+// The log is a sequence of files wal-<seq> holding length-prefixed,
+// CRC-protected records:
+//
+//	uint32 LE payload length | uint32 LE CRC32C(payload) | payload
+//
+// Appends go to the newest file; a checkpoint rotates to a fresh file
+// so the manifest can name "replay from file seq S" and everything
+// older becomes garbage. Commit acknowledges a record only once an
+// fsync covering it has returned — with a configurable batching window
+// so concurrent writers share fsyncs (group commit). Replay reads the
+// files back in sequence order, stopping at the first invalid frame:
+// in the newest file that is the torn tail of a crash mid-write and is
+// truncated away; in an older file it is corruption (bytes after the
+// break survive in later files, so the result would not be a prefix)
+// and replay fails with a typed error.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dyncoll/internal/snap"
+)
+
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	frameHeader = 8 // length + CRC
+	// MaxRecord bounds a single record's payload so a corrupt length
+	// prefix cannot drive a multi-gigabyte allocation during replay.
+	MaxRecord = 1 << 30
+)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// filePrefix is the WAL file name prefix; files are wal-<16-digit seq>.
+const filePrefix = "wal-"
+
+// fileName formats the WAL file name for a sequence number.
+func fileName(seq uint64) string { return fmt.Sprintf("%s%016d", filePrefix, seq) }
+
+// parseSeq extracts the sequence number from a WAL file name.
+func parseSeq(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, filePrefix)
+	if !ok || len(s) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listFiles returns the WAL file sequence numbers in dir, ascending.
+func listFiles(fs FS, dir string) ([]uint64, error) {
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// AppendFrame appends one framed record to buf and returns the
+// extended slice. Exposed so tests and the fuzzer can build WAL bytes
+// without a Log.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// readFrame parses the frame at data[off:]. ok=false means no valid
+// frame starts there (truncation or corruption — indistinguishable
+// from the reader's side).
+func readFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+frameHeader > len(data) {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n > MaxRecord || off+frameHeader+n > len(data) {
+		return nil, 0, false
+	}
+	p := data[off+frameHeader : off+frameHeader+n]
+	if crc32.Checksum(p, castagnoli) != sum {
+		return nil, 0, false
+	}
+	return p, off + frameHeader + n, true
+}
+
+// Options configures a Log.
+type Options struct {
+	// SyncWindow is the group-commit batching window: a commit may be
+	// delayed up to this long so concurrent writers share one fsync.
+	// Zero syncs as soon as the syncer gets the request — still batching
+	// whatever accumulated while the previous fsync was in flight.
+	SyncWindow time.Duration
+	// FS is the filesystem seam; nil means the real filesystem.
+	FS FS
+}
+
+// Log is an append-only write-ahead log. Append and Commit are safe
+// for concurrent use.
+type Log struct {
+	fs     FS
+	dir    string
+	window time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast when synced or syncErr advances
+	f      File
+	seq    uint64 // sequence number of the current file
+	lsn    uint64 // LSN of the last appended record
+	synced uint64 // highest LSN covered by a completed fsync
+	size   int64  // bytes written to the current file
+	err    error  // latched write/sync failure; log is dead once set
+	closed bool
+	dirty  bool // records appended since the last sync request
+	inSync bool // syncer is inside fsync (rotation must wait)
+
+	kick chan struct{}
+	quit chan struct{}
+	idle sync.WaitGroup
+}
+
+// Open opens the log in dir for appending, continuing the newest
+// existing WAL file or creating wal-<startSeq> if none exist. Replay
+// must have run first (it truncates any torn tail). startSeq is the
+// manifest's WAL start — used only when the directory has no WAL files
+// yet.
+func Open(dir string, startSeq uint64, opts Options) (*Log, error) {
+	fsi := opts.FS
+	if fsi == nil {
+		fsi = OS
+	}
+	if err := fsi.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	seqs, err := listFiles(fsi, dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := startSeq
+	var size int64
+	if len(seqs) > 0 {
+		seq = seqs[len(seqs)-1]
+		data, err := fsi.ReadFile(filepath.Join(dir, fileName(seq)))
+		if err != nil {
+			return nil, err
+		}
+		size = int64(len(data))
+	}
+	f, err := fsi.OpenFile(filepath.Join(dir, fileName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		// Make the file itself durable before anything is logged to it,
+		// so a crash cannot lose the directory entry of a file whose
+		// records were acknowledged.
+		if err := fsi.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	l := &Log{
+		fs:     fsi,
+		dir:    dir,
+		window: opts.SyncWindow,
+		f:      f,
+		seq:    seq,
+		size:   size,
+		kick:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.idle.Add(1)
+	go l.syncer()
+	return l, nil
+}
+
+// Append writes one record and returns its LSN. The record is NOT
+// durable until Commit(lsn) returns; callers that need ordering
+// against other writers must serialize Append with their own state
+// change (the durable facades hold their mutation lock across both).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	frame := AppendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial frame may be on disk; the log is unusable (replay
+		// will stop at the torn frame, dropping anything after it).
+		l.err = fmt.Errorf("wal: append: %w", err)
+		l.cond.Broadcast()
+		return 0, l.err
+	}
+	l.size += int64(len(frame))
+	l.lsn++
+	l.dirty = true
+	return l.lsn, nil
+}
+
+// Commit blocks until every record up to and including lsn is durable
+// (an fsync covering it has completed) and returns nil, or returns the
+// log's latched failure. Only after Commit returns may the operation
+// be acknowledged to a client.
+func (l *Log) Commit(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.synced < lsn {
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		l.requestSync()
+		l.cond.Wait()
+	}
+	return nil
+}
+
+// requestSync nudges the syncer; callers hold l.mu.
+func (l *Log) requestSync() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// syncer is the group-commit loop: wait for a request, optionally
+// sleep the batching window so concurrent commits pile up, then fsync
+// once for everything appended so far.
+func (l *Log) syncer() {
+	defer l.idle.Done()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-l.kick:
+		}
+		if l.window > 0 {
+			t := time.NewTimer(l.window)
+			select {
+			case <-l.quit:
+				t.Stop()
+				// Drain one last time so Close can flush.
+			case <-t.C:
+			}
+		}
+		l.syncPass()
+		select {
+		case <-l.quit:
+			return
+		default:
+		}
+	}
+}
+
+// syncPass fsyncs the current file and advances the durable horizon to
+// the highest LSN that had been appended when the fsync started.
+func (l *Log) syncPass() {
+	l.mu.Lock()
+	if l.err != nil || l.closed || !l.dirty {
+		l.mu.Unlock()
+		return
+	}
+	// Snapshot the horizon and file under the lock; appends to the same
+	// file during the fsync are simply not covered by it. Rotate and
+	// Close wait for inSync, so f stays valid (and stays l.f) for the
+	// duration.
+	target := l.lsn
+	f := l.f
+	l.dirty = false
+	l.inSync = true
+	l.mu.Unlock()
+
+	err := f.Sync()
+
+	l.mu.Lock()
+	l.inSync = false
+	if err != nil {
+		if l.err == nil {
+			l.err = fmt.Errorf("wal: fsync: %w", err)
+		}
+	} else if target > l.synced {
+		l.synced = target
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Rotate syncs and closes the current WAL file and starts a fresh one
+// with the next sequence number, returning the new file's sequence.
+// Called by the checkpointer just before capturing state: everything
+// checkpointed is in files < the returned seq, so the manifest's
+// replay start can be exactly that seq. The caller must prevent
+// concurrent Appends (the durable facades hold their mutation lock).
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	for l.inSync {
+		l.cond.Wait() // don't close a file mid-fsync
+	}
+	// Make the old file's contents durable before abandoning it.
+	if l.dirty {
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: fsync: %w", err)
+			l.cond.Broadcast()
+			return 0, l.err
+		}
+		l.synced = l.lsn
+		l.dirty = false
+		l.cond.Broadcast()
+	}
+	newSeq := l.seq + 1
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, fileName(newSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return 0, err
+	}
+	l.f.Close()
+	l.f = f
+	l.seq = newSeq
+	l.size = 0
+	return newSeq, nil
+}
+
+// Seq returns the sequence number of the file currently appended to.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Size returns the byte size of the file currently appended to.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes pending records, stops the syncer and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for l.inSync {
+		l.cond.Wait()
+	}
+	var err error
+	if l.dirty && l.err == nil {
+		if err = l.f.Sync(); err == nil {
+			l.synced = l.lsn
+			l.dirty = false
+		}
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && l.err != nil {
+		err = l.err
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	close(l.quit)
+	l.idle.Wait()
+	return err
+}
+
+// ReplayStats describes what a replay consumed.
+type ReplayStats struct {
+	// Files is the number of WAL files read.
+	Files int
+	// Records is the number of valid records applied.
+	Records int
+	// Bytes is the total valid bytes consumed.
+	Bytes int64
+	// TornTail reports that the newest file ended in an invalid frame
+	// (the torn write of a crash) that was truncated away.
+	TornTail bool
+}
+
+// Replay reads every WAL file with sequence ≥ startSeq in ascending
+// order, calling apply for each valid record. An invalid frame in the
+// newest file is a torn tail: the file is truncated to its valid
+// prefix and replay succeeds. An invalid frame in an older file — or a
+// gap in the sequence numbers — would make the replayed history a
+// non-prefix and fails with an error matching snap.ErrBadSnapshot.
+// An apply error aborts the replay unchanged.
+func Replay(fs FS, dir string, startSeq uint64, apply func(payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	seqs, err := listFiles(fs, dir)
+	if err != nil {
+		return st, err
+	}
+	i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= startSeq })
+	seqs = seqs[i:]
+	if len(seqs) > 0 && seqs[0] != startSeq {
+		return st, snap.Corruptf("wal: first file is seq %d, manifest wants %d", seqs[0], startSeq)
+	}
+	for i, seq := range seqs {
+		if seq != seqs[0]+uint64(i) {
+			return st, snap.Corruptf("wal: file sequence gap before seq %d", seq)
+		}
+		path := filepath.Join(dir, fileName(seq))
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			return st, err
+		}
+		st.Files++
+		off := 0
+		for off < len(data) {
+			payload, next, ok := readFrame(data, off)
+			if !ok {
+				if i != len(seqs)-1 {
+					return st, snap.Corruptf("wal: invalid frame at byte %d of %s (not the newest file)", off, fileName(seq))
+				}
+				if err := fs.Truncate(path, int64(off)); err != nil {
+					return st, err
+				}
+				st.TornTail = true
+				return st, nil
+			}
+			if err := apply(payload); err != nil {
+				return st, err
+			}
+			st.Records++
+			st.Bytes += int64(next - off)
+			off = next
+		}
+	}
+	return st, nil
+}
+
+// RemoveBelow deletes WAL files with sequence < keepSeq — garbage once
+// a manifest naming keepSeq as its replay start is durable.
+func RemoveBelow(fs FS, dir string, keepSeq uint64) error {
+	seqs, err := listFiles(fs, dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if seq >= keepSeq {
+			break
+		}
+		if err := fs.Remove(filepath.Join(dir, fileName(seq))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,429 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dyncoll/internal/snap"
+)
+
+// collect replays the directory and returns the payloads as strings.
+func collect(t *testing.T, fs FS, dir string, start uint64) ([]string, ReplayStats) {
+	t.Helper()
+	var got []string
+	st, err := Replay(fs, dir, start, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, st
+}
+
+func TestAppendCommitReplay(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("d", 1, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := []string{"alpha", "beta", "gamma", ""}
+	for _, s := range want {
+		lsn, err := l.Append([]byte(s))
+		if err != nil {
+			t.Fatalf("Append(%q): %v", s, err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, st := collect(t, fs, "d", 1)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if st.Files != 1 || st.Records != len(want) || st.TornTail {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReopenContinuesNewestFile(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("d", 7, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open("d", 7, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l.Seq() != 7 {
+		t.Fatalf("Seq = %d, want 7", l.Seq())
+	}
+	lsn, err := l.Append([]byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, _ := collect(t, fs, "d", 7)
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("replayed %q", got)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	path := filepath.Join("d", fileName(1))
+	data := AppendFrame(nil, []byte("kept"))
+	data = AppendFrame(data, []byte("also kept"))
+	whole := len(data)
+	data = AppendFrame(data, []byte("torn away"))
+	fs.SetFile(path, data[:len(data)-3]) // crash mid-write of the last frame
+	got, st := collect(t, fs, "d", 1)
+	if len(got) != 2 || got[0] != "kept" || got[1] != "also kept" {
+		t.Fatalf("replayed %q", got)
+	}
+	if !st.TornTail {
+		t.Error("TornTail not reported")
+	}
+	if b, _ := fs.ReadFile(path); len(b) != whole {
+		t.Errorf("file truncated to %d bytes, want %d", len(b), whole)
+	}
+	// A second replay is clean: the torn bytes are gone.
+	if _, st := collect(t, fs, "d", 1); st.TornTail {
+		t.Error("TornTail reported after truncation")
+	}
+}
+
+func TestCorruptionInOlderFileFails(t *testing.T) {
+	fs := NewMemFS()
+	bad := AppendFrame(nil, []byte("ok"))
+	bad[len(bad)-1] ^= 0xff // flip a payload byte: CRC mismatch
+	fs.SetFile(filepath.Join("d", fileName(1)), bad)
+	fs.SetFile(filepath.Join("d", fileName(2)), AppendFrame(nil, []byte("later")))
+	_, err := Replay(fs, "d", 1, func([]byte) error { return nil })
+	if !errors.Is(err, snap.ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestSequenceGapFails(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetFile(filepath.Join("d", fileName(1)), AppendFrame(nil, []byte("a")))
+	fs.SetFile(filepath.Join("d", fileName(3)), AppendFrame(nil, []byte("b")))
+	_, err := Replay(fs, "d", 1, func([]byte) error { return nil })
+	if !errors.Is(err, snap.ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+	// Same when the manifest's start file itself is missing.
+	_, err = Replay(fs, "d", 2, func([]byte) error { return nil })
+	if !errors.Is(err, snap.ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestReplayApplyErrorAborts(t *testing.T) {
+	fs := NewMemFS()
+	data := AppendFrame(nil, []byte("a"))
+	data = AppendFrame(data, []byte("b"))
+	fs.SetFile(filepath.Join("d", fileName(1)), data)
+	boom := errors.New("boom")
+	n := 0
+	_, err := Replay(fs, "d", 1, func([]byte) error {
+		n++
+		return boom
+	})
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("err = %v after %d applies", err, n)
+	}
+}
+
+// TestCommitAcksOnlyAfterDurable is the core group-commit semantics
+// test: Commit must not return before an fsync covering the record has
+// completed, and a failed fsync must surface as the commit error.
+func TestCommitAcksOnlyAfterDurable(t *testing.T) {
+	fs := NewMemFS()
+	gate := make(chan struct{})
+	entered := make(chan string, 16)
+	fs.OnSync = func(name string) error {
+		entered <- name
+		<-gate
+		return nil
+	}
+	l, err := Open("d", 1, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	lsn, err := l.Append([]byte("must be durable first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Commit(lsn) }()
+	<-entered // the syncer is now blocked inside fsync
+	select {
+	case err := <-done:
+		t.Fatalf("Commit returned %v before fsync completed", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Commit after fsync: %v", err)
+	}
+	fs.OnSync = nil
+	l.Close()
+}
+
+func TestFsyncFailureFailsCommitAndLatches(t *testing.T) {
+	fs := NewMemFS()
+	boom := errors.New("disk gone")
+	fs.OnSync = func(string) error { return boom }
+	l, err := Open("d", 1, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	lsn, err := l.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); !errors.Is(err, boom) {
+		t.Fatalf("Commit = %v, want wrapped %v", err, boom)
+	}
+	// The log is dead: later appends fail with the latched error.
+	if _, err := l.Append([]byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("Append after failed fsync = %v, want wrapped %v", err, boom)
+	}
+	fs.OnSync = nil
+	l.Close()
+}
+
+// TestGroupCommitBatchesFsyncs proves the window actually shares
+// fsyncs: many concurrent committers, far fewer syncs.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	fs := NewMemFS()
+	var syncs atomic.Int64
+	fs.OnSync = func(string) error {
+		syncs.Add(1)
+		return nil
+	}
+	l, err := Open("d", 1, Options{FS: fs, SyncWindow: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append([]byte(fmt.Sprintf("record %d", i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = l.Commit(lsn)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	batched := syncs.Load()
+	fs.OnSync = nil
+	l.Close()
+	if batched >= writers {
+		t.Errorf("%d fsyncs for %d concurrent commits — no batching", batched, writers)
+	}
+	got, _ := collect(t, fs, "d", 1)
+	if len(got) != writers {
+		t.Fatalf("replayed %d records, want %d", len(got), writers)
+	}
+}
+
+func TestRotateAndRemoveBelow(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("d", 1, Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	lsn, _ := l.Append([]byte("old"))
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	newSeq, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if newSeq != 2 || l.Seq() != 2 || l.Size() != 0 {
+		t.Fatalf("after rotate: newSeq=%d Seq=%d Size=%d", newSeq, l.Seq(), l.Size())
+	}
+	lsn, _ = l.Append([]byte("new"))
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying from the rotation point sees only the tail.
+	got, _ := collect(t, fs, "d", newSeq)
+	if len(got) != 1 || got[0] != "new" {
+		t.Fatalf("tail replay = %q", got)
+	}
+	if err := RemoveBelow(fs, "d", newSeq); err != nil {
+		t.Fatalf("RemoveBelow: %v", err)
+	}
+	if _, err := fs.ReadFile(filepath.Join("d", fileName(1))); err == nil {
+		t.Error("rotated-away file still present after RemoveBelow")
+	}
+	l.Close()
+	got, _ = collect(t, fs, "d", newSeq)
+	if len(got) != 1 || got[0] != "new" {
+		t.Fatalf("replay after GC = %q", got)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("d", 1, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	want := Manifest{
+		WALStart:      42,
+		Checkpoint:    "ckpt-00000007",
+		CheckpointCRC: 0xdeadbeef,
+		Segments:      []string{"seg-00000007-0000-3", "seg-00000002-0001-9"},
+	}
+	if err := WriteManifest(fs, "d", want); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	got, ok, err := ReadManifest(fs, "d")
+	if err != nil || !ok {
+		t.Fatalf("ReadManifest: ok=%v err=%v", ok, err)
+	}
+	if got.WALStart != want.WALStart || got.Checkpoint != want.Checkpoint ||
+		got.CheckpointCRC != want.CheckpointCRC || len(got.Segments) != len(want.Segments) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want.Segments {
+		if got.Segments[i] != want.Segments[i] {
+			t.Errorf("segment %d = %q, want %q", i, got.Segments[i], want.Segments[i])
+		}
+	}
+	// No tmp file left behind.
+	if _, err := fs.ReadFile(filepath.Join("d", ManifestName+".tmp")); err == nil {
+		t.Error("manifest tmp file survived the rename")
+	}
+}
+
+func TestManifestAbsentAndCorrupt(t *testing.T) {
+	fs := NewMemFS()
+	if _, ok, err := ReadManifest(fs, "d"); ok || err != nil {
+		t.Fatalf("fresh dir: ok=%v err=%v", ok, err)
+	}
+	if err := WriteManifest(fs, "d", Manifest{WALStart: 1}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("d", ManifestName)
+	data, _ := fs.ReadFile(path)
+	for flip := 0; flip < len(data); flip += 3 {
+		bad := append([]byte(nil), data...)
+		bad[flip] ^= 0x40
+		fs.SetFile(path, bad)
+		if _, ok, err := ReadManifest(fs, "d"); err == nil && ok {
+			// A flip in the CRC'd region must be caught.
+			t.Fatalf("byte flip at %d accepted", flip)
+		} else if err != nil && !errors.Is(err, snap.ErrBadSnapshot) {
+			t.Fatalf("byte flip at %d: untyped error %v", flip, err)
+		}
+	}
+	// Truncations must be caught too.
+	for cut := 0; cut < len(data); cut += 5 {
+		fs.SetFile(path, data[:cut])
+		if _, ok, err := ReadManifest(fs, "d"); err == nil && ok {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			fs := NewMemFS()
+			l, err := Open("d", 1, Options{FS: fs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, size)
+			b.SetBytes(int64(frameHeader + size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lsn, err := l.Append(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Commit(lsn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWALAppendGrouped(b *testing.B) {
+	fs := NewMemFS()
+	l, err := Open("d", 1, Options{FS: fs, SyncWindow: 100 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(int64(frameHeader + len(payload)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lsn, err := l.Append(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Commit(lsn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

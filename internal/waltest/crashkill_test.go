@@ -1,0 +1,376 @@
+package waltest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyncoll"
+)
+
+// TestCrashKillChild is the re-exec target, not a test: the parent
+// spawns the test binary with -test.run pinned here and the config in
+// WALTEST_CHILD. Without the variable it skips immediately.
+func TestCrashKillChild(t *testing.T) {
+	raw := os.Getenv("WALTEST_CHILD")
+	if raw == "" {
+		t.Skip("crash-kill harness child; run via TestCrashKillRecovery")
+	}
+	var cfg ChildConfig
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		t.Fatalf("bad WALTEST_CHILD: %v", err)
+	}
+	if err := RunChild(cfg, func(format string, args ...any) {
+		fmt.Fprintf(os.Stdout, format, args...)
+	}); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+}
+
+// ackLog collects the child's acknowledgment stream.
+type ackLog struct {
+	mu       sync.Mutex
+	acked    int // highest "ack k" seen
+	ckpt     int // highest "ckpt k" seen
+	reached  chan struct{}
+	target   int
+	signaled bool
+}
+
+func (a *ackLog) note(kind string, k int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch kind {
+	case "ack":
+		if k > a.acked {
+			a.acked = k
+		}
+	case "ckpt":
+		if k > a.ckpt {
+			a.ckpt = k
+		}
+	}
+	if !a.signaled && a.acked >= a.target {
+		a.signaled = true
+		close(a.reached)
+	}
+}
+
+func (a *ackLog) snapshot() (acked, ckpt int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acked, a.ckpt
+}
+
+// killOnce spawns one child, kills it once `target` ops are
+// acknowledged (or lets it finish), and returns the final ack state.
+func killOnce(t *testing.T, cfg ChildConfig, target int) (acked, ckpt int) {
+	t.Helper()
+	js, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashKillChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(), "WALTEST_CHILD="+string(js))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	log := &ackLog{reached: make(chan struct{}), target: target}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) != 2 {
+				continue
+			}
+			if k, err := strconv.Atoi(fields[1]); err == nil {
+				log.note(fields[0], k)
+			}
+		}
+	}()
+	killed := false
+	select {
+	case <-log.reached:
+		killed = true
+		cmd.Process.Kill()
+	case <-done: // child finished (or died) before the target
+	case <-time.After(30 * time.Second):
+		killed = true
+		cmd.Process.Kill()
+		t.Errorf("child hung; killed after timeout")
+	}
+	werr := cmd.Wait()
+	<-done
+	if !killed && werr != nil {
+		t.Fatalf("child failed on its own: %v\nstderr: %s", werr, stderr.String())
+	}
+	return log.snapshot()
+}
+
+// verifyRecovered reopens the killed child's directory and checks that
+// the recovered state equals the op stream's prefix at some point m ≥
+// the last acknowledged op, that queries over the recovered structure
+// match the model at m, and that recovery after an acknowledged
+// checkpoint loaded it and replayed only the tail.
+func verifyRecovered(t *testing.T, cfg ChildConfig, acked, ckpt int) {
+	t.Helper()
+	ops := GenOps(cfg.Kind, cfg.Seed, cfg.Ops)
+	target, err := openDurable(cfg, dyncoll.WALOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen after kill (acked %d): %v", acked, err)
+	}
+	defer target.Close()
+
+	var rec dyncoll.RecoveryStats
+	model := NewModel()
+	m := -1
+	switch cfg.Kind {
+	case KindCollection:
+		dc := target.(*dyncoll.DurableCollection)
+		rec = dc.RecoveryStats()
+		dc.WaitIdle()
+		got := dc.DocIDs()
+		slices.Sort(got)
+		for k := 0; k <= len(ops); k++ {
+			if k > 0 {
+				model.Apply(cfg.Kind, ops[k-1])
+			}
+			if k < acked {
+				continue
+			}
+			if slices.Equal(got, model.SortedIDs()) {
+				m = k
+				break
+			}
+		}
+		if m < 0 {
+			t.Fatalf("recovered doc set (%d docs) matches no prefix ≥ acked %d", len(got), acked)
+		}
+		verifyCollectionQueries(t, dc, model)
+	default:
+		var pairs [][2]uint64
+		if cfg.Kind == KindRelation {
+			dr := target.(*dyncoll.DurableRelation)
+			rec = dr.RecoveryStats()
+			dr.WaitIdle()
+			for _, p := range dr.Pairs() {
+				pairs = append(pairs, [2]uint64{p.Object, p.Label})
+			}
+		} else {
+			dg := target.(*dyncoll.DurableGraph)
+			rec = dg.RecoveryStats()
+			dg.WaitIdle()
+			for _, p := range dg.Edges() {
+				pairs = append(pairs, [2]uint64{p.Object, p.Label})
+			}
+		}
+		slices.SortFunc(pairs, func(a, b [2]uint64) int {
+			if a[0] != b[0] {
+				if a[0] < b[0] {
+					return -1
+				}
+				return 1
+			}
+			if a[1] < b[1] {
+				return -1
+			}
+			if a[1] > b[1] {
+				return 1
+			}
+			return 0
+		})
+		for k := 0; k <= len(ops); k++ {
+			if k > 0 {
+				model.Apply(cfg.Kind, ops[k-1])
+			}
+			if k < acked {
+				continue
+			}
+			if slices.Equal(pairs, model.SortedPairs()) {
+				m = k
+				break
+			}
+		}
+		if m < 0 {
+			t.Fatalf("recovered pair set (%d pairs) matches no prefix ≥ acked %d", len(pairs), acked)
+		}
+		verifyPairQueries(t, cfg.Kind, target, model)
+	}
+
+	// An acknowledged checkpoint is durable: recovery must have loaded
+	// one and replayed only the operations after it — never the full
+	// history.
+	if ckpt > 0 {
+		if !rec.CheckpointLoaded {
+			t.Errorf("checkpoint acked at op %d but recovery loaded none (stats %+v)", ckpt, rec)
+		}
+		if rec.WALRecords > m-ckpt {
+			t.Errorf("recovery replayed %d WAL records; tail after the op-%d checkpoint is at most %d",
+				rec.WALRecords, ckpt, m-ckpt)
+		}
+	}
+}
+
+// verifyCollectionQueries compares search answers between the
+// recovered collection and a fresh in-memory collection holding the
+// model's documents.
+func verifyCollectionQueries(t *testing.T, dc *dyncoll.DurableCollection, model *Model) {
+	t.Helper()
+	ref, err := dyncoll.NewCollection(dyncoll.WithSyncRebuilds(), dyncoll.WithMinCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []dyncoll.Document
+	for _, id := range model.SortedIDs() {
+		docs = append(docs, dyncoll.Document{ID: id, Data: model.Docs[id]})
+	}
+	if len(docs) > 0 {
+		if err := ref.InsertBatch(docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.WaitIdle()
+	for _, pat := range []string{"abra", "doc", "sesame", "zzz"} {
+		p := []byte(pat)
+		if got, want := dc.Count(p), ref.Count(p); got != want {
+			t.Fatalf("Count(%q) = %d, want %d", pat, got, want)
+		}
+		got, want := dc.Find(p), ref.Find(p)
+		sortOcc := func(o []dyncoll.Occurrence) {
+			slices.SortFunc(o, func(x, y dyncoll.Occurrence) int {
+				if x.DocID != y.DocID {
+					if x.DocID < y.DocID {
+						return -1
+					}
+					return 1
+				}
+				return x.Off - y.Off
+			})
+		}
+		sortOcc(got)
+		sortOcc(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("Find(%q) diverges: %d vs %d occurrences", pat, len(got), len(want))
+		}
+	}
+	for _, id := range model.SortedIDs()[:min(5, len(model.Docs))] {
+		data, ok := dc.Extract(id, 0, len(model.Docs[id]))
+		if !ok || !bytes.Equal(data, model.Docs[id]) {
+			t.Fatalf("Extract(%d) diverges", id)
+		}
+	}
+}
+
+// verifyPairQueries compares adjacency answers between the recovered
+// relation/graph and the model's pair set.
+func verifyPairQueries(t *testing.T, kind string, target durableTarget, model *Model) {
+	t.Helper()
+	byObj := map[uint64][]uint64{}
+	byLabel := map[uint64][]uint64{}
+	for p := range model.Pairs {
+		byObj[p[0]] = append(byObj[p[0]], p[1])
+		byLabel[p[1]] = append(byLabel[p[1]], p[0])
+	}
+	for _, s := range byObj {
+		slices.Sort(s)
+	}
+	for _, s := range byLabel {
+		slices.Sort(s)
+	}
+	for probe := uint64(1); probe <= 48; probe += 7 {
+		if kind == KindRelation {
+			dr := target.(*dyncoll.DurableRelation)
+			if got := dr.Labels(probe); !slices.Equal(got, byObj[probe]) {
+				t.Fatalf("Labels(%d) = %v, want %v", probe, got, byObj[probe])
+			}
+			var got []uint64
+			dr.ObjectsOf(probe, func(o uint64) bool {
+				got = append(got, o)
+				return true
+			})
+			slices.Sort(got)
+			if !slices.Equal(got, byLabel[probe]) {
+				t.Fatalf("ObjectsOf(%d) = %v, want %v", probe, got, byLabel[probe])
+			}
+		} else {
+			dg := target.(*dyncoll.DurableGraph)
+			var got []uint64
+			for v := range dg.Successors(probe) {
+				got = append(got, v)
+			}
+			slices.Sort(got)
+			if !slices.Equal(got, byObj[probe]) {
+				t.Fatalf("Successors(%d) = %v, want %v", probe, got, byObj[probe])
+			}
+			if got := dg.ReverseNeighbors(probe); !slices.Equal(got, byLabel[probe]) {
+				t.Fatalf("ReverseNeighbors(%d) = %v, want %v", probe, got, byLabel[probe])
+			}
+		}
+	}
+}
+
+// TestCrashKillRecovery is the acceptance matrix: three structures ×
+// two transformations × {unsharded, 4 shards}, each killed at
+// WALTEST_KILLS random points (default 3; CI raises it).
+func TestCrashKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	kills := 3
+	if v := os.Getenv("WALTEST_KILLS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("WALTEST_KILLS=%q: %v", v, err)
+		}
+		kills = n
+	}
+	const ops = 80
+	for _, kind := range []string{KindCollection, KindRelation, KindGraph} {
+		for _, tr := range []dyncoll.Transformation{dyncoll.Amortized, dyncoll.WorstCase} {
+			for _, shards := range []int{0, 4} {
+				kind, tr, shards := kind, tr, shards
+				t.Run(fmt.Sprintf("%s/tr%d/shards%d", kind, tr, shards), func(t *testing.T) {
+					t.Parallel()
+					rng := rand.New(rand.NewSource(int64(len(kind))*1000 + int64(tr)*100 + int64(shards)))
+					for i := 0; i < kills; i++ {
+						cfg := ChildConfig{
+							Dir:       t.TempDir(),
+							Kind:      kind,
+							Tr:        int(tr),
+							Shards:    shards,
+							Seed:      rng.Int63(),
+							Ops:       ops,
+							CkptEvery: 25,
+						}
+						// Half the kills aim early (before the first
+						// checkpoint), half anywhere in the stream.
+						target := 1 + rng.Intn(ops)
+						if i%2 == 0 {
+							target = 1 + rng.Intn(24)
+						}
+						acked, ckpt := killOnce(t, cfg, target)
+						verifyRecovered(t, cfg, acked, ckpt)
+					}
+				})
+			}
+		}
+	}
+}
