@@ -64,6 +64,7 @@ func main() {
 		counting  = flag.Bool("counting", false, "enable Theorem 1 counting structures (collection mode)")
 		script    = flag.String("f", "", "read commands from file instead of stdin")
 	)
+	flag.BoolVar(&useMmap, "mmap", false, "save/load use the v2 mapped snapshot format: O(1) open, queries served from the page cache")
 	flag.Parse()
 
 	var opts []dyncoll.Option
@@ -271,7 +272,13 @@ func runCollection(c *dyncoll.Collection, cmd, rest string) error {
 type savable interface {
 	SaveFile(path string) error
 	LoadFile(path string) error
+	SaveMappedFile(path string) error
+	LoadMappedFile(path string, opts ...dyncoll.MappedOption) error
 }
+
+// useMmap routes save/load through the v2 mapped snapshot format
+// (-mmap flag).
+var useMmap bool
 
 // runSaveLoad handles the shared save/load commands; handled reports
 // whether cmd was one of them.
@@ -282,7 +289,11 @@ func runSaveLoad(s savable, cmd, rest string, describe func() string) (handled b
 		if path == "" {
 			return true, fmt.Errorf("usage: save <path>")
 		}
-		if err := s.SaveFile(path); err != nil {
+		save := s.SaveFile
+		if useMmap {
+			save = s.SaveMappedFile
+		}
+		if err := save(path); err != nil {
 			return true, err
 		}
 		fmt.Printf("saved %s to %s\n", describe(), path)
@@ -291,7 +302,11 @@ func runSaveLoad(s savable, cmd, rest string, describe func() string) (handled b
 		if path == "" {
 			return true, fmt.Errorf("usage: load <path>")
 		}
-		if err := s.LoadFile(path); err != nil {
+		load := s.LoadFile
+		if useMmap {
+			load = func(p string) error { return s.LoadMappedFile(p) }
+		}
+		if err := load(path); err != nil {
 			return true, err
 		}
 		fmt.Printf("loaded %s from %s\n", describe(), path)

@@ -52,6 +52,7 @@ func main() {
 		mode     = flag.String("mode", "backend", "backend | frontend | loadtest")
 		listen   = flag.String("listen", "127.0.0.1:7080", "listen address (backend, frontend)")
 		snapshot = flag.String("snapshot", "", "snapshot path: restored before listening if present, written on drain (backend)")
+		mapped   = flag.Bool("mmap", false, "use the v2 mapped snapshot format for -snapshot: O(1) restore, queries served from the page cache (backend)")
 		backends = flag.String("backends", "", "comma-separated backend addresses (frontend)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 
@@ -83,7 +84,7 @@ func main() {
 	switch *mode {
 	case "backend":
 		runBackend(backendConfig{
-			listen: *listen, snapshot: *snapshot, drainTimeout: *drainFor,
+			listen: *listen, snapshot: *snapshot, mapped: *mapped, drainTimeout: *drainFor,
 			wal: *walDir, walCheckpoint: *walCkpt, walSyncWindow: *walWindow,
 			index: *index, sample: *sample, tau: *tau, shards: *shards,
 			counting: *counting, transform: *transform,
@@ -104,6 +105,7 @@ func main() {
 
 type backendConfig struct {
 	listen, snapshot    string
+	mapped              bool
 	drainTimeout        time.Duration
 	wal                 string
 	walCheckpoint       int64
@@ -147,6 +149,12 @@ func runBackend(cfg backendConfig) {
 	if cfg.wal != "" && cfg.snapshot != "" {
 		log.Fatalf("dyndocd: -wal and -snapshot are mutually exclusive (the WAL directory subsumes drain snapshots)")
 	}
+	if cfg.mapped && cfg.snapshot == "" {
+		log.Fatalf("dyndocd: -mmap needs -snapshot (it selects the snapshot format)")
+	}
+	if cfg.mapped && cfg.wal != "" {
+		log.Fatalf("dyndocd: -mmap and -wal are mutually exclusive (checkpoints use the v1 sectioned codec)")
+	}
 	opts, err := buildOptions(cfg)
 	if err != nil {
 		log.Fatalf("dyndocd: %v", err)
@@ -160,7 +168,11 @@ func runBackend(cfg backendConfig) {
 		log.Fatalf("dyndocd: %v", err)
 	}
 	if cfg.snapshot != "" {
-		switch err := c.LoadFile(cfg.snapshot); {
+		restore := c.LoadFile
+		if cfg.mapped {
+			restore = func(p string) error { return c.LoadMappedFile(p) }
+		}
+		switch err := restore(cfg.snapshot); {
 		case err == nil:
 			log.Printf("restored snapshot %s: %d document(s), %d symbol(s)", cfg.snapshot, c.DocCount(), c.Len())
 		case errors.Is(err, os.ErrNotExist):
@@ -176,7 +188,11 @@ func runBackend(cfg backendConfig) {
 		if cfg.snapshot == "" {
 			return
 		}
-		if err := c.SaveFile(cfg.snapshot); err != nil {
+		save := c.SaveFile
+		if cfg.mapped {
+			save = c.SaveMappedFile
+		}
+		if err := save(cfg.snapshot); err != nil {
 			log.Fatalf("dyndocd: drain snapshot %s: %v", cfg.snapshot, err)
 		}
 		log.Printf("drain snapshot: %d document(s), %d symbol(s) → %s", c.DocCount(), c.Len(), cfg.snapshot)

@@ -72,8 +72,9 @@ var (
 // WithShards(p) is safe for concurrent readers and writers: every shard
 // carries its own sync.RWMutex and fan-out queries take only read locks.
 type Collection struct {
-	impl collImpl
-	cfg  config // resolved construction config, recorded in snapshots
+	impl   collImpl
+	cfg    config      // resolved construction config, recorded in snapshots
+	mapped *mappedFile // v2 snapshot mapping, nil unless LoadMappedFile
 }
 
 // NewCollection creates an empty dynamic document collection. The zero
@@ -263,6 +264,22 @@ type IndexStats struct {
 	// Shards is the number of shards (0 for an unsharded structure).
 	// Per-level numbers are element-wise sums across shards.
 	Shards int
+	// MappedBytes is the footprint served directly from a snapshot
+	// mapping (LoadMappedFile) — file-backed pages the OS can reclaim
+	// under pressure; zero for structures that were never mapped.
+	// HeapBytes is the rest of the estimated footprint, so for a
+	// never-mapped structure it is the whole estimate.
+	MappedBytes int64
+	HeapBytes   int64
+}
+
+// fillResidency splits the estimated footprint into mapped (snapshot
+// pages served in place) and heap parts. Mapped payload bytes count
+// inside SizeBits like any other store memory, so heap is the
+// remainder, floored at zero since both sides are estimates.
+func (st *IndexStats) fillResidency(mf *mappedFile, sizeBits int64) {
+	st.MappedBytes = mf.mappedBytes()
+	st.HeapBytes = max(sizeBits/8-st.MappedBytes, 0)
 }
 
 // indexStatsFrom maps the engine's unified stats onto the facade type.
@@ -289,6 +306,7 @@ func (c *Collection) Stats() IndexStats {
 	if sh, ok := c.impl.(*shardedColl); ok {
 		st.Shards = len(sh.shards)
 	}
+	st.fillResidency(c.mapped, c.SizeBits())
 	return st
 }
 

@@ -7,7 +7,7 @@ import (
 	"testing"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v1.snap")
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v1.snap and golden_v2.snap")
 
 // goldenCollection builds the fixed structure the golden snapshot
 // holds. Changing this corpus requires regenerating the golden file
@@ -77,4 +77,44 @@ func TestGoldenSnapshotCompat(t *testing.T) {
 	}
 	// The loaded structure answers exactly like a freshly built one.
 	collectionsEqual(t, "golden", goldenCollection(t), c)
+}
+
+// TestGoldenMappedCompat pins the version-2 (mapped) container layout:
+// the committed golden file must keep opening in place, with the same
+// answers the v1 golden records. A failure means the section-directory
+// layout or a store's mapped encoding changed incompatibly — bump
+// snap.VersionV2 and write a migration path instead of regenerating the
+// golden file in place.
+func TestGoldenMappedCompat(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v2.snap")
+	if *updateGolden {
+		c := goldenCollection(t)
+		if err := c.SaveMappedFile(path); err != nil {
+			t.Fatalf("regenerating mapped golden: %v", err)
+		}
+		t.Logf("rewrote %s", path)
+	}
+
+	c, err := OpenMappedCollection(path, MappedVerify())
+	if err != nil {
+		t.Fatalf("golden mapped snapshot no longer opens: %v", err)
+	}
+	defer c.Close()
+	if got := c.DocCount(); got != 22 {
+		t.Fatalf("DocCount = %d, want 22", got)
+	}
+	if got := c.Len(); got != 454 {
+		t.Fatalf("Len = %d, want 454", got)
+	}
+	if got := c.Count([]byte("abracadabra")); got != 22 {
+		t.Fatalf("Count(abracadabra) = %d, want 22", got)
+	}
+	if c.Has(5) || c.Has(12) || !c.Has(24) {
+		t.Fatal("deleted/live document state diverges from the golden corpus")
+	}
+	data, ok := c.Extract(7, 0, 6)
+	if !ok || string(data) != "golden" {
+		t.Fatalf("Extract(7) = %q, %v", data, ok)
+	}
+	collectionsEqual(t, "golden-mapped", goldenCollection(t), c)
 }

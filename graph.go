@@ -45,8 +45,9 @@ var (
 // (Predecessors, ReverseNeighbors, InDegree) fan out across shards in
 // parallel.
 type Graph struct {
-	g   graphImpl
-	cfg config // resolved construction config, recorded in snapshots
+	g      graphImpl
+	cfg    config      // resolved construction config, recorded in snapshots
+	mapped *mappedFile // v2 snapshot mapping, nil unless LoadMappedFile
 }
 
 // newGraphImpl builds one unsharded graph for cfg. As in the paper,
@@ -178,6 +179,7 @@ func (g *Graph) Stats() IndexStats {
 	if sh, ok := g.g.(*shardedGraph); ok {
 		st.Shards = len(sh.shards)
 	}
+	st.fillResidency(g.mapped, g.SizeBits())
 	return st
 }
 

@@ -1,0 +1,196 @@
+package binrel
+
+import (
+	"dyncoll/internal/engine"
+	"dyncoll/internal/snap"
+	"dyncoll/internal/wavelet"
+)
+
+// The v2 (mapped) snapshot adapter for relations. v1 always serializes
+// a compressed level as its raw pairs and pays an O(n log n) buildSemi
+// at load; the mapped form writes the already-built structure — object
+// and label tables, the N boundaries, and the Huffman-shaped wavelet
+// tree of S — so a mapped open is an aliasing pass plus O(σ) table
+// validation, with deletion bitmaps deferred until the first Delete.
+
+// MappedStore is one static store of a v2 relation snapshot.
+type MappedStore struct {
+	Meta    []byte // slot, gen, mode, dead pairs / raw pairs
+	Payload []byte // mapped in place; empty for item-mode stores
+}
+
+// RetainFunc matches the collection contract (internal/core): it is
+// told the mapped byte range backing each store opened in place.
+type RetainFunc func(payload []byte, store any)
+
+// encodeMapped writes the static relation structure in mapped form.
+func (r *semiRel) encodeMapped(e *snap.MapEncoder) {
+	e.Words(r.objects)
+	e.Words(r.labels)
+	e.Int32s(r.starts)
+	r.s.EncodeMapped(e)
+}
+
+// deadPairs lists the lazily-deleted pairs so their deletions can be
+// replayed at open — the relation analog of SemiDynamic.deadIDs. Nil
+// bitmaps mean no deletions.
+func (r *semiRel) deadPairs() []Pair {
+	if r.alive == nil || r.dead == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, r.dead)
+	for pos := 0; pos < r.s.Len(); pos++ {
+		if !r.alive.Get(pos) {
+			out = append(out, Pair{Object: r.objectAt(pos), Label: r.labels[r.s.Access(pos)]})
+		}
+	}
+	return out
+}
+
+// openMappedSemi reconstructs a semiRel over a mapped payload. The
+// tables are validated structurally (sorted, consistent boundaries,
+// alphabet size matching the wavelet tree) in O(σ + objects).
+func openMappedSemi(mv *snap.MapView, tau int) *semiRel {
+	if tau < 2 {
+		tau = 2
+	}
+	if tau > 4096 {
+		tau = 4096
+	}
+	objects := mv.Words()
+	labels := mv.Words()
+	starts := mv.Int32s()
+	s := wavelet.ViewMapped(mv)
+	if mv.Err() != nil {
+		return nil
+	}
+	if mv.Remaining() != 0 {
+		mv.Fail("relation: %d trailing bytes in mapped payload", mv.Remaining())
+		return nil
+	}
+	n := s.Len()
+	if n == 0 || len(objects) == 0 {
+		mv.Fail("relation: mapped store is empty")
+		return nil
+	}
+	if s.Sigma() != len(labels) {
+		mv.Fail("relation: %d labels for alphabet of %d", len(labels), s.Sigma())
+		return nil
+	}
+	if len(starts) != len(objects)+1 || starts[0] != 0 || int(starts[len(objects)]) != n {
+		mv.Fail("relation: boundary table of %d for %d objects over %d pairs", len(starts), len(objects), n)
+		return nil
+	}
+	for i := 0; i < len(objects); i++ {
+		if starts[i] >= starts[i+1] {
+			mv.Fail("relation: empty or unordered range for object %d", i)
+			return nil
+		}
+		if i > 0 && objects[i] <= objects[i-1] {
+			mv.Fail("relation: object table not sorted at %d", i)
+			return nil
+		}
+	}
+	for i := 1; i < len(labels); i++ {
+		if labels[i] <= labels[i-1] {
+			mv.Fail("relation: label table not sorted at %d", i)
+			return nil
+		}
+	}
+	return &semiRel{
+		objects: objects, labels: labels, starts: starts,
+		s: s, tau: tau, live: n,
+	}
+}
+
+// DumpMapped captures the quiesced ladder in v2 form: spine bytes plus
+// one MappedStore per static store.
+func (r *Relation) DumpMapped() ([]byte, []MappedStore) {
+	d := r.eng.Dump()
+	var se snap.Encoder
+	encodeSpine(&se, &d)
+	stores := make([]MappedStore, 0, len(d.Stores))
+	for _, ds := range d.Stores {
+		var meta snap.Encoder
+		meta.Varint(int64(ds.Level))
+		meta.Uvarint(ds.Gen)
+		var payload []byte
+		if sr, ok := ds.Store.(*semiRel); ok && sr.s.Len() > 0 {
+			meta.Byte(snap.ModeMapped)
+			encodePairs(&meta, sr.deadPairs())
+			var me snap.MapEncoder
+			sr.encodeMapped(&me)
+			payload = me.Bytes()
+		}
+		if payload == nil {
+			meta.Byte(snap.ModeItems)
+			encodePairs(&meta, ds.Store.LiveItems())
+		}
+		stores = append(stores, MappedStore{Meta: meta.Bytes(), Payload: payload})
+	}
+	return se.Bytes(), stores
+}
+
+// RestoreMapped installs a v2 dump into the relation's (empty) engine;
+// retain, when non-nil, is invoked for every store served in place.
+// The error contract matches DecodeSnapshot.
+func (r *Relation) RestoreMapped(spine []byte, stores []MappedStore, retain RetainFunc) error {
+	dec := snap.NewDecoder(spine)
+	var d engine.Dump[Pair, Pair]
+	if err := decodeSpine(dec, &d); err != nil {
+		return err
+	}
+	if n := dec.Remaining(); n != 0 {
+		return snap.Corruptf("%d trailing spine bytes", n)
+	}
+	for _, ms := range stores {
+		mdec := snap.NewDecoder(ms.Meta)
+		level := int(mdec.Varint())
+		gen := mdec.Uvarint()
+		mode := mdec.Byte()
+		if err := mdec.Err(); err != nil {
+			return err
+		}
+		var st engine.Store[Pair, Pair]
+		switch mode {
+		case snap.ModeMapped:
+			dead := decodePairs(mdec)
+			if err := mdec.Err(); err != nil {
+				return err
+			}
+			if n := mdec.Remaining(); n != 0 {
+				return snap.Corruptf("%d trailing meta bytes at level %d", n, level)
+			}
+			mv := snap.NewMapView(ms.Payload)
+			sr := openMappedSemi(mv, d.Tau)
+			if sr == nil {
+				return snap.Corruptf("level %d mapped relation: %v", level, mv.Err())
+			}
+			for _, p := range dead {
+				if _, ok := sr.Delete(p); !ok {
+					return snap.Corruptf("level %d deletes unknown pair (%d,%d)", level, p.Object, p.Label)
+				}
+			}
+			if retain != nil {
+				retain(ms.Payload, sr)
+			}
+			st = sr
+		case snap.ModeItems:
+			pairs := decodePairs(mdec)
+			if err := mdec.Err(); err != nil {
+				return err
+			}
+			if n := mdec.Remaining(); n != 0 {
+				return snap.Corruptf("%d trailing meta bytes at level %d", n, level)
+			}
+			if len(pairs) == 0 {
+				continue // empty stores contribute nothing
+			}
+			st = buildSemi(pairs, d.Tau)
+		default:
+			return snap.Corruptf("unknown mapped store mode %d", mode)
+		}
+		d.Stores = append(d.Stores, engine.StoreDump[Pair, Pair]{Level: level, Gen: gen, Store: st})
+	}
+	return r.eng.Restore(d)
+}

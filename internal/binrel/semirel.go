@@ -26,6 +26,11 @@ type semiRel struct {
 
 	s *wavelet.Tree // labels of S in the local alphabet
 
+	tau int // Lemma 3 word width, kept for deferred materialization
+
+	// Deletion state. All four are nil on a freshly mapped store —
+	// nil means "every pair is live" — and materialize together on the
+	// first Delete (see materialize).
 	alive *sparsebits.Compressed // D: 1 = pair live (reporting)
 	// aliveCnt answers counting queries on D in O(log n); it is a
 	// Fenwick-backed copy of D (the paper cites [20] for this role).
@@ -88,17 +93,28 @@ func buildSemi(pairs []Pair, tau int) *semiRel {
 		counts[a]++
 	}
 	r.s = wavelet.NewHuffman(syms, len(r.labels))
+	r.tau = tau
+	r.materialize()
+	return r
+}
 
-	r.alive = sparsebits.NewCompressed(len(pairs), tau)
-	r.aliveCnt = dynbits.New(len(pairs), true)
-
+// materialize allocates the all-live deletion bitmaps of a deferred
+// (mapped) structure; no-op once they exist. O(n) in the pair count,
+// paid on the first deletion rather than at open.
+func (r *semiRel) materialize() {
+	if r.alive != nil {
+		return
+	}
+	n := r.s.Len()
+	r.alive = sparsebits.NewCompressed(n, r.tau)
+	r.aliveCnt = dynbits.New(n, true)
 	r.perLabel = make([]*sparsebits.Compressed, len(r.labels))
 	r.liveCount = make([]int32, len(r.labels))
-	for a, c := range counts {
-		r.perLabel[a] = sparsebits.NewCompressed(c, tau)
+	for a := range r.labels {
+		c := r.s.Count(uint32(a))
+		r.perLabel[a] = sparsebits.NewCompressed(c, r.tau)
 		r.liveCount[a] = int32(c)
 	}
-	return r
 }
 
 // labelSym maps a client label to its local symbol, or -1.
@@ -146,14 +162,18 @@ func (r *semiRel) findPos(object, label uint64) int {
 // related reports whether the pair is present and live.
 func (r *semiRel) related(object, label uint64) bool {
 	pos := r.findPos(object, label)
-	return pos >= 0 && r.alive.Get(pos)
+	return pos >= 0 && (r.alive == nil || r.alive.Get(pos))
 }
 
 // Delete marks the pair dead, reporting whether it was live here
 // (engine.Store; every pair weighs 1).
 func (r *semiRel) Delete(p Pair) (int, bool) {
 	pos := r.findPos(p.Object, p.Label)
-	if pos < 0 || !r.alive.Get(pos) {
+	if pos < 0 {
+		return 0, false
+	}
+	r.materialize()
+	if !r.alive.Get(pos) {
 		return 0, false
 	}
 	r.alive.Zero(pos)
@@ -176,6 +196,14 @@ func (r *semiRel) labelsOf(object uint64, fn func(label uint64) bool) bool {
 	}
 	lo, hi := int(r.starts[oi]), int(r.starts[oi+1])
 	ok := true
+	if r.alive == nil { // no deletions: the whole range is live
+		for pos := lo; pos < hi; pos++ {
+			if !fn(r.labels[r.s.Access(pos)]) {
+				return false
+			}
+		}
+		return true
+	}
 	r.alive.Report(lo, hi-1, func(pos int) bool {
 		if !fn(r.labels[r.s.Access(pos)]) {
 			ok = false
@@ -190,6 +218,16 @@ func (r *semiRel) labelsOf(object uint64, fn func(label uint64) bool) bool {
 func (r *semiRel) objectsOf(label uint64, fn func(object uint64) bool) bool {
 	a := r.labelSym(label)
 	if a < 0 {
+		return true
+	}
+	if r.perLabel == nil { // no deletions: every occurrence is live
+		c := r.s.Count(uint32(a))
+		for j := 0; j < c; j++ {
+			pos := r.s.Select(uint32(a), j+1)
+			if !fn(r.objectAt(pos)) {
+				return false
+			}
+		}
 		return true
 	}
 	da := r.perLabel[a]
@@ -212,6 +250,9 @@ func (r *semiRel) countLabels(object uint64) int {
 		return 0
 	}
 	lo, hi := int(r.starts[oi]), int(r.starts[oi+1])
+	if r.aliveCnt == nil { // no deletions
+		return hi - lo
+	}
 	return r.aliveCnt.Count1(lo, hi-1)
 }
 
@@ -221,13 +262,24 @@ func (r *semiRel) countObjects(label uint64) int {
 	if a < 0 {
 		return 0
 	}
+	if r.liveCount == nil { // no deletions
+		return r.s.Count(uint32(a))
+	}
 	return int(r.liveCount[a])
 }
 
 // pairsFunc streams the live pairs; stops when fn returns false,
 // reporting whether enumeration ran to completion.
 func (r *semiRel) pairsFunc(fn func(Pair) bool) bool {
-	if r.alive.Len() == 0 {
+	if r.s.Len() == 0 {
+		return true
+	}
+	if r.alive == nil { // no deletions: every position is live
+		for pos := 0; pos < r.s.Len(); pos++ {
+			if !fn(Pair{Object: r.objectAt(pos), Label: r.labels[r.s.Access(pos)]}) {
+				return false
+			}
+		}
 		return true
 	}
 	ok := true
@@ -262,9 +314,15 @@ func (r *semiRel) DeadWeight() int { return r.dead }
 
 // SizeBits estimates the footprint (engine.Store).
 func (r *semiRel) SizeBits() int64 {
-	total := r.s.SizeBits() + r.alive.SizeBits() + r.aliveCnt.SizeBits()
+	total := r.s.SizeBits()
 	total += int64(len(r.objects))*64 + int64(len(r.labels))*64 + int64(len(r.starts))*32
 	total += int64(len(r.liveCount)) * 32
+	if r.alive != nil {
+		total += r.alive.SizeBits()
+	}
+	if r.aliveCnt != nil {
+		total += r.aliveCnt.SizeBits()
+	}
 	for _, d := range r.perLabel {
 		total += d.SizeBits()
 	}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"dyncoll/internal/doc"
+	"dyncoll/internal/engine"
+	"dyncoll/internal/snap"
+)
+
+// The v2 (mapped) snapshot adapter. Where EncodeSnapshot serializes a
+// store as one varint blob, DumpMapped splits it in two: a small heap
+// meta record (slot, build generation, mode, dead-document list) and a
+// pure MapEncoder payload that the loader can serve in place from a
+// page-aligned mapped section. Stores whose index cannot produce a
+// mapped layout fall back to raw items inside the meta record and are
+// rebuilt through the Builder at open — custom registry indexes keep
+// working in v2, they just do not get the O(1) open.
+
+// mappedIndex is the optional mapped fast-path contract (the built-in
+// fm, sa and csa indexes all implement it).
+type mappedIndex interface {
+	EncodeMapped(e *snap.MapEncoder)
+}
+
+// IndexOpener reconstructs a StaticIndex view over the payload bytes
+// its EncodeMapped produced. nil means the index has no mapped open
+// support.
+type IndexOpener func(mv *snap.MapView) (StaticIndex, error)
+
+// RetainFunc is told about every store opened in place: payload is the
+// exact mapped byte range backing it and store the object whose
+// lifetime controls when those pages can be released. The facade uses
+// it for residency accounting and to madvise superseded sections away.
+type RetainFunc func(payload []byte, store any)
+
+// MappedStore is one static store of a v2 snapshot.
+type MappedStore struct {
+	Meta    []byte // heap-decoded: slot, gen, mode, dead list / raw items
+	Payload []byte // mapped in place; empty for item-mode stores
+}
+
+// DumpMapped captures the quiesced ladder in v2 form: spine bytes plus
+// one MappedStore per static store.
+func (c *collection) DumpMapped() ([]byte, []MappedStore) {
+	d := c.eng.Dump()
+	var se snap.Encoder
+	encodeSpine(&se, &d)
+	stores := make([]MappedStore, 0, len(d.Stores))
+	for _, ds := range d.Stores {
+		var meta snap.Encoder
+		meta.Varint(int64(ds.Level))
+		meta.Uvarint(ds.Gen)
+		var payload []byte
+		if sd, ok := ds.Store.(*SemiDynamic); ok {
+			if mi, ok := sd.idx.(mappedIndex); ok {
+				meta.Byte(snap.ModeMapped)
+				meta.Uint64s(sd.deadIDs())
+				var me snap.MapEncoder
+				mi.EncodeMapped(&me)
+				payload = me.Bytes()
+			}
+		}
+		if payload == nil {
+			meta.Byte(snap.ModeItems)
+			encodeDocs(&meta, ds.Store.LiveItems())
+		}
+		stores = append(stores, MappedStore{Meta: meta.Bytes(), Payload: payload})
+	}
+	return se.Bytes(), stores
+}
+
+// RestoreMapped installs a v2 dump into the collection's (empty)
+// engine. open reconstructs mapped payloads (nil fails any ModeMapped
+// store); retain, when non-nil, is invoked for every store served in
+// place. Deletion bitmaps stay deferred: a mapped store with an empty
+// dead list costs O(docs) heap, one with deletions replays them and
+// materializes only its own bitmaps. The error contract matches
+// DecodeSnapshot: corruption fails with snap.ErrBadSnapshot, never a
+// panic, and the collection must be discarded on error.
+func (c *collection) RestoreMapped(spine []byte, stores []MappedStore, open IndexOpener, retain RetainFunc) error {
+	dec := snap.NewDecoder(spine)
+	var d engine.Dump[uint64, doc.Doc]
+	if err := decodeSpine(dec, &d); err != nil {
+		return err
+	}
+	if n := dec.Remaining(); n != 0 {
+		return snap.Corruptf("%d trailing spine bytes", n)
+	}
+	for _, ms := range stores {
+		mdec := snap.NewDecoder(ms.Meta)
+		level := int(mdec.Varint())
+		gen := mdec.Uvarint()
+		mode := mdec.Byte()
+		if err := mdec.Err(); err != nil {
+			return err
+		}
+		var st engine.Store[uint64, doc.Doc]
+		switch mode {
+		case snap.ModeMapped:
+			dead := mdec.Uint64s()
+			if err := mdec.Err(); err != nil {
+				return err
+			}
+			if n := mdec.Remaining(); n != 0 {
+				return snap.Corruptf("%d trailing meta bytes at level %d", n, level)
+			}
+			if open == nil {
+				return snap.Corruptf("mapped level %d but index has no mapped opener", level)
+			}
+			idx, err := open(snap.NewMapView(ms.Payload))
+			if err != nil {
+				return snap.Corruptf("level %d mapped index: %v", level, err)
+			}
+			sd := NewSemiDynamicDeferred(idx, d.Tau, c.opts.Counting)
+			if len(sd.byID) != idx.DocCount() {
+				return snap.Corruptf("level %d index repeats document IDs", level)
+			}
+			for _, id := range dead {
+				if _, ok := sd.Delete(id); !ok {
+					return snap.Corruptf("level %d deletes unknown document %d", level, id)
+				}
+			}
+			if retain != nil {
+				retain(ms.Payload, sd)
+			}
+			st = sd
+		case snap.ModeItems:
+			docs := decodeDocs(mdec)
+			if err := mdec.Err(); err != nil {
+				return err
+			}
+			if n := mdec.Remaining(); n != 0 {
+				return snap.Corruptf("%d trailing meta bytes at level %d", n, level)
+			}
+			sd := NewSemiDynamic(c.opts.Builder(docs), d.Tau, c.opts.Counting)
+			if len(sd.byID) != len(docs) {
+				return snap.Corruptf("level %d repeats document IDs", level)
+			}
+			st = sd
+		default:
+			return snap.Corruptf("unknown mapped store mode %d", mode)
+		}
+		d.Stores = append(d.Stores, engine.StoreDump[uint64, doc.Doc]{Level: level, Gen: gen, Store: st})
+	}
+	return c.eng.Restore(d)
+}

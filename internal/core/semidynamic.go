@@ -23,8 +23,11 @@ import (
 // sub-collections through the configured Build function.
 type SemiDynamic struct {
 	idx   StaticIndex
-	alive *sparsebits.Compressed
-	cnt   *dynbits.Vector // nil unless counting is enabled
+	alive *sparsebits.Compressed // nil = no deletions yet (deferred wrapper)
+	cnt   *dynbits.Vector        // nil unless counting is enabled and alive exists
+
+	tau      int  // Lemma 3 word width, kept for deferred materialization
+	counting bool // Theorem 1 rank structure requested
 
 	byID    map[uint64]int // live doc ID → doc index within idx
 	live    int            // live payload symbols
@@ -40,6 +43,18 @@ type lfStepper interface {
 // NewSemiDynamic wraps idx. tau sets the Lemma 3 word width; counting
 // attaches the Theorem 1 rank structure.
 func NewSemiDynamic(idx StaticIndex, tau int, counting bool) *SemiDynamic {
+	s := NewSemiDynamicDeferred(idx, tau, counting)
+	s.materialize()
+	return s
+}
+
+// NewSemiDynamicDeferred wraps idx like NewSemiDynamic but without
+// allocating the deletion bitmaps: a nil bitmap means "every row is
+// live", so a mapped store with no deletions costs O(docs) heap to
+// open instead of O(n) bits. The bitmaps materialize on the first
+// Delete, under the same external write serialization every mutation
+// already requires.
+func NewSemiDynamicDeferred(idx StaticIndex, tau int, counting bool) *SemiDynamic {
 	if tau < 2 {
 		tau = 2
 	}
@@ -47,18 +62,28 @@ func NewSemiDynamic(idx StaticIndex, tau int, counting bool) *SemiDynamic {
 		tau = 4096
 	}
 	s := &SemiDynamic{
-		idx:   idx,
-		alive: sparsebits.NewCompressed(idx.SALen(), tau),
-		byID:  make(map[uint64]int, idx.DocCount()),
-	}
-	if counting {
-		s.cnt = dynbits.New(idx.SALen(), true)
+		idx:      idx,
+		tau:      tau,
+		counting: counting,
+		byID:     make(map[uint64]int, idx.DocCount()),
 	}
 	for i := 0; i < idx.DocCount(); i++ {
 		s.byID[idx.DocID(i)] = i
 		s.live += idx.DocLen(i)
 	}
 	return s
+}
+
+// materialize allocates the all-ones deletion bitmaps of a deferred
+// wrapper; no-op once they exist.
+func (s *SemiDynamic) materialize() {
+	if s.alive != nil {
+		return
+	}
+	s.alive = sparsebits.NewCompressed(s.idx.SALen(), s.tau)
+	if s.counting {
+		s.cnt = dynbits.New(s.idx.SALen(), true)
+	}
 }
 
 // Index exposes the wrapped static index.
@@ -80,6 +105,7 @@ func (s *SemiDynamic) Delete(id uint64) (int, bool) {
 		return 0, false
 	}
 	delete(s.byID, id)
+	s.materialize()
 	dl := s.idx.DocLen(d)
 	// Clear every suffix row of the document, separator included, so
 	// neither reporting nor counting ever sees it again. When the index
@@ -120,6 +146,15 @@ func (s *SemiDynamic) findFunc(pattern []byte, fn func(Occurrence) bool) {
 	if lo >= hi {
 		return
 	}
+	if s.alive == nil { // no deletions: every row of the range is live
+		for row := lo; row < hi; row++ {
+			d, off := s.idx.Locate(row)
+			if !fn(Occurrence{DocID: s.idx.DocID(d), Off: off}) {
+				return
+			}
+		}
+		return
+	}
 	s.alive.Report(lo, hi-1, func(row int) bool {
 		d, off := s.idx.Locate(row)
 		return fn(Occurrence{DocID: s.idx.DocID(d), Off: off})
@@ -145,6 +180,9 @@ func (s *SemiDynamic) count(pattern []byte) int {
 	lo, hi := s.idx.Range(pattern)
 	if lo >= hi {
 		return 0
+	}
+	if s.alive == nil { // no deletions: the whole range is live
+		return hi - lo
 	}
 	if s.cnt != nil {
 		return s.cnt.Count1(lo, hi-1)
@@ -222,7 +260,10 @@ func (s *SemiDynamic) LiveItems() []doc.Doc {
 
 // SizeBits estimates the footprint (engine.Store).
 func (s *SemiDynamic) SizeBits() int64 {
-	total := s.idx.SizeBits() + s.alive.SizeBits()
+	total := s.idx.SizeBits()
+	if s.alive != nil {
+		total += s.alive.SizeBits()
+	}
 	if s.cnt != nil {
 		total += s.cnt.SizeBits()
 	}

@@ -1,0 +1,241 @@
+package fmindex
+
+import (
+	"dyncoll/internal/bitvec"
+	"dyncoll/internal/snap"
+	"dyncoll/internal/wavelet"
+)
+
+// Mapped (v2) forms of the three built-in indexes. The v1 codec in
+// marshal.go decodes element by element into heap; these lay out every
+// heavy array — BWT levels, rank directories, sample tables, Ψ deltas,
+// suffix arrays — in the fixed-width MapView format so an open is a
+// bounds-checked aliasing pass over mapped memory. Validation budget:
+// everything alphabet- or directory-sized is checked exactly as in
+// UnmarshalBinary; the per-element row scans (checkRows) over
+// corpus-sized arrays are deliberately skipped, since they would make
+// open O(n) again — full payload integrity is the opt-in CRC verify
+// pass one layer up.
+
+// EncodeMapped writes the FM-index in mapped form.
+func (x *Index) EncodeMapped(e *snap.MapEncoder) {
+	e.U64(uint64(x.n))
+	e.U64(uint64(x.s))
+	e.U64(uint64(x.symbols))
+	c := make([]int64, len(x.c))
+	for i, v := range x.c {
+		c[i] = int64(v)
+	}
+	e.Int64s(c)
+	x.bwt.EncodeMapped(e)
+	x.marked.EncodeMapped(e)
+	e.Int32s(x.saSamp)
+	e.Int32s(x.isaSamp)
+	e.Int32s(x.sepRows)
+	e.Int32s(x.sepTargets)
+	e.Int32s(x.docStarts)
+	e.Words(x.docIDs)
+}
+
+// OpenMappedIndex reconstructs an FM-index over a mapped payload.
+func OpenMappedIndex(mv *snap.MapView) (*Index, error) {
+	nx := &Index{}
+	nx.n = mv.Int()
+	nx.s = mv.Int()
+	nx.symbols = mv.Int()
+	c := mv.Int64s()
+	bwt := wavelet.ViewMapped(mv)
+	marked := bitvec.ViewMapped(mv)
+	nx.saSamp = mv.Int32s()
+	nx.isaSamp = mv.Int32s()
+	nx.sepRows = mv.Int32s()
+	nx.sepTargets = mv.Int32s()
+	nx.docStarts = mv.Int32s()
+	nx.docIDs = mv.Words()
+	if err := mv.Err(); err != nil {
+		return nil, err
+	}
+	nx.bwt, nx.marked = bwt, marked
+	if len(c) != len(nx.c) {
+		mv.Fail("fm: C array has %d entries", len(c))
+		return nil, mv.Err()
+	}
+	prev := int64(0)
+	for b, v := range c {
+		if v < prev || v > int64(nx.n) {
+			mv.Fail("fm: C array not monotone at symbol %d", b)
+			return nil, mv.Err()
+		}
+		prev = v
+		nx.c[b] = int(v)
+	}
+	switch {
+	case nx.s < 1:
+		mv.Fail("fm: sample rate %d", nx.s)
+	case nx.c[256] != nx.n:
+		mv.Fail("fm: C[256] = %d, want %d", nx.c[256], nx.n)
+	case bwt.Len() != nx.n || marked.Len() != nx.n:
+		mv.Fail("fm: BWT %d / marks %d rows for n=%d", bwt.Len(), marked.Len(), nx.n)
+	case len(nx.saSamp) != marked.Ones():
+		mv.Fail("fm: %d SA samples for %d marked rows", len(nx.saSamp), marked.Ones())
+	case nx.n > 0 && len(nx.isaSamp) != (nx.n-1)/nx.s+2:
+		mv.Fail("fm: %d ISA samples, want %d", len(nx.isaSamp), (nx.n-1)/nx.s+2)
+	case len(nx.sepRows) != len(nx.sepTargets):
+		mv.Fail("fm: %d separator rows for %d targets", len(nx.sepRows), len(nx.sepTargets))
+	case bwt.Count(uint32(Sep)) != len(nx.sepRows):
+		mv.Fail("fm: %d separator rows listed, BWT holds %d", len(nx.sepRows), bwt.Count(uint32(Sep)))
+	case nx.n > 0 && marked.Ones() == 0:
+		mv.Fail("fm: non-empty index with no SA samples")
+	}
+	if mv.Err() == nil {
+		for i := 1; i < len(nx.sepRows); i++ {
+			if nx.sepRows[i] <= nx.sepRows[i-1] {
+				mv.Fail("fm: separator rows not increasing at %d", i)
+				break
+			}
+		}
+	}
+	if mv.Err() == nil {
+		checkDocTable(mv, nx.n, nx.docStarts, nx.docIDs, nx.symbols)
+	}
+	if mv.Remaining() != 0 {
+		mv.Fail("fm: %d trailing bytes in mapped payload", mv.Remaining())
+	}
+	if err := mv.Err(); err != nil {
+		return nil, err
+	}
+	nx.buildSymTable()
+	return nx, nil
+}
+
+// EncodeMapped writes the plain suffix-array index in mapped form.
+func (x *SAIndex) EncodeMapped(e *snap.MapEncoder) {
+	e.U64(uint64(x.symbols))
+	e.Blob(x.text)
+	e.Int32s(x.suff)
+	e.Int32s(x.inv)
+	e.Int32s(x.docStarts)
+	e.Words(x.docIDs)
+}
+
+// OpenMappedSA reconstructs a plain suffix-array index over a mapped
+// payload.
+func OpenMappedSA(mv *snap.MapView) (*SAIndex, error) {
+	nx := &SAIndex{}
+	nx.symbols = mv.Int()
+	nx.text = mv.Blob()
+	nx.suff = mv.Int32s()
+	nx.inv = mv.Int32s()
+	nx.docStarts = mv.Int32s()
+	nx.docIDs = mv.Words()
+	if err := mv.Err(); err != nil {
+		return nil, err
+	}
+	n := len(nx.text)
+	if len(nx.suff) != n || len(nx.inv) != n {
+		mv.Fail("sa: %d/%d suffix rows for %d text bytes", len(nx.suff), len(nx.inv), n)
+	}
+	if mv.Err() == nil {
+		checkDocTable(mv, n, nx.docStarts, nx.docIDs, nx.symbols)
+	}
+	if mv.Remaining() != 0 {
+		mv.Fail("sa: %d trailing bytes in mapped payload", mv.Remaining())
+	}
+	if err := mv.Err(); err != nil {
+		return nil, err
+	}
+	return nx, nil
+}
+
+// EncodeMapped writes the compressed suffix array in mapped form.
+func (x *CSA) EncodeMapped(e *snap.MapEncoder) {
+	e.U64(uint64(x.n))
+	e.U64(uint64(x.s))
+	e.U64(uint64(x.symbols))
+	c := make([]int32, len(x.c))
+	copy(c, x.c[:])
+	e.Int32s(c)
+	e.Int32s(x.psiSamples)
+	e.Blob(x.psiDeltas)
+	e.Int32s(x.psiOffsets)
+	e.Int32s(x.saSamp)
+	x.saMarked.EncodeMapped(e)
+	e.Int32s(x.isaSamp)
+	e.Int32s(x.docStarts)
+	e.Words(x.docIDs)
+}
+
+// OpenMappedCSA reconstructs a compressed suffix array over a mapped
+// payload. The Ψ block directory (offsets into the delta stream) is
+// validated in full — it is O(n/64) and an out-of-order offset would
+// send the varint reader out of bounds — while the delta bytes and
+// sample rows themselves are trusted like every other bulk payload.
+func OpenMappedCSA(mv *snap.MapView) (*CSA, error) {
+	nx := &CSA{}
+	nx.n = mv.Int()
+	nx.s = mv.Int()
+	nx.symbols = mv.Int()
+	c := mv.Int32s()
+	nx.psiSamples = mv.Int32s()
+	nx.psiDeltas = mv.Blob()
+	nx.psiOffsets = mv.Int32s()
+	nx.saSamp = mv.Int32s()
+	saMarked := bitvec.ViewMapped(mv)
+	nx.isaSamp = mv.Int32s()
+	nx.docStarts = mv.Int32s()
+	nx.docIDs = mv.Words()
+	if err := mv.Err(); err != nil {
+		return nil, err
+	}
+	nx.saMarked = saMarked
+	if len(c) != len(nx.c) {
+		mv.Fail("csa: C array has %d entries", len(c))
+		return nil, mv.Err()
+	}
+	prev := int32(0)
+	for b, v := range c {
+		if v < prev || int(v) > nx.n {
+			mv.Fail("csa: C array not monotone at symbol %d", b)
+			return nil, mv.Err()
+		}
+		prev = v
+		nx.c[b] = v
+	}
+	wantBlocks := 0
+	if nx.n > 0 {
+		wantBlocks = (nx.n-1)/psiBlock + 1
+	}
+	switch {
+	case nx.s < 1:
+		mv.Fail("csa: sample rate %d", nx.s)
+	case saMarked.Len() != nx.n:
+		mv.Fail("csa: %d marked rows for n=%d", saMarked.Len(), nx.n)
+	case len(nx.psiSamples) != wantBlocks || len(nx.psiOffsets) != wantBlocks:
+		mv.Fail("csa: %d/%d Ψ blocks, want %d", len(nx.psiSamples), len(nx.psiOffsets), wantBlocks)
+	case len(nx.saSamp) != saMarked.Ones():
+		mv.Fail("csa: %d SA samples for %d marked rows", len(nx.saSamp), saMarked.Ones())
+	case nx.n > 0 && saMarked.Ones() == 0:
+		mv.Fail("csa: non-empty index with no SA samples")
+	case nx.n > 0 && len(nx.isaSamp) != (nx.n+nx.s-1)/nx.s:
+		mv.Fail("csa: %d ISA samples, want %d", len(nx.isaSamp), (nx.n+nx.s-1)/nx.s)
+	}
+	if mv.Err() == nil {
+		for i, off := range nx.psiOffsets {
+			if int(off) < 0 || int(off) > len(nx.psiDeltas) || (i > 0 && off < nx.psiOffsets[i-1]) {
+				mv.Fail("csa: Ψ block offset %d out of order", off)
+				break
+			}
+		}
+	}
+	if mv.Err() == nil {
+		checkDocTable(mv, nx.n, nx.docStarts, nx.docIDs, nx.symbols)
+	}
+	if mv.Remaining() != 0 {
+		mv.Fail("csa: %d trailing bytes in mapped payload", mv.Remaining())
+	}
+	if err := mv.Err(); err != nil {
+		return nil, err
+	}
+	nx.sym.build(nx.c, nx.n)
+	return nx, nil
+}

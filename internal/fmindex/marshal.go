@@ -19,7 +19,13 @@ import (
 // checkDocTable validates the shared document table shape: docStarts
 // strictly increasing from 0, one ID per start, and symbols consistent
 // with one separator per document.
-func checkDocTable(d *snap.Decoder, n int, docStarts []int32, docIDs []uint64, symbols int) bool {
+// failer is the error sink both codecs share (snap.Decoder for the v1
+// varint form, snap.MapView for the v2 mapped form).
+type failer interface {
+	Fail(format string, args ...any)
+}
+
+func checkDocTable(d failer, n int, docStarts []int32, docIDs []uint64, symbols int) bool {
 	if len(docIDs) != len(docStarts) {
 		d.Fail("doc table: %d ids for %d starts", len(docIDs), len(docStarts))
 		return false
@@ -38,7 +44,7 @@ func checkDocTable(d *snap.Decoder, n int, docStarts []int32, docIDs []uint64, s
 }
 
 // checkRows validates that every value of rows lies in [0, n).
-func checkRows(d *snap.Decoder, what string, rows []int32, n int) bool {
+func checkRows(d failer, what string, rows []int32, n int) bool {
 	for _, r := range rows {
 		if int(r) < 0 || int(r) >= n {
 			d.Fail("%s: row %d outside [0,%d)", what, r, n)

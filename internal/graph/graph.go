@@ -110,6 +110,16 @@ func (g *Graph) RestoreSections(spine []byte, secs []snap.Section) error {
 	return g.rel.RestoreSections(spine, secs)
 }
 
+// DumpMapped captures the quiesced ladder in the v2 mapped form; see
+// binrel.Relation.DumpMapped.
+func (g *Graph) DumpMapped() ([]byte, []binrel.MappedStore) { return g.rel.DumpMapped() }
+
+// RestoreMapped installs a v2 mapped dump into the empty graph; see
+// binrel.Relation.RestoreMapped.
+func (g *Graph) RestoreMapped(spine []byte, stores []binrel.MappedStore, retain binrel.RetainFunc) error {
+	return g.rel.RestoreMapped(spine, stores, retain)
+}
+
 // Stats returns the underlying engine's rebuild counters and ladder
 // layout.
 func (g *Graph) Stats() binrel.Stats { return g.rel.Stats() }

@@ -1,0 +1,20 @@
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// openCopy reads the whole file into heap — the portable degradation
+// of Open, also used when mmap itself fails (e.g. the file lives on a
+// filesystem without mmap support).
+func openCopy(f *os.File, size int64) (*Mapping, error) {
+	if size < 0 || int64(int(size)) != size {
+		size = 0
+	}
+	buf := make([]byte, int(size))
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), buf); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: buf}, nil
+}

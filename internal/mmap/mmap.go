@@ -1,0 +1,51 @@
+// Package mmap provides read-only memory mapping of snapshot files
+// plus filesystem access-pattern hints, with portable fallbacks.
+//
+// Build tags: the real implementation (mmap_unix.go) is compiled on
+// linux and darwin, where syscall.Mmap/Munmap/Madvise exist in the
+// standard library. Everywhere else mmap_portable.go reads the file
+// into heap memory and every hint degrades to a no-op, so callers can
+// use the package unconditionally: the mapped open path still works,
+// it just loses the beyond-RAM property on exotic platforms. The
+// readahead hint (fadvise) additionally needs a raw syscall number and
+// is therefore linux-only (readahead_linux.go / readahead_other.go).
+package mmap
+
+import "os"
+
+// Mapping is a read-only view of a file's contents. On platforms with
+// mmap support Data aliases the page cache directly; otherwise it is a
+// heap copy. Close invalidates Data — callers must guarantee no slice
+// derived from Data is used afterwards.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when data is a real mapping that needs munmap
+}
+
+// Data returns the file contents. The slice must be treated as
+// read-only: on mapped platforms it is PROT_READ memory and a write
+// faults.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether Data is served by the page cache in place
+// (true) or is a heap copy (false).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Open maps f read-only. The file handle can be closed by the caller
+// once Open returns; the mapping stays valid.
+func Open(f *os.File) (*Mapping, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return openSized(f, fi.Size())
+}
+
+// contains reports the offset of p inside the mapping, or ok=false
+// when p does not alias m.data (e.g. a heap copy made by a decoder).
+func (m *Mapping) contains(p []byte) (off int, ok bool) {
+	if len(p) == 0 || len(m.data) == 0 {
+		return 0, false
+	}
+	return sliceOffset(m.data, p)
+}

@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package mmap
+
+import "os"
+
+func openSized(f *os.File, size int64) (*Mapping, error) {
+	return openCopy(f, size)
+}
+
+// Close releases the heap copy.
+func (m *Mapping) Close() error {
+	m.data = nil
+	return nil
+}
+
+// DontNeed is a no-op without a real mapping: the heap copy is freed
+// by the garbage collector when the last view goes away.
+func (m *Mapping) DontNeed(p []byte) {}

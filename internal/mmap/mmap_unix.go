@@ -1,0 +1,65 @@
+//go:build linux || darwin
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+func openSized(f *os.File, size int64) (*Mapping, error) {
+	if size == 0 {
+		// Zero-length mmap is an error on linux; an empty snapshot is
+		// simply an empty (invalid) byte slice for the decoder.
+		return &Mapping{}, nil
+	}
+	if size < 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network/FUSE mounts):
+		// fall back to a heap read rather than failing the open.
+		return openCopy(f, size)
+	}
+	// Snapshot access is section-directory driven, not sequential; let
+	// the kernel fault pages on demand with default readahead.
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// Close unmaps the file. Any outstanding view into Data becomes
+// invalid; concurrent DontNeed callers are excluded by the caller's
+// lifecycle (see mappedFile in the root package).
+func (m *Mapping) Close() error {
+	if !m.mapped {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data, m.mapped = nil, false
+	return syscall.Munmap(data)
+}
+
+// DontNeed tells the kernel the pages backing p (a sub-slice of Data)
+// will not be needed again, so the page cache can drop them early —
+// used when a landed rebuild supersedes a mapped store. The range is
+// rounded inward to page boundaries; a range smaller than a page, a
+// heap-copy mapping, or a foreign slice is a no-op.
+func (m *Mapping) DontNeed(p []byte) {
+	if !m.mapped {
+		return
+	}
+	off, ok := m.contains(p)
+	if !ok {
+		return
+	}
+	page := os.Getpagesize()
+	lo := (off + page - 1) / page * page
+	hi := (off + len(p)) / page * page
+	if hi <= lo {
+		return
+	}
+	// Advisory only: an error (e.g. locked pages) costs correctness
+	// nothing, the pages just stay resident until normal eviction.
+	_ = syscall.Madvise(m.data[lo:hi], syscall.MADV_DONTNEED)
+}

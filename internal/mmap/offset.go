@@ -1,0 +1,19 @@
+package mmap
+
+import "unsafe"
+
+// sliceOffset returns the byte offset of sub inside base when sub's
+// backing array lies within base's, using pointer arithmetic on the
+// two slice headers. Both slices must be non-empty.
+func sliceOffset(base, sub []byte) (off int, ok bool) {
+	b := uintptr(unsafe.Pointer(&base[0]))
+	s := uintptr(unsafe.Pointer(&sub[0]))
+	if s < b || s-b > uintptr(len(base)) {
+		return 0, false
+	}
+	off = int(s - b)
+	if off+len(sub) > len(base) {
+		return 0, false
+	}
+	return off, true
+}

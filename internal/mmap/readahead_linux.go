@@ -1,0 +1,19 @@
+//go:build linux
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+// ReadAhead hints that f is about to be read sequentially end to end
+// (posix_fadvise SEQUENTIAL doubles the kernel readahead window), so
+// full-file loads — v1 snapshot restore, WAL replay, checkpoint
+// segments — overlap disk latency with decoding. Advisory: failure is
+// ignored.
+func ReadAhead(f *os.File) {
+	// POSIX_FADV_SEQUENTIAL = 2; syscall exposes fadvise64 only by
+	// number, the constant is stable kernel ABI.
+	_, _, _ = syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, 2, 0, 0)
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package mmap
+
+import "os"
+
+// ReadAhead is a no-op where posix_fadvise is unavailable; reads still
+// work, just without the widened readahead window.
+func ReadAhead(f *os.File) {}

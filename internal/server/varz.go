@@ -38,6 +38,12 @@ type LadderVarz struct {
 	// per-shard live-weight occupancy, when the caller provides it.
 	Shards     int   `json:"shards,omitempty"`
 	ShardSizes []int `json:"shard_sizes,omitempty"`
+	// MappedBytes/HeapBytes split the footprint into snapshot pages
+	// served in place (LoadMappedFile) and ordinary heap, so operators
+	// can see residency; MappedBytes is zero for never-mapped
+	// structures.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	HeapBytes   int64 `json:"heap_bytes,omitempty"`
 	// Engine counters, straight from dyncoll.IndexStats.
 	Tau            int `json:"tau"`
 	Rebuilds       int `json:"rebuilds"`
@@ -72,6 +78,8 @@ func NewLadderVarz(st dyncoll.IndexStats, unit string, live int, sizeBits int64)
 		SizeBits:       sizeBits,
 		BitsPerUnit:    float64(sizeBits) / float64(max(1, live)),
 		Shards:         st.Shards,
+		MappedBytes:    st.MappedBytes,
+		HeapBytes:      st.HeapBytes,
 		Tau:            st.Tau,
 		Rebuilds:       st.Rebuilds,
 		GlobalRebuilds: st.GlobalRebuilds,
@@ -94,6 +102,9 @@ func (v *LadderVarz) WriteText(w io.Writer) {
 			fmt.Fprintf(w, ", occupancy %v", v.ShardSizes)
 		}
 		fmt.Fprintln(w)
+	}
+	if v.MappedBytes > 0 {
+		fmt.Fprintf(w, "%-10s %d B mapped, %d B heap\n", "residency:", v.MappedBytes, v.HeapBytes)
 	}
 	fmt.Fprintf(w, "%-10s τ=%d, rebuilds=%d, global=%d, pending builds=%d\n",
 		"engine:", v.Tau, v.Rebuilds, v.GlobalRebuilds, v.PendingBuilds)

@@ -1,0 +1,249 @@
+package snap
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// The v2 snapshot container: a segmented single file with a section
+// directory, after the DCS index format. Layout:
+//
+//	superblock (64 bytes)
+//	section 0  (page-aligned)
+//	section 1  (page-aligned)
+//	…
+//	directory  (40 bytes per section, CRC-protected)
+//
+// The superblock pins magic/version and points at the directory; each
+// directory entry names a section by (kind, shard, ordinal) and its
+// byte extent. Heavy store payloads start on 4096-byte boundaries so
+// an mmap of the file yields naturally page- and 8-aligned views that
+// the MapView codec can alias without copying, and so the pages of one
+// store can be madvise'd away independently when a rebuild supersedes
+// it. Small metadata sections (header, spine, store meta) are CRC
+// checked at open; bulk payload CRCs are verified only on demand
+// (MappedVerify) to keep open O(1).
+
+// MagicV2 identifies a v2 section-directory snapshot. Distinct from
+// the v1 magic so each opener fails fast on the other's files.
+var MagicV2 = [4]byte{'d', 's', 'n', '2'}
+
+// VersionV2 is the current v2 layout version.
+const VersionV2 = 1
+
+// SectionAlign is the alignment of every section payload.
+const SectionAlign = 4096
+
+// Section kinds. Per shard there is one SecSpine plus a
+// (SecStoreMeta, SecStorePayload) pair per static store, matched by
+// ordinal; SecHeader (shard 0, ordinal 0) holds the v1-style config
+// header bytes for the whole file.
+const (
+	SecHeader       uint16 = 1
+	SecSpine        uint16 = 2
+	SecStoreMeta    uint16 = 3
+	SecStorePayload uint16 = 4
+)
+
+// ModeMapped marks a store whose meta section carries only the dead
+// list, with the static index in a companion payload section laid out
+// by MapEncoder. It extends the v1 store modes (ModeItems, ModeBinary)
+// but appears only inside v2 files.
+const ModeMapped byte = 2
+
+const (
+	superblockSize = 64
+	dirEntrySize   = 40
+)
+
+// castagnoli matches the checkpoint codec's CRC choice (CRC32C has
+// hardware support on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SectionEntry is one directory row.
+type SectionEntry struct {
+	Kind    uint16
+	Shard   uint32
+	Ordinal uint32
+	Offset  uint64
+	Length  uint64
+	CRC     uint32
+}
+
+// V2Writer accumulates sections and streams the final layout.
+type V2Writer struct {
+	entries  []SectionEntry
+	payloads [][]byte
+	off      uint64
+}
+
+// NewV2Writer returns an empty writer; the first section lands at the
+// first page boundary after the superblock.
+func NewV2Writer() *V2Writer {
+	return &V2Writer{off: SectionAlign}
+}
+
+// Add appends a section. Payloads are retained (not copied) until
+// WriteTo runs.
+func (w *V2Writer) Add(kind uint16, shard, ordinal uint32, payload []byte) {
+	w.entries = append(w.entries, SectionEntry{
+		Kind:    kind,
+		Shard:   shard,
+		Ordinal: ordinal,
+		Offset:  w.off,
+		Length:  uint64(len(payload)),
+		CRC:     crc32.Checksum(payload, castagnoli),
+	})
+	w.payloads = append(w.payloads, payload)
+	w.off += uint64(len(payload))
+	if rem := w.off % SectionAlign; rem != 0 {
+		w.off += SectionAlign - rem
+	}
+}
+
+func appendEntry(buf []byte, e SectionEntry) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, e.Kind)
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // flags, reserved
+	buf = binary.LittleEndian.AppendUint32(buf, e.Shard)
+	buf = binary.LittleEndian.AppendUint32(buf, e.Ordinal)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // reserved
+	buf = binary.LittleEndian.AppendUint64(buf, e.Offset)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Length)
+	buf = binary.LittleEndian.AppendUint32(buf, e.CRC)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // pad
+	return buf
+}
+
+// WriteTo streams superblock, padded sections, and directory.
+func (w *V2Writer) WriteTo(out io.Writer) (int64, error) {
+	dir := make([]byte, 0, dirEntrySize*len(w.entries))
+	for _, e := range w.entries {
+		dir = appendEntry(dir, e)
+	}
+	super := make([]byte, superblockSize)
+	copy(super, MagicV2[:])
+	binary.LittleEndian.PutUint32(super[4:], VersionV2)
+	binary.LittleEndian.PutUint64(super[8:], w.off) // directory offset
+	binary.LittleEndian.PutUint64(super[16:], uint64(len(w.entries)))
+	binary.LittleEndian.PutUint32(super[24:], crc32.Checksum(dir, castagnoli))
+
+	var n int64
+	write := func(p []byte) error {
+		m, err := out.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write(super); err != nil {
+		return n, err
+	}
+	pos := uint64(superblockSize)
+	var zeros [SectionAlign]byte
+	pad := func(to uint64) error {
+		for pos < to {
+			chunk := to - pos
+			if chunk > SectionAlign {
+				chunk = SectionAlign
+			}
+			if err := write(zeros[:chunk]); err != nil {
+				return err
+			}
+			pos += chunk
+		}
+		return nil
+	}
+	for i, e := range w.entries {
+		if err := pad(e.Offset); err != nil {
+			return n, err
+		}
+		if err := write(w.payloads[i]); err != nil {
+			return n, err
+		}
+		pos += e.Length
+	}
+	if err := pad(w.off); err != nil {
+		return n, err
+	}
+	return n, write(dir)
+}
+
+// V2File is a decoded section directory over an in-memory (usually
+// mapped) file image.
+type V2File struct {
+	data    []byte
+	Entries []SectionEntry
+}
+
+// OpenV2 validates the superblock and directory of data and returns
+// the section table. Metadata sections (everything except store
+// payloads) are CRC-verified here; payload CRCs are left to
+// VerifyPayloads. All failures wrap ErrBadSnapshot.
+func OpenV2(data []byte) (*V2File, error) {
+	if len(data) < superblockSize {
+		return nil, Corruptf("v2 snapshot shorter than superblock (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != MagicV2 {
+		return nil, Corruptf("bad v2 magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != VersionV2 {
+		return nil, Corruptf("unsupported v2 snapshot version %d", v)
+	}
+	dirOff := binary.LittleEndian.Uint64(data[8:])
+	dirCount := binary.LittleEndian.Uint64(data[16:])
+	dirCRC := binary.LittleEndian.Uint32(data[24:])
+	if dirCount > uint64(len(data))/dirEntrySize {
+		return nil, Corruptf("v2 directory count %d impossible for %d-byte file", dirCount, len(data))
+	}
+	dirLen := dirCount * dirEntrySize
+	if dirOff < superblockSize || dirOff > uint64(len(data)) || dirLen > uint64(len(data))-dirOff {
+		return nil, Corruptf("v2 directory extent [%d,+%d) outside file", dirOff, dirLen)
+	}
+	dir := data[dirOff : dirOff+dirLen]
+	if crc32.Checksum(dir, castagnoli) != dirCRC {
+		return nil, Corruptf("v2 directory checksum mismatch")
+	}
+	f := &V2File{data: data, Entries: make([]SectionEntry, dirCount)}
+	for i := range f.Entries {
+		row := dir[i*dirEntrySize:]
+		e := SectionEntry{
+			Kind:    binary.LittleEndian.Uint16(row),
+			Shard:   binary.LittleEndian.Uint32(row[4:]),
+			Ordinal: binary.LittleEndian.Uint32(row[8:]),
+			Offset:  binary.LittleEndian.Uint64(row[16:]),
+			Length:  binary.LittleEndian.Uint64(row[24:]),
+			CRC:     binary.LittleEndian.Uint32(row[32:]),
+		}
+		if e.Offset > uint64(len(data)) || e.Length > uint64(len(data))-e.Offset {
+			return nil, Corruptf("v2 section %d extent [%d,+%d) outside file", i, e.Offset, e.Length)
+		}
+		if e.Offset%8 != 0 {
+			return nil, Corruptf("v2 section %d misaligned at offset %d", i, e.Offset)
+		}
+		if e.Kind != SecStorePayload {
+			if crc32.Checksum(f.Section(e), castagnoli) != e.CRC {
+				return nil, Corruptf("v2 section %d (kind %d) checksum mismatch", i, e.Kind)
+			}
+		}
+		f.Entries[i] = e
+	}
+	return f, nil
+}
+
+// Section returns the payload bytes of a directory entry as a view.
+func (f *V2File) Section(e SectionEntry) []byte {
+	return f.data[e.Offset : e.Offset+e.Length : e.Offset+e.Length]
+}
+
+// VerifyPayloads CRC-checks every store-payload section — the opt-in
+// full integrity pass that the default O(1) open skips.
+func (f *V2File) VerifyPayloads() error {
+	for i, e := range f.Entries {
+		if e.Kind != SecStorePayload {
+			continue
+		}
+		if crc32.Checksum(f.Section(e), castagnoli) != e.CRC {
+			return Corruptf("v2 payload section %d checksum mismatch", i)
+		}
+	}
+	return nil
+}

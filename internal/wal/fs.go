@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"io"
 	iofs "io/fs"
 	"os"
 	"path/filepath"
@@ -9,6 +10,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"dyncoll/internal/mmap"
 )
 
 // The filesystem seam. Every byte the durability layer persists goes
@@ -50,7 +53,19 @@ type osFS struct{}
 func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
-func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+
+// ReadFile reads whole checkpoint and WAL segment files during
+// restore; the sequential-access hint widens kernel readahead on that
+// cold path (no-op off Linux).
+func (osFS) ReadFile(name string) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	mmap.ReadAhead(f)
+	return io.ReadAll(f)
+}
 func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                   { return os.Remove(name) }
 func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }

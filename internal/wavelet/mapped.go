@@ -1,0 +1,115 @@
+package wavelet
+
+import (
+	"dyncoll/internal/bitvec"
+	"dyncoll/internal/huffman"
+	"dyncoll/internal/snap"
+)
+
+// Mapped form. The level bit runs (the O(n log σ) bulk of the tree)
+// are stored as mapped bitvectors and aliased in place at open; the
+// node table and code book are alphabet-sized (≤ 2σ−1 nodes), so they
+// are copied to heap — O(σ) work keeps open independent of the corpus
+// while avoiding unsafe struct aliasing for the 7-field node records.
+
+// EncodeMapped writes the tree in mapped form.
+func (t *Tree) EncodeMapped(e *snap.MapEncoder) {
+	e.U64(uint64(t.sigma))
+	e.U64(uint64(t.n))
+	lens := make([]int32, t.sigma)
+	bits := make([]uint64, t.sigma)
+	for i, c := range t.codes {
+		lens[i] = int32(c.Len)
+		bits[i] = c.Bits
+	}
+	e.Int32s(lens)
+	e.Words(bits)
+	flat := make([]int32, 0, 7*len(t.nodes))
+	for _, nd := range t.nodes {
+		flat = append(flat, nd.off, nd.onesBefore, nd.count, nd.zero, nd.one, nd.leaf, nd.depth)
+	}
+	e.Int32s(flat)
+	e.U64(uint64(len(t.levels)))
+	for _, lv := range t.levels {
+		lv.EncodeMapped(e)
+	}
+}
+
+// ViewMapped reconstructs a tree from mapped form. Structural checks
+// are O(σ + n/512): code lengths, node-table shape (child and level
+// references in range, bit runs within their level), and each level's
+// rank directory via bitvec.ViewMapped.
+func ViewMapped(mv *snap.MapView) *Tree {
+	sigma := mv.Int()
+	n := mv.Int()
+	lens := mv.Int32s()
+	bits := mv.Words()
+	flat := mv.Int32s()
+	nLevels := mv.Int()
+	if mv.Err() != nil {
+		return nil
+	}
+	if sigma < 1 {
+		mv.Fail("wavelet: sigma %d < 1", sigma)
+		return nil
+	}
+	if len(lens) != sigma || len(bits) != sigma {
+		mv.Fail("wavelet: code book sized %d/%d for sigma %d", len(lens), len(bits), sigma)
+		return nil
+	}
+	codes := make([]huffman.Code, sigma)
+	for i := range codes {
+		if lens[i] < 0 || lens[i] > 64 {
+			mv.Fail("wavelet: code length %d for symbol %d", lens[i], i)
+			return nil
+		}
+		codes[i] = huffman.Code{Symbol: i, Len: int(lens[i]), Bits: bits[i]}
+	}
+	if len(flat)%7 != 0 {
+		mv.Fail("wavelet: node table of %d int32s not a multiple of 7", len(flat))
+		return nil
+	}
+	nNodes := len(flat) / 7
+	if nLevels > 64 || (n > 0) != (nNodes > 0) {
+		// ≤64-bit codes bound the depth; a non-empty tree needs nodes
+		// (a single leaf legitimately has no levels).
+		mv.Fail("wavelet: %d nodes / %d levels for n=%d", nNodes, nLevels, n)
+		return nil
+	}
+	levels := make([]*bitvec.Vector, nLevels)
+	for d := range levels {
+		if levels[d] = bitvec.ViewMapped(mv); levels[d] == nil {
+			return nil
+		}
+	}
+	nodes := make([]node, nNodes)
+	for i := range nodes {
+		r := flat[7*i : 7*i+7]
+		nd := node{off: r[0], onesBefore: r[1], count: r[2], zero: r[3], one: r[4], leaf: r[5], depth: r[6]}
+		if nd.count < 0 || nd.off < 0 || nd.leaf < -1 || int(nd.leaf) >= sigma {
+			mv.Fail("wavelet: node %d malformed", i)
+			return nil
+		}
+		if nd.zero < -1 || int(nd.zero) >= nNodes || nd.one < -1 || int(nd.one) >= nNodes {
+			mv.Fail("wavelet: node %d child out of range", i)
+			return nil
+		}
+		if nd.leaf < 0 { // internal: owns a bit run of its level
+			if int(nd.depth) >= nLevels || nd.depth < 0 {
+				mv.Fail("wavelet: node %d at depth %d of %d levels", i, nd.depth, nLevels)
+				return nil
+			}
+			lv := levels[nd.depth]
+			if int(nd.off)+int(nd.count) > lv.Len() || int(nd.onesBefore) > lv.Ones() {
+				mv.Fail("wavelet: node %d run outside level %d", i, nd.depth)
+				return nil
+			}
+		}
+		nodes[i] = nd
+	}
+	if nNodes > 0 && n > 0 && int(nodes[0].count) != n {
+		mv.Fail("wavelet: root covers %d of %d symbols", nodes[0].count, n)
+		return nil
+	}
+	return &Tree{sigma: sigma, n: n, codes: codes, nodes: nodes, levels: levels}
+}

@@ -1,0 +1,96 @@
+package dyncoll
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"dyncoll/internal/textgen"
+)
+
+// benchSnapshots builds a collection over total symbols and writes both
+// snapshot formats, returning the two paths.
+func benchSnapshots(b *testing.B, total int) (v1, v2 string) {
+	b.Helper()
+	c := shardedBench(b, 0, benchDocs(total, 16, 42))
+	dir := b.TempDir()
+	v1, v2 = filepath.Join(dir, "c.v1"), filepath.Join(dir, "c.v2")
+	if err := c.SaveFile(v1); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SaveMappedFile(v2); err != nil {
+		b.Fatal(err)
+	}
+	return v1, v2
+}
+
+// BenchmarkColdOpen compares cold-start of the two snapshot formats
+// across corpus sizes. Heap Load decodes the whole stream into fresh
+// allocations, so time and allocated bytes grow with the corpus; the
+// mapped open reads the section directory, the spines, and the O(σ +
+// n/512) structural checks, so both stay near-flat — the corpus-sized
+// arrays are left to the page cache to fault in on demand.
+func BenchmarkColdOpen(b *testing.B) {
+	for _, total := range []int{1 << 15, 1 << 17, 1 << 19} {
+		v1, v2 := benchSnapshots(b, total)
+		b.Run(fmt.Sprintf("heap/n=%d", total), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fresh, err := NewCollection()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fresh.LoadFile(v1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("mapped/n=%d", total), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := OpenMappedCollection(v2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMappedQuery compares query latency between a heap-loaded and
+// a mapped collection over the same corpus: the mapped structure
+// answers from file-backed pages (here warm in the page cache), so the
+// comparison isolates the in-place decoding overhead.
+func BenchmarkMappedQuery(b *testing.B) {
+	const total = 1 << 17
+	docs := benchDocs(total, 16, 42)
+	pats := textgen.NewPatternSampler(docs, 7).PlantedSet(64, 8)
+	v1, v2 := benchSnapshots(b, total)
+	heap, err := NewCollection()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := heap.LoadFile(v1); err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := OpenMappedCollection(v2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mapped.Close()
+	for name, c := range map[string]*Collection{"heap": heap, "mapped": mapped} {
+		b.Run(name+"/count", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Count(pats[i%len(pats)])
+			}
+		})
+		b.Run(name+"/find", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.FindFunc(pats[i%len(pats)], func(Occurrence) bool { return true })
+			}
+		})
+	}
+}

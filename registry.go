@@ -7,6 +7,7 @@ import (
 
 	"dyncoll/internal/core"
 	"dyncoll/internal/fmindex"
+	"dyncoll/internal/snap"
 )
 
 // StaticIndex is the contract a static compressed index must satisfy to
@@ -57,11 +58,14 @@ const (
 	IndexCSA = "csa"
 )
 
-// indexEntry is one registered index family: the mandatory builder and
-// the optional snapshot fast-path decoder.
+// indexEntry is one registered index family: the mandatory builder,
+// the optional snapshot fast-path decoder, and the optional v2 mapped
+// opener (built-ins only for now — custom indexes round-trip through
+// v2 snapshots as raw documents rebuilt at open).
 type indexEntry struct {
-	build  IndexBuilder
-	decode IndexDecoder
+	build      IndexBuilder
+	decode     IndexDecoder
+	openMapped core.IndexOpener
 }
 
 var indexRegistry = struct {
@@ -140,6 +144,25 @@ func lookupDecoder(name string) IndexDecoder {
 	return nil
 }
 
+// lookupMappedOpener resolves an index's v2 mapped opener; nil when the
+// index has none (its v2 stores then travel as raw documents).
+func lookupMappedOpener(name string) core.IndexOpener {
+	indexRegistry.mu.RLock()
+	defer indexRegistry.mu.RUnlock()
+	if ent, ok := indexRegistry.m[name]; ok {
+		return ent.openMapped
+	}
+	return nil
+}
+
+// setMappedOpener attaches a v2 opener to a registered entry (init-time
+// wiring for the built-ins).
+func setMappedOpener(name string, open core.IndexOpener) {
+	indexRegistry.mu.Lock()
+	defer indexRegistry.mu.Unlock()
+	indexRegistry.m[name].openMapped = open
+}
+
 // registeredLocked lists names under a held read lock (for error detail).
 func registeredLocked() []string {
 	out := make([]string, 0, len(indexRegistry.m))
@@ -186,5 +209,14 @@ func init() {
 			return nil, err
 		}
 		return x, nil
+	})
+	setMappedOpener(IndexFM, func(mv *snap.MapView) (StaticIndex, error) {
+		return fmindex.OpenMappedIndex(mv)
+	})
+	setMappedOpener(IndexSA, func(mv *snap.MapView) (StaticIndex, error) {
+		return fmindex.OpenMappedSA(mv)
+	})
+	setMappedOpener(IndexCSA, func(mv *snap.MapView) (StaticIndex, error) {
+		return fmindex.OpenMappedCSA(mv)
 	})
 }

@@ -48,8 +48,9 @@ var (
 // is safe for concurrent readers and writers; label-keyed queries
 // (ObjectsOf, CountObjects, Objects) fan out across shards in parallel.
 type Relation struct {
-	rel relationImpl
-	cfg config // resolved construction config, recorded in snapshots
+	rel    relationImpl
+	cfg    config      // resolved construction config, recorded in snapshots
+	mapped *mappedFile // v2 snapshot mapping, nil unless LoadMappedFile
 }
 
 // newRelationImpl builds one unsharded relation for cfg. Both update
@@ -191,5 +192,6 @@ func (r *Relation) Stats() IndexStats {
 	if sh, ok := r.rel.(*shardedRelation); ok {
 		st.Shards = len(sh.shards)
 	}
+	st.fillResidency(r.mapped, r.SizeBits())
 	return st
 }
