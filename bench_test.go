@@ -13,13 +13,17 @@ package dyncoll
 
 import (
 	"fmt"
+	"regexp"
+	"slices"
 	"sync/atomic"
 	"testing"
 
 	"dyncoll/internal/baseline"
 	"dyncoll/internal/core"
 	"dyncoll/internal/doc"
+	"dyncoll/internal/fanout"
 	"dyncoll/internal/fmindex"
+	"dyncoll/internal/query"
 	"dyncoll/internal/textgen"
 )
 
@@ -566,7 +570,7 @@ func BenchmarkFanOut(b *testing.B) {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
 			total := 0
 			for i := 0; i < b.N; i++ {
-				fanOut(p, func(i int, emit func(int) bool) {
+				fanout.FanOut(p, func(i int, emit func(int) bool) {
 					for v := 0; v < perShard; v++ {
 						if !emit(v) {
 							return
@@ -616,6 +620,142 @@ func BenchmarkIngestSharded(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(syms), "ns/symbol")
 		})
 	}
+}
+
+// --- v2.4 query layer: regex search and ranked top-k ---
+
+// BenchmarkRegexSearch measures regex execution against the planner's
+// two regimes over the same preloaded sharded corpus. "planned" is a
+// selective expression built around a planted literal, so the required-
+// literal analysis filters candidates through the index and only a few
+// documents are verified. "scan" is an expression the analysis cannot
+// extract literals from (case-folded letters are rejected), so every
+// document is verified with the regexp engine — the fallback's full
+// price.
+func BenchmarkRegexSearch(b *testing.B) {
+	docs := benchDocs(1<<17, 16, 41)
+	ps := textgen.NewPatternSampler(docs, 42)
+	pats := ps.PlantedSet(16, 8)
+	c := shardedBench(b, 4, docs)
+	exprs := []struct{ name, expr string }{}
+	for i, p := range pats[:4] {
+		// p[4] generalizes to a wildcard: still selective, still planned.
+		expr := "(?s)" + regexp.QuoteMeta(string(p[:4])) + "." + regexp.QuoteMeta(string(p[5:]))
+		exprs = append(exprs, struct{ name, expr string }{fmt.Sprintf("planned/%d", i), expr})
+	}
+	for _, e := range exprs {
+		it, err := c.FindRegexp(e.expr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for range it {
+			n++
+		}
+		if n == 0 {
+			b.Fatalf("%s: planted pattern found no matches", e.name)
+		}
+	}
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			it, err := c.FindRegexp(exprs[i%len(exprs)].expr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for range it {
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// (?i) folds the literal, which the analysis must reject; the
+			// alphabet is 1..16 so the expression matches nothing and the
+			// measured cost is pure per-document verification.
+			it, err := c.FindRegexp(`(?i)zzzq`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for range it {
+			}
+		}
+	})
+}
+
+// BenchmarkTopK measures the ranked pipeline's k-bound win: FindTopK
+// with small k keeps a bounded heap per shard and transfers at most k
+// entries per level, where the exhaustive baseline finds every
+// occurrence, aggregates per document, scores, and fully sorts — the
+// work any caller without the ranked path would do.
+func BenchmarkTopK(b *testing.B) {
+	// Many small documents and a dense sample rate: the per-occurrence
+	// Locate cost (paid identically by both sides) stays low, so the
+	// aggregation the two sides actually differ in — bounded heap vs
+	// materialize-map-sort — is visible in the totals.
+	gen := textgen.NewCollection(textgen.CollectionOptions{
+		Sigma: 16, Order: 1, Skew: 0.6, MinLen: 64, MaxLen: 192, Seed: 43,
+	})
+	gen.GenerateTotal(1 << 18)
+	docs := gen.Docs
+	ps := textgen.NewPatternSampler(docs, 44)
+	pats := ps.PlantedSet(8, 2) // heavy: most documents match
+	c, err := NewCollection(WithSyncRebuilds(), WithShards(4), WithSampleRate(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.InsertBatch(docs); err != nil {
+		b.Fatal(err)
+	}
+	c.WaitIdle()
+	for _, k := range []int{10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for range c.FindTopK(pats[i%len(pats)], k) {
+				}
+			}
+		})
+	}
+	b.Run("exhaustive", func(b *testing.B) {
+		type agg struct {
+			count    int
+			firstOff int
+		}
+		for i := 0; i < b.N; i++ {
+			pat := pats[i%len(pats)]
+			aggs := make(map[uint64]*agg)
+			for _, o := range c.Find(pat) {
+				a := aggs[o.DocID]
+				if a == nil {
+					aggs[o.DocID] = &agg{count: 1, firstOff: o.Off}
+					continue
+				}
+				a.count++
+				if o.Off < a.firstOff {
+					a.firstOff = o.Off
+				}
+			}
+			ranked := make([]Match, 0, len(aggs))
+			for id, a := range aggs {
+				n, _ := c.DocLen(id)
+				ranked = append(ranked, Match{
+					Doc: id, Off: a.firstOff, Len: len(pat),
+					Score: query.Score(n, a.count, a.firstOff),
+				})
+			}
+			slices.SortFunc(ranked, func(x, y Match) int {
+				switch {
+				case x.Score > y.Score:
+					return -1
+				case x.Score < y.Score:
+					return 1
+				case x.Doc < y.Doc:
+					return -1
+				case x.Doc > y.Doc:
+					return 1
+				}
+				return 0
+			})
+		}
+	})
 }
 
 // --- v2 API: batch ingest vs looped single inserts ---

@@ -11,6 +11,10 @@
 //	addfile <id> <path>   insert a file's contents as a document
 //	del <id>              delete a document
 //	find <pattern>        list occurrences (doc id + offset)
+//	findn <k> <pattern>   list at most k occurrences (early-break fast path)
+//	grep <regex>          list regex matches (doc id + offset + length)
+//	top <k> <pattern>     k best-ranked documents for an exact pattern
+//	rtop <k> <regex>      k best-ranked documents for a regex
 //	count <pattern>       count occurrences
 //	extract <id> <off> <len>
 //	save <path>           write a snapshot (atomic temp-file + rename)
@@ -234,6 +238,60 @@ func runCollection(c *dyncoll.Collection, cmd, rest string) error {
 		})
 		fmt.Printf("%d occurrence(s)\n", n)
 
+	case "findn":
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("usage: findn <k> <pattern>")
+		}
+		k, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return err
+		}
+		occs := c.FindLimit([]byte(parts[1]), k)
+		for _, o := range occs {
+			fmt.Printf("  doc %d @ %d\n", o.DocID, o.Off)
+		}
+		fmt.Printf("%d occurrence(s)\n", len(occs))
+
+	case "grep":
+		if rest == "" {
+			return fmt.Errorf("usage: grep <regex>")
+		}
+		it, err := c.FindRegexp(rest)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for m := range it {
+			fmt.Printf("  doc %d @ %d len %d\n", m.Doc, m.Off, m.Len)
+			if n++; n >= 1000 {
+				break
+			}
+		}
+		fmt.Printf("%d match(es)\n", n)
+
+	case "top", "rtop":
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("usage: %s <k> <pattern>", cmd)
+		}
+		k, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return err
+		}
+		var it func(yield func(dyncoll.Match) bool)
+		if cmd == "top" {
+			it = c.FindTopK([]byte(parts[1]), k)
+		} else if it, err = c.FindRegexpTopK(parts[1], k); err != nil {
+			return err
+		}
+		n := 0
+		for m := range it {
+			fmt.Printf("  doc %d score %.4f (first @ %d)\n", m.Doc, m.Score, m.Off)
+			n++
+		}
+		fmt.Printf("%d document(s)\n", n)
+
 	case "count":
 		if rest == "" {
 			return fmt.Errorf("usage: count <pattern>")
@@ -263,7 +321,7 @@ func runCollection(c *dyncoll.Collection, cmd, rest string) error {
 		printStats(c.Stats(), "symbol", c.Len(), c.SizeBits(), c.ShardSizes())
 
 	default:
-		return fmt.Errorf("unknown command %q (add addfile del find count extract save load stats quit)", cmd)
+		return fmt.Errorf("unknown command %q (add addfile del find findn grep top rtop count extract save load stats quit)", cmd)
 	}
 	return nil
 }

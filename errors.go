@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"dyncoll/internal/core"
+	"dyncoll/internal/query"
 	"dyncoll/internal/snap"
 )
 
@@ -30,6 +31,10 @@ var (
 	// ErrDuplicateEdge reports a Graph.AddEdge of an edge that already
 	// exists.
 	ErrDuplicateEdge = errors.New("edge already present")
+
+	// ErrBadPattern reports a search plan that cannot be compiled: a
+	// malformed regular expression or a negative k.
+	ErrBadPattern = query.ErrBadPlan
 
 	// ErrUnknownIndex reports a static-index name with no registered
 	// builder.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"dyncoll/internal/doc"
 	"dyncoll/internal/engine"
@@ -171,6 +172,65 @@ func (c *collection) FindFunc(pattern []byte, fn func(Occurrence) bool) {
 			}
 		}
 	})
+}
+
+// groupedStore is the optional store-level grouped enumeration; stores
+// without it (the C0 suffix tree) fall back to collect-and-sort.
+type groupedStore interface {
+	findGroupedFunc(pattern []byte, fn func(Occurrence) bool)
+}
+
+// FindGroupedFunc calls fn for every occurrence of pattern, grouped by
+// document: each document's occurrences arrive contiguously with
+// offsets ascending (the order ranked search aggregates over; group
+// order across documents is unspecified). Grouping per store suffices
+// globally because every live document is owned by exactly one store in
+// the view. Enumeration stops early if fn returns false.
+func (c *collection) FindGroupedFunc(pattern []byte, fn func(Occurrence) bool) {
+	c.eng.View(func(stores []engine.Store[uint64, doc.Doc]) {
+		stop := false
+		wrapped := func(o Occurrence) bool {
+			if !fn(o) {
+				stop = true
+				return false
+			}
+			return true
+		}
+		for _, s := range stores {
+			if gs, ok := s.(groupedStore); ok {
+				gs.findGroupedFunc(pattern, wrapped)
+			} else {
+				groupedFallback(s.(docStore), pattern, wrapped)
+			}
+			if stop {
+				return
+			}
+		}
+	})
+}
+
+// groupedFallback imposes the grouped order on a store that can only
+// stream: collect everything, sort by (document, offset), replay.
+func groupedFallback(ds docStore, pattern []byte, fn func(Occurrence) bool) {
+	var occs []Occurrence
+	ds.findFunc(pattern, func(o Occurrence) bool {
+		occs = append(occs, o)
+		return true
+	})
+	slices.SortFunc(occs, func(a, b Occurrence) int {
+		if a.DocID != b.DocID {
+			if a.DocID < b.DocID {
+				return -1
+			}
+			return 1
+		}
+		return a.Off - b.Off
+	})
+	for _, o := range occs {
+		if !fn(o) {
+			return
+		}
+	}
 }
 
 // Find returns every occurrence of pattern.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"dyncoll/internal/doc"
 	"dyncoll/internal/dynbits"
 	"dyncoll/internal/engine"
@@ -159,6 +161,54 @@ func (s *SemiDynamic) findFunc(pattern []byte, fn func(Occurrence) bool) {
 		d, off := s.idx.Locate(row)
 		return fn(Occurrence{DocID: s.idx.DocID(d), Off: off})
 	})
+}
+
+// positionLister is the optional position-ordered enumeration fast
+// path: an index that can pack a row range's (docIndex, offset) pairs
+// into sortable uint64 words without per-row interface dispatch.
+type positionLister interface {
+	AppendPositions(lo, hi int, dst []uint64) []uint64
+}
+
+// findGroupedFunc reports the occurrences of pattern grouped by
+// document, offsets ascending within each document. It materializes the
+// match positions as packed docIndex<<32|offset words and sorts them —
+// the suffix-array range arrives in lexicographic row order, so the
+// grouping has to be imposed; one flat uint64 sort is the cheapest way.
+func (s *SemiDynamic) findGroupedFunc(pattern []byte, fn func(Occurrence) bool) {
+	if len(pattern) == 0 {
+		// Every live position, already contiguous per document.
+		s.findEverything(fn)
+		return
+	}
+	lo, hi := s.idx.Range(pattern)
+	if lo >= hi {
+		return
+	}
+	var packed []uint64
+	if pl, ok := s.idx.(positionLister); ok && s.alive == nil {
+		packed = pl.AppendPositions(lo, hi, make([]uint64, 0, hi-lo))
+	} else {
+		packed = make([]uint64, 0, hi-lo)
+		collect := func(row int) bool {
+			d, off := s.idx.Locate(row)
+			packed = append(packed, uint64(d)<<32|uint64(uint32(off)))
+			return true
+		}
+		if s.alive == nil {
+			for row := lo; row < hi; row++ {
+				collect(row)
+			}
+		} else {
+			s.alive.Report(lo, hi-1, collect)
+		}
+	}
+	slices.Sort(packed)
+	for _, p := range packed {
+		if !fn(Occurrence{DocID: s.idx.DocID(int(p >> 32)), Off: int(uint32(p))}) {
+			return
+		}
+	}
 }
 
 // findEverything reports every live position (empty-pattern semantics).

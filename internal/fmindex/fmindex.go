@@ -309,6 +309,25 @@ func (x *Index) Locate(row int) (doc, off int) {
 	return x.posToDoc(pos)
 }
 
+// AppendPositions locates every row of [lo, hi) and appends the results
+// to dst, each packed as docIndex<<32 | offset — so sorting the packed
+// words ascending yields the rows in text-position order: grouped by
+// document, offsets ascending within each document. This is the
+// position-ordered enumeration ranked search aggregates over; packing
+// keeps the sort a plain uint64 sort with no per-element indirection.
+func (x *Index) AppendPositions(lo, hi int, dst []uint64) []uint64 {
+	if cap(dst)-len(dst) < hi-lo {
+		grown := make([]uint64, len(dst), len(dst)+(hi-lo))
+		copy(grown, dst)
+		dst = grown
+	}
+	for row := lo; row < hi; row++ {
+		d, off := x.Locate(row)
+		dst = append(dst, uint64(d)<<32|uint64(uint32(off)))
+	}
+	return dst
+}
+
 func (x *Index) posToDoc(pos int) (doc, off int) {
 	doc = sort.Search(len(x.docStarts), func(i int) bool {
 		return int(x.docStarts[i]) > pos

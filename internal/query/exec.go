@@ -1,0 +1,272 @@
+package query
+
+import (
+	"slices"
+
+	"dyncoll/internal/core"
+)
+
+// Source is the slice of a document store the single-level executor
+// queries: pattern enumeration, pattern counting, and random-access
+// extraction. The core transformations satisfy it directly; the facade
+// adapts anything else.
+type Source interface {
+	// FindFunc streams occurrences of pattern in unspecified order;
+	// enumeration stops when fn returns false.
+	FindFunc(pattern []byte, fn func(core.Occurrence) bool)
+	// FindGroupedFunc streams occurrences grouped by document, offsets
+	// ascending within each document, each document's group contiguous
+	// (the position-ordered enumeration ranked plans aggregate over).
+	FindGroupedFunc(pattern []byte, fn func(core.Occurrence) bool)
+	Count(pattern []byte) int
+	Extract(id uint64, off, length int) ([]byte, bool)
+	DocLen(id uint64) (int, bool)
+	DocIDs() []uint64
+	DocCount() int
+	Len() int
+}
+
+// Executor runs a compiled plan at one level of the serving hierarchy,
+// emitting matches until the plan is exhausted or emit returns false.
+// Ranked plans emit documents best-first; streaming plans emit
+// occurrences in unspecified order. Execute itself enforces the plan's
+// k-bound, so callers see at most k matches from any level.
+//
+// Implementations: Single (one ladder), the sharded structure in the
+// facade package (fan-out over per-shard Singles), and the dyndocd
+// frontend (fan-out over per-backend /v1/search streams).
+type Executor interface {
+	Execute(p *Plan, emit func(Match) bool) error
+}
+
+// Single executes plans against one Source.
+type Single struct{ src Source }
+
+// Over returns the single-level executor for src.
+func Over(src Source) Single { return Single{src: src} }
+
+// Collect runs p against src and returns the emitted matches — for a
+// ranked plan, the level's exact local top-k list in emission order,
+// the unit the shard and fleet layers merge with MergeRanked.
+func Collect(src Source, p *Plan) []Match {
+	var out []Match
+	Over(src).Execute(p, func(m Match) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// Execute implements Executor. It never fails on a compiled plan; the
+// error return exists for the networked executors sharing the
+// interface.
+func (e Single) Execute(p *Plan, emit func(Match) bool) error {
+	switch {
+	case !p.Regex() && !p.Ranked():
+		e.exactStream(p, emit)
+	case !p.Regex():
+		e.exactRanked(p, emit)
+	case !p.Ranked():
+		e.regexStream(p, emit)
+	default:
+		e.regexRanked(p, emit)
+	}
+	return nil
+}
+
+// limited bounds a streaming emit at the plan's k (0 = unlimited); the
+// early break propagates into the underlying enumeration.
+func limited(k int, emit func(Match) bool) func(Match) bool {
+	if k <= 0 {
+		return emit
+	}
+	n := 0
+	return func(m Match) bool {
+		if !emit(m) {
+			return false
+		}
+		n++
+		return n < k
+	}
+}
+
+// exactStream is the classic workload: every occurrence of the pattern.
+func (e Single) exactStream(p *Plan, emit func(Match) bool) {
+	fn := limited(p.K(), emit)
+	e.src.FindFunc(p.pattern, func(o core.Occurrence) bool {
+		return fn(Match{Doc: o.DocID, Off: o.Off, Len: len(p.pattern)})
+	})
+}
+
+// exactRanked aggregates the grouped enumeration per document — match
+// count and earliest offset are exactly what the scorer needs, and the
+// grouped order delivers both in O(1) state per document. Scoring
+// (which reads DocLen) runs only after the enumeration completes:
+// re-entering the source from inside its own callback deadlocks the
+// worst-case engine, whose view holds the internal lock while yielding.
+func (e Single) exactRanked(p *Plan, emit func(Match) bool) {
+	type docAgg struct {
+		doc      uint64
+		count    int
+		firstOff int
+	}
+	var aggs []docAgg
+	e.src.FindGroupedFunc(p.pattern, func(o core.Occurrence) bool {
+		if n := len(aggs); n > 0 && aggs[n-1].doc == o.DocID {
+			aggs[n-1].count++
+			return true
+		}
+		aggs = append(aggs, docAgg{doc: o.DocID, count: 1, firstOff: o.Off})
+		return true
+	})
+	top := NewTopK(p.K())
+	for _, a := range aggs {
+		n, _ := e.src.DocLen(a.doc)
+		top.Add(Match{
+			Doc:   a.doc,
+			Off:   a.firstOff,
+			Len:   len(p.pattern),
+			Score: Score(n, a.count, a.firstOff),
+		})
+	}
+	emitSorted(top, emit)
+}
+
+// regexStream verifies candidate documents (docs sorted ascending, for
+// deterministic output) with the compiled regexp and emits every match.
+func (e Single) regexStream(p *Plan, emit func(Match) bool) {
+	fn := limited(p.K(), emit)
+	for _, id := range e.candidateDocs(p) {
+		text, ok := e.docText(id)
+		if !ok {
+			continue
+		}
+		for _, loc := range p.re.FindAllIndex(text, -1) {
+			if !fn(Match{Doc: id, Off: loc[0], Len: loc[1] - loc[0]}) {
+				return
+			}
+		}
+	}
+}
+
+// regexRanked scores each verified candidate document as a whole.
+func (e Single) regexRanked(p *Plan, emit func(Match) bool) {
+	top := NewTopK(p.K())
+	for _, id := range e.candidateDocs(p) {
+		text, ok := e.docText(id)
+		if !ok {
+			continue
+		}
+		locs := p.re.FindAllIndex(text, -1)
+		if len(locs) == 0 {
+			continue
+		}
+		top.Add(Match{
+			Doc:   id,
+			Off:   locs[0][0],
+			Len:   locs[0][1] - locs[0][0],
+			Score: Score(len(text), len(locs), locs[0][0]),
+		})
+	}
+	emitSorted(top, emit)
+}
+
+func emitSorted(top *TopK, emit func(Match) bool) {
+	for _, m := range top.Sorted() {
+		if !emit(m) {
+			return
+		}
+	}
+}
+
+// docText extracts a document's full payload for verification. A
+// failed extract means the document vanished between enumeration and
+// verification (possible only through a caller-level race; the shard
+// layer holds its read lock across Execute) — skipping it is the same
+// outcome as running a moment earlier.
+func (e Single) docText(id uint64) ([]byte, bool) {
+	n, ok := e.src.DocLen(id)
+	if !ok {
+		return nil, false
+	}
+	return e.src.Extract(id, 0, n)
+}
+
+// candidateDocs returns the ascending list of documents a regex plan
+// must verify. With required literals it is index-filtered: every match
+// contains at least one literal of each group, so documents containing
+// no literal of some group are skipped without verification. Without
+// usable literals — or when the cheapest group is so common that
+// filtering would enumerate a constant fraction of the corpus anyway —
+// it degrades to every live document (the scan fallback).
+func (e Single) candidateDocs(p *Plan) []uint64 {
+	if p.Regex() && !p.scan {
+		if docs, ok := e.filterDocs(p.groups); ok {
+			return docs
+		}
+	}
+	docs := e.src.DocIDs()
+	slices.Sort(docs)
+	return docs
+}
+
+// filterDocs runs the literal filter; ok is false when the index
+// suggests scanning is cheaper.
+func (e Single) filterDocs(groups [][][]byte) ([]uint64, bool) {
+	// Count every group first: occurrence totals order the groups by
+	// selectivity, and any all-zero group proves there are no matches.
+	totals := make([]int, len(groups))
+	order := make([]int, len(groups))
+	for i, g := range groups {
+		for _, lit := range g {
+			totals[i] += e.src.Count(lit)
+		}
+		if totals[i] == 0 {
+			return nil, true
+		}
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int { return totals[a] - totals[b] })
+
+	// If even the most selective group matches a constant fraction of
+	// the corpus, enumerating its occurrences costs as much as scanning.
+	if cheap := totals[order[0]]; cheap*4 > e.src.Len() {
+		return nil, false
+	}
+
+	cands := e.groupDocs(groups[order[0]])
+	for _, gi := range order[1:] {
+		// Intersecting with a further group is worth an index walk only
+		// while its occurrence list is comparable to the surviving
+		// candidate set; skipping the intersection is always sound.
+		if len(cands) == 0 || totals[gi] > 4*len(cands)+256 {
+			break
+		}
+		other := e.groupDocs(groups[gi])
+		for id := range cands {
+			if _, ok := other[id]; !ok {
+				delete(cands, id)
+			}
+		}
+	}
+
+	docs := make([]uint64, 0, len(cands))
+	for id := range cands {
+		docs = append(docs, id)
+	}
+	slices.Sort(docs)
+	return docs, true
+}
+
+// groupDocs is the set of documents containing at least one of the
+// group's literals.
+func (e Single) groupDocs(group [][]byte) map[uint64]struct{} {
+	set := make(map[uint64]struct{})
+	for _, lit := range group {
+		e.src.FindFunc(lit, func(o core.Occurrence) bool {
+			set[o.DocID] = struct{}{}
+			return true
+		})
+	}
+	return set
+}

@@ -14,7 +14,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dyncoll"
 	"dyncoll/internal/fanout"
+	"dyncoll/internal/query"
 	"dyncoll/internal/shardmap"
 )
 
@@ -57,7 +59,7 @@ func NewFrontend(backends []string) (*Frontend, error) {
 			MaxIdleConnsPerHost: 64,
 			IdleConnTimeout:     90 * time.Second,
 		}},
-		met: NewMetrics("insert", "delete", "find", "count", "extract"),
+		met: NewMetrics("insert", "delete", "find", "search", "count", "extract"),
 	}, nil
 }
 
@@ -74,6 +76,8 @@ func (f *Frontend) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/insert", f.met.Wrap("insert", f.handleInsert))
 	mux.HandleFunc("POST /v1/delete", f.met.Wrap("delete", f.handleDelete))
 	mux.HandleFunc("GET /v1/find", f.met.Wrap("find", f.handleFind))
+	mux.HandleFunc("GET /v1/search", f.met.Wrap("search", f.handleSearch))
+	mux.HandleFunc("POST /v1/search", f.met.Wrap("search", f.handleSearch))
 	mux.HandleFunc("GET /v1/count", f.met.Wrap("count", f.handleCount))
 	mux.HandleFunc("GET /v1/extract", f.met.Wrap("extract", f.handleExtract))
 	mux.HandleFunc("GET /varz", f.handleVarz)
@@ -348,6 +352,153 @@ func (f *Frontend) handleFind(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(FindResult{Err: fmt.Sprintf("%s (%d backend(s) failed)", bf.message(), failures.Load())})
 	}
 	f.met.AddStreamed("find", n)
+}
+
+// handleSearch runs a search plan over the fleet. The spec travels to
+// every backend verbatim (wire-level plan serialization: each backend
+// compiles and executes the same plan the frontend's client sent), and
+// only the merge differs by variant — the union-over-sub-collections
+// contract with a fleet as the outermost union.
+func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
+	spec, ok := parseSearchSpec(w, r)
+	if !ok {
+		return
+	}
+	if spec.Ranked {
+		f.searchRanked(w, r, spec)
+		return
+	}
+	f.searchStream(w, r, spec)
+}
+
+// searchBackend posts the plan to one backend and hands every NDJSON
+// line to perLine (which returns false to stop). The returned error
+// reports transport or status failures; a cancelled context is not an
+// error (it is the early break propagating).
+func (f *Frontend) searchBackend(ctx context.Context, i int, spec dyncoll.SearchPlan, perLine func([]byte) bool) error {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.backends[i]+"/v1/search", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		line := append([]byte(nil), sc.Bytes()...)
+		if !perLine(line) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// searchStream merges unranked per-backend streams exactly like
+// handleFind: lines relay as they arrive, the plan's k bounds the
+// merged stream, and the early break cancels every backend request
+// mid-enumeration. Each backend receives the full k — no single
+// backend can need more than the whole query.
+func (f *Frontend) searchStream(w http.ResponseWriter, r *http.Request, spec dyncoll.SearchPlan) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	ctx := r.Context()
+	n := 0
+	var failures atomic.Int32
+	var firstFault atomic.Pointer[backendFault]
+	fanout.FanOut(len(f.backends), func(i int, emit func([]byte) bool) {
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel() // early break → cancel → backend stops enumerating
+		if err := f.searchBackend(cctx, i, spec, emit); err != nil {
+			failures.Add(1)
+			firstFault.CompareAndSwap(nil, &backendFault{url: f.backends[i], err: err})
+		}
+	}, func(line []byte) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return false
+		}
+		n++
+		if n%fanout.Chunk == 0 {
+			if rc.Flush() != nil {
+				return false
+			}
+		}
+		return spec.K == 0 || n < spec.K
+	})
+	if bf := firstFault.Load(); bf != nil && ctx.Err() == nil {
+		if n == 0 {
+			writeError(w, http.StatusBadGateway, CodeUnreachable, bf.message())
+			return
+		}
+		json.NewEncoder(w).Encode(SearchResult{Err: fmt.Sprintf("%s (%d backend(s) failed)", bf.message(), failures.Load())})
+	}
+	f.met.AddStreamed("search", n)
+}
+
+// searchRanked gathers each backend's exact local top-k list (at most k
+// documents each — the fleet transfers O(backends·k) results, never the
+// full match set) and merges them into the exact global top-k: scores
+// are document-local and documents are backend-exclusive, so the merge
+// commutes with the union. Any backend fault fails the query with 502 —
+// a top-k list missing one backend's documents is silently wrong, which
+// is worse than unavailable.
+func (f *Frontend) searchRanked(w http.ResponseWriter, r *http.Request, spec dyncoll.SearchPlan) {
+	n := len(f.backends)
+	lists := make([][]query.Match, n)
+	faults := make([]*backendFault, n)
+	fanout.ForEach(n, func(i int) {
+		err := f.searchBackend(r.Context(), i, spec, func(line []byte) bool {
+			var m query.Match
+			if err := json.Unmarshal(line, &m); err != nil {
+				faults[i] = &backendFault{url: f.backends[i], err: err}
+				return false
+			}
+			lists[i] = append(lists[i], m)
+			return true
+		})
+		if err != nil && faults[i] == nil {
+			faults[i] = &backendFault{url: f.backends[i], err: err}
+		}
+	})
+	for _, bf := range faults {
+		if bf != nil {
+			writeError(w, http.StatusBadGateway, CodeUnreachable, bf.message())
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	streamed := 0
+	query.MergeRanked(lists, spec.K, func(m query.Match) bool {
+		if enc.Encode(SearchResult{Doc: m.Doc, Off: m.Off, Len: m.Len, Score: m.Score}) != nil {
+			return false
+		}
+		streamed++
+		return true
+	})
+	f.met.AddStreamed("search", streamed)
 }
 
 // findQuery renders the find query string for a backend request.

@@ -12,6 +12,9 @@
 //	POST /v1/insert   {"docs":[{"id":1,"text":"…"} | {"id":2,"data":"<base64>"}]}
 //	POST /v1/delete   {"ids":[1,2,3]}
 //	GET  /v1/find?q=pat[&limit=n]   NDJSON stream of {"doc":id,"off":o}
+//	POST /v1/search   {"q":"pat","regex":true,"ranked":true,"k":10}
+//	                  NDJSON stream of {"doc":id,"off":o,"len":l,"score":s}
+//	                  (also GET /v1/search?q=pat&regex=1&ranked=1&k=10)
 //	GET  /v1/count?q=pat            {"count":n}
 //	GET  /v1/extract?id=1&off=0&len=8
 //	GET  /varz                      JSON metrics (see Varz)
@@ -32,6 +35,7 @@ import (
 
 	"dyncoll"
 	"dyncoll/internal/fanout"
+	"dyncoll/internal/query"
 )
 
 // maxBodyBytes bounds request bodies (batch inserts included) so one
@@ -99,6 +103,18 @@ type FindResult struct {
 	Doc uint64 `json:"doc"`
 	Off int    `json:"off"`
 	Err string `json:"error,omitempty"`
+}
+
+// SearchResult is one NDJSON line of a /v1/search stream: a
+// dyncoll.Match on the wire, plus the same in-band error trailer
+// convention as FindResult. Streaming plans emit one line per
+// occurrence; ranked plans one line per document, best score first.
+type SearchResult struct {
+	Doc   uint64  `json:"doc"`
+	Off   int     `json:"off"`
+	Len   int     `json:"len,omitempty"`
+	Score float64 `json:"score,omitempty"`
+	Err   string  `json:"error,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -193,6 +209,8 @@ type Coll interface {
 	InsertBatch(docs []dyncoll.Document) error
 	DeleteBatch(ids []uint64) (int, error)
 	FindFunc(pattern []byte, fn func(dyncoll.Occurrence) bool)
+	FindLimit(pattern []byte, k int) []dyncoll.Occurrence
+	Search(plan dyncoll.SearchPlan, fn func(dyncoll.Match) bool) error
 	Count(pattern []byte) int
 	Extract(id uint64, off, length int) ([]byte, bool)
 	Has(id uint64) bool
@@ -226,7 +244,7 @@ type Backend struct {
 func NewBackend(c Coll) *Backend {
 	return &Backend{
 		coll: c,
-		met:  NewMetrics("insert", "delete", "find", "count", "extract"),
+		met:  NewMetrics("insert", "delete", "find", "search", "count", "extract"),
 	}
 }
 
@@ -242,6 +260,8 @@ func (b *Backend) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/insert", b.met.Wrap("insert", b.handleInsert))
 	mux.HandleFunc("POST /v1/delete", b.met.Wrap("delete", b.handleDelete))
 	mux.HandleFunc("GET /v1/find", b.met.Wrap("find", b.handleFind))
+	mux.HandleFunc("GET /v1/search", b.met.Wrap("search", b.handleSearch))
+	mux.HandleFunc("POST /v1/search", b.met.Wrap("search", b.handleSearch))
 	mux.HandleFunc("GET /v1/count", b.met.Wrap("count", b.handleCount))
 	mux.HandleFunc("GET /v1/extract", b.met.Wrap("extract", b.handleExtract))
 	mux.HandleFunc("GET /varz", b.handleVarz)
@@ -307,6 +327,20 @@ func (b *Backend) handleFind(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	if limit > 0 {
+		// Bounded results go through the FindLimit fast path: the
+		// enumeration stops at the limit-th match, and the result is small
+		// enough that streaming flushes buy nothing.
+		occs := b.coll.FindLimit(pattern, limit)
+		enc := json.NewEncoder(w)
+		for _, o := range occs {
+			if enc.Encode(FindResult{Doc: o.DocID, Off: o.Off}) != nil {
+				break
+			}
+		}
+		b.met.AddStreamed("find", len(occs))
+		return
+	}
 	rc := http.NewResponseController(w)
 	ctx := r.Context()
 	enc := json.NewEncoder(w)
@@ -324,9 +358,78 @@ func (b *Backend) handleFind(w http.ResponseWriter, r *http.Request) {
 				return false
 			}
 		}
-		return limit == 0 || n < limit
+		return true
 	})
 	b.met.AddStreamed("find", n)
+}
+
+// parseSearchSpec reads a search plan from the request: the JSON body
+// on POST (the exact wire form of dyncoll.SearchPlan), query parameters
+// q / regex / ranked / k on GET. The spec is validated by compiling it,
+// so malformed regexes and negative k reject with 400 here rather than
+// surfacing mid-stream.
+func parseSearchSpec(w http.ResponseWriter, r *http.Request) (dyncoll.SearchPlan, bool) {
+	var spec dyncoll.SearchPlan
+	if r.Method == http.MethodPost {
+		if !decodeBody(w, r, &spec) {
+			return spec, false
+		}
+	} else {
+		q := r.URL.Query()
+		spec.Pattern = q.Get("q")
+		spec.Regex = boolParam(q.Get("regex"))
+		spec.Ranked = boolParam(q.Get("ranked"))
+		if s := q.Get("k"); s != "" {
+			k, err := strconv.Atoi(s)
+			if err != nil || k < 0 {
+				writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be a non-negative integer")
+				return spec, false
+			}
+			spec.K = k
+		}
+	}
+	if _, err := query.Compile(spec); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return spec, false
+	}
+	return spec, true
+}
+
+// boolParam interprets a query-string boolean.
+func boolParam(s string) bool { return s == "1" || s == "true" }
+
+// handleSearch executes a search plan and streams its matches as
+// NDJSON. Streaming plans deliver matches as they are found with the
+// find endpoint's flush-and-cancel contract; ranked plans deliver at
+// most k documents, best first. The same plan object a library caller
+// would compile runs here — the endpoint is the wire level of the
+// plan/execute hierarchy.
+func (b *Backend) handleSearch(w http.ResponseWriter, r *http.Request) {
+	spec, ok := parseSearchSpec(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	ctx := r.Context()
+	enc := json.NewEncoder(w)
+	n := 0
+	b.coll.Search(spec, func(m dyncoll.Match) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if enc.Encode(SearchResult{Doc: m.Doc, Off: m.Off, Len: m.Len, Score: m.Score}) != nil {
+			return false
+		}
+		n++
+		if n%fanout.Chunk == 0 {
+			if rc.Flush() != nil {
+				return false
+			}
+		}
+		return true
+	})
+	b.met.AddStreamed("search", n)
 }
 
 func (b *Backend) handleCount(w http.ResponseWriter, r *http.Request) {

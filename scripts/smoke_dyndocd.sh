@@ -64,6 +64,20 @@ lines=$(curl -fsS "http://$FE/v1/find?q=needle" | wc -l)
 [ "$lines" -eq 20 ] || fail "find streamed $lines lines, want 20"
 lines=$(curl -fsS "http://$FE/v1/find?q=needle&limit=3" | wc -l)
 [ "$lines" -eq 3 ] || fail "find limit=3 streamed $lines lines"
+echo "== /v1/search: streaming, regex, and ranked top-k through the frontend"
+lines=$(curl -fsS "http://$FE/v1/search?q=needle" | wc -l)
+[ "$lines" -eq 20 ] || fail "search streamed $lines lines, want 20"
+lines=$(curl -fsS "http://$FE/v1/search?q=needle&k=4" | wc -l)
+[ "$lines" -eq 4 ] || fail "search k=4 streamed $lines lines"
+# "ne.dle" must plan through the literal filter and still find all 20.
+lines=$(curl -fsS "http://$FE/v1/search?q=ne.dle&regex=1" | wc -l)
+[ "$lines" -eq 20 ] || fail "regex search streamed $lines lines, want 20"
+out=$(curl -fsS "http://$FE/v1/search?q=needle&ranked=1&k=3")
+[ "$(echo "$out" | wc -l)" -eq 3 ] || fail "ranked search returned $(echo "$out" | wc -l) docs, want 3"
+echo "$out" | head -n 1 | grep -q '"score":' || fail "ranked search results carry no score: $out"
+status=$(curl -s -o /dev/null -w '%{http_code}' "http://$FE/v1/search?q=a(&regex=1")
+[ "$status" = 400 ] || fail "malformed regex returned status $status, want 400"
+
 # extract returns the bytes base64-encoded; "c21va2UgZG9jdW1lbnQ=" is "smoke document"
 out=$(curl -fsS "http://$FE/v1/extract?id=5&off=0&len=14")
 echo "$out" | grep -q '"data":"c21va2UgZG9jdW1lbnQ="' || fail "extract reply: $out"

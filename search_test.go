@@ -1,0 +1,326 @@
+package dyncoll
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"regexp"
+	"slices"
+	"testing"
+)
+
+// searchConfigs spans the 3 transformations × sharded/unsharded — the
+// six executor layouts every search variant must agree across.
+func searchConfigs() map[string][]Option {
+	return map[string][]Option{
+		"T1":          {WithTransformation(Amortized)},
+		"T2":          {WithTransformation(WorstCase), WithSyncRebuilds()},
+		"T3":          {WithTransformation(AmortizedFastInsert)},
+		"T1-shards=3": {WithTransformation(Amortized), WithShards(3)},
+		"T2-shards=4": {WithTransformation(WorstCase), WithSyncRebuilds(), WithShards(4)},
+		"T3-shards=2": {WithTransformation(AmortizedFastInsert), WithShards(2)},
+	}
+}
+
+var searchDocs = map[uint64][]byte{
+	1:  []byte("the quick brown fox jumps over the lazy dog"),
+	2:  []byte("pack my box with five dozen liquor jugs"),
+	3:  []byte("quick quack quock quick"),
+	4:  []byte("aaaa bbbb aaaa bbbb aaaa"),
+	5:  []byte("the rain in spain stays mainly in the plain"),
+	6:  []byte("zzzz"),
+	7:  []byte("a quick brown dog outpaces a quick fox"),
+	8:  []byte("mainframe maintenance remains domain knowledge"),
+	9:  []byte("xyxyxyxyxyxyxyxyxyxyxyxyxyxyxyxy"),
+	10: []byte("short"),
+}
+
+func searchCollection(t *testing.T, opts []Option) *Collection {
+	t.Helper()
+	c := mustCollection(t, opts...)
+	var batch []Document
+	for id, data := range searchDocs {
+		batch = append(batch, Document{ID: id, Data: data})
+	}
+	if err := c.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Delete and keep one document out, so lazy-deletion bitmaps are in
+	// play on every path.
+	mustInsert(t, c, Document{ID: 99, Data: []byte("the quick interloper")})
+	if err := c.Delete(99); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitIdle()
+	return c
+}
+
+// referenceRegex evaluates expr with the regexp package over every doc.
+func referenceRegex(expr string) []Match {
+	re := regexp.MustCompile(expr)
+	var out []Match
+	for _, id := range slices.Sorted(func(yield func(uint64) bool) {
+		for id := range searchDocs {
+			if !yield(id) {
+				return
+			}
+		}
+	}) {
+		for _, loc := range re.FindAllIndex(searchDocs[id], -1) {
+			out = append(out, Match{Doc: id, Off: loc[0], Len: loc[1] - loc[0]})
+		}
+	}
+	return out
+}
+
+func sortMatches(ms []Match) {
+	slices.SortFunc(ms, func(a, b Match) int {
+		if a.Doc != b.Doc {
+			if a.Doc < b.Doc {
+				return -1
+			}
+			return 1
+		}
+		if a.Off != b.Off {
+			return a.Off - b.Off
+		}
+		return a.Len - b.Len
+	})
+}
+
+// TestFindRegexpEquivalence: the planner's verified results equal the
+// regexp package run over every document, on all six layouts, for
+// literal-filtered and scan-fallback expressions alike.
+func TestFindRegexpEquivalence(t *testing.T) {
+	exprs := []string{
+		`quick`, `qu.ck`, `the|dog`, `ma?in`, `a{4}`, `(xy)+`,
+		`^the`, `dog$`, `[0-9]+`, `q[a-z]*k`, `\bfox\b`, `z{2,3}`,
+	}
+	for name, opts := range searchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			c := searchCollection(t, opts)
+			for _, expr := range exprs {
+				want := referenceRegex(expr)
+				it, err := c.FindRegexp(expr)
+				if err != nil {
+					t.Fatalf("FindRegexp(%q): %v", expr, err)
+				}
+				var got []Match
+				for m := range it {
+					got = append(got, m)
+				}
+				sortMatches(got)
+				sortMatches(want)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("FindRegexp(%q) = %v, want %v", expr, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFindTopKDeterministic: ranked output is identical across layouts
+// (score desc, doc asc) and is the prefix-of-k of the full ranking.
+func TestFindTopKDeterministic(t *testing.T) {
+	var full []Match
+	for name, opts := range searchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			c := searchCollection(t, opts)
+			var all []Match
+			for m := range c.FindTopK([]byte("quick"), 0) {
+				all = append(all, m)
+			}
+			if len(all) == 0 {
+				t.Fatal("no ranked results")
+			}
+			// Docs unique, order deterministic.
+			seen := map[uint64]bool{}
+			for i, m := range all {
+				if seen[m.Doc] {
+					t.Fatalf("doc %d ranked twice", m.Doc)
+				}
+				seen[m.Doc] = true
+				if i > 0 && (all[i-1].Score < m.Score ||
+					(all[i-1].Score == m.Score && all[i-1].Doc > m.Doc)) {
+					t.Fatalf("ranking out of order at %d: %v after %v", i, m, all[i-1])
+				}
+			}
+			if full == nil {
+				full = all
+			} else if fmt.Sprint(all) != fmt.Sprint(full) {
+				t.Fatalf("layout %s ranks differently: %v vs %v", name, all, full)
+			}
+			// Top-2 is the prefix of the full ranking.
+			var top2 []Match
+			for m := range c.FindTopK([]byte("quick"), 2) {
+				top2 = append(top2, m)
+			}
+			if fmt.Sprint(top2) != fmt.Sprint(all[:min(2, len(all))]) {
+				t.Fatalf("top-2 %v is not the prefix of %v", top2, all)
+			}
+		})
+	}
+}
+
+// TestFindRegexpTopK: ranked regex agrees across layouts and covers
+// exactly the documents the reference says match.
+func TestFindRegexpTopK(t *testing.T) {
+	const expr = `ma?in`
+	re := regexp.MustCompile(expr)
+	wantDocs := map[uint64]bool{}
+	for id, data := range searchDocs {
+		if re.Match(data) {
+			wantDocs[id] = true
+		}
+	}
+	var full []Match
+	for name, opts := range searchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			c := searchCollection(t, opts)
+			it, err := c.FindRegexpTopK(expr, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []Match
+			for m := range it {
+				all = append(all, m)
+			}
+			if len(all) != len(wantDocs) {
+				t.Fatalf("ranked %d docs, want %d", len(all), len(wantDocs))
+			}
+			for _, m := range all {
+				if !wantDocs[m.Doc] {
+					t.Fatalf("doc %d ranked but does not match", m.Doc)
+				}
+			}
+			if full == nil {
+				full = all
+			} else if fmt.Sprint(all) != fmt.Sprint(full) {
+				t.Fatalf("layout %s ranks differently", name)
+			}
+		})
+	}
+}
+
+func TestSearchBadPlan(t *testing.T) {
+	c := mustCollection(t)
+	if _, err := c.FindRegexp(`a(`); !errors.Is(err, ErrBadPattern) {
+		t.Errorf("FindRegexp(a() = %v, want ErrBadPattern", err)
+	}
+	if _, err := c.FindRegexpTopK(`[`, 5); !errors.Is(err, ErrBadPattern) {
+		t.Errorf("FindRegexpTopK([) = %v, want ErrBadPattern", err)
+	}
+	if err := c.Search(SearchPlan{Pattern: "x", K: -2}, func(Match) bool { return true }); !errors.Is(err, ErrBadPattern) {
+		t.Errorf("Search(k=-2) = %v, want ErrBadPattern", err)
+	}
+}
+
+// TestFindLimit: the prefix fast path returns exactly min(k, total)
+// occurrences, each a real occurrence, on sharded and unsharded
+// collections.
+func TestFindLimit(t *testing.T) {
+	for name, opts := range searchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			c := searchCollection(t, opts)
+			total := c.Count([]byte("quick"))
+			if total < 4 {
+				t.Fatalf("corpus broken: %d quick", total)
+			}
+			for _, k := range []int{-1, 0, 1, 3, total, total + 10} {
+				got := c.FindLimit([]byte("quick"), k)
+				want := k
+				if k <= 0 {
+					want = 0
+				} else if k > total {
+					want = total
+				}
+				if len(got) != want {
+					t.Fatalf("FindLimit(k=%d) returned %d, want %d", k, len(got), want)
+				}
+				for _, o := range got {
+					data, ok := c.Extract(o.DocID, o.Off, len("quick"))
+					if !ok || !bytes.Equal(data, []byte("quick")) {
+						t.Fatalf("FindLimit returned bogus occurrence %+v", o)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRelationGraphLimit covers the matching fan-out prefix fast paths.
+func TestRelationGraphLimit(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		var opts []Option
+		if shards > 0 {
+			opts = append(opts, WithShards(shards))
+		}
+		r, err := NewRelation(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for obj := uint64(1); obj <= 20; obj++ {
+			if err := r.Add(obj, 7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := r.ObjectsLimit(7, 5); len(got) != 5 {
+			t.Fatalf("shards=%d: ObjectsLimit = %d objects, want 5", shards, len(got))
+		}
+		if got := r.ObjectsLimit(7, 100); len(got) != 20 {
+			t.Fatalf("shards=%d: ObjectsLimit(100) = %d, want 20", shards, len(got))
+		}
+		if r.ObjectsLimit(7, 0) != nil {
+			t.Fatalf("shards=%d: ObjectsLimit(0) should be nil", shards)
+		}
+
+		g, err := NewGraph(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := uint64(1); u <= 20; u++ {
+			if err := g.AddEdge(u, 42); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := g.ReverseNeighborsLimit(42, 5); len(got) != 5 {
+			t.Fatalf("shards=%d: ReverseNeighborsLimit = %d, want 5", shards, len(got))
+		}
+		if got := g.ReverseNeighborsLimit(42, 100); len(got) != 20 {
+			t.Fatalf("shards=%d: ReverseNeighborsLimit(100) = %d, want 20", shards, len(got))
+		}
+	}
+}
+
+// TestSearchExactStreamMatchesFind: the plan/execute exact path reports
+// the same occurrence set as the legacy Find, with Len filled in.
+func TestSearchExactStreamMatchesFind(t *testing.T) {
+	for name, opts := range searchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			c := searchCollection(t, opts)
+			want := c.Find([]byte("ain"))
+			var got []Match
+			if err := c.Search(SearchPlan{Pattern: "ain"}, func(m Match) bool {
+				got = append(got, m)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Search found %d, Find found %d", len(got), len(want))
+			}
+			wantSet := map[Occurrence]bool{}
+			for _, o := range want {
+				wantSet[o] = true
+			}
+			for _, m := range got {
+				if m.Len != 3 {
+					t.Fatalf("match %+v: Len != 3", m)
+				}
+				if !wantSet[Occurrence{DocID: m.Doc, Off: m.Off}] {
+					t.Fatalf("Search reported %+v not in Find results", m)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"dyncoll/internal/doc"
 	"dyncoll/internal/fanout"
 	"dyncoll/internal/graph"
+	"dyncoll/internal/query"
 	"dyncoll/internal/shardmap"
 )
 
@@ -35,17 +36,9 @@ import (
 // tests because snapshots record per-shard ladders.
 func shardOf(key uint64, p int) int { return shardmap.ShardOf(key, p) }
 
-// fanOut, forEachShard and gather are the in-process face of the
-// fan-out/merge contract in internal/fanout — the same contract the
-// networked frontend applies to per-backend NDJSON streams. See that
-// package for the chunking and early-break semantics.
-func fanOut[T any](n int, run func(i int, emit func(T) bool), fn func(T) bool) {
-	fanout.FanOut(n, run, fn)
-}
-
-func forEachShard(n int, fn func(i int)) { fanout.ForEach(n, fn) }
-
-func gather[T any](n int, collect func(i int) []T) []T { return fanout.Gather(n, collect) }
+// Fan-out/merge goes straight through internal/fanout — the same
+// contract the networked frontend applies to per-backend NDJSON
+// streams. See that package for the chunking and early-break semantics.
 
 // aggStats merges per-shard engine stats into one: counters sum,
 // per-level numbers sum element-wise, top lists concatenate, Tau is
@@ -173,7 +166,7 @@ func (s *shardedColl) InsertBatch(docs []doc.Doc) error {
 		}
 	}
 	var firstErr atomic.Pointer[error]
-	forEachShard(len(involved), func(k int) {
+	fanout.ForEach(len(involved), func(k int) {
 		i := involved[k]
 		// Validated above under the held locks, so this cannot fail on
 		// user input; surface internal errors anyway rather than drop them.
@@ -209,7 +202,7 @@ func (s *shardedColl) DeleteBatch(ids []uint64) int {
 		}
 	}
 	var total atomic.Int64
-	forEachShard(len(involved), func(k int) {
+	fanout.ForEach(len(involved), func(k int) {
 		sh := s.shards[involved[k]]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -226,7 +219,7 @@ func (s *shardedColl) Has(id uint64) bool {
 }
 
 func (s *shardedColl) DocIDs() []uint64 {
-	return gather(len(s.shards), func(i int) []uint64 {
+	return fanout.Gather(len(s.shards), func(i int) []uint64 {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -238,7 +231,7 @@ func (s *shardedColl) DocIDs() []uint64 {
 // concatenates the per-shard results (order is unspecified, as for the
 // unsharded collection).
 func (s *shardedColl) Find(pattern []byte) []core.Occurrence {
-	return gather(len(s.shards), func(i int) []core.Occurrence {
+	return fanout.Gather(len(s.shards), func(i int) []core.Occurrence {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -250,7 +243,7 @@ func (s *shardedColl) Find(pattern []byte) []core.Occurrence {
 // read lock in its own goroutine and the matches merge into fn. When fn
 // returns false every shard stops at its next match.
 func (s *shardedColl) FindFunc(pattern []byte, fn func(core.Occurrence) bool) {
-	fanOut(len(s.shards), func(i int, emit func(core.Occurrence) bool) {
+	fanout.FanOut(len(s.shards), func(i int, emit func(core.Occurrence) bool) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -258,9 +251,46 @@ func (s *shardedColl) FindFunc(pattern []byte, fn func(core.Occurrence) bool) {
 	}, fn)
 }
 
+// execute runs a compiled query plan over the shard union — the
+// sharded level of the plan/execute hierarchy. A streaming plan fans
+// out per-shard executors (each already k-bounded) and enforces the
+// global k at the merge point, so the early break propagates into every
+// shard's enumeration mid-stream. A ranked plan gathers each shard's
+// exact local top-k list in parallel and merges: scores are
+// document-local and documents are shard-exclusive, so the merge of
+// per-shard top-k lists is the exact global top-k.
+func (s *shardedColl) execute(p *query.Plan, fn func(query.Match) bool) error {
+	if p.Ranked() {
+		lists := make([][]query.Match, len(s.shards))
+		fanout.ForEach(len(s.shards), func(i int) {
+			sh := s.shards[i]
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			lists[i] = query.Collect(sourceOf(sh.impl), p)
+		})
+		query.MergeRanked(lists, p.K(), fn)
+		return nil
+	}
+	k := p.K()
+	n := 0
+	fanout.FanOut(len(s.shards), func(i int, emit func(query.Match) bool) {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		query.Over(sourceOf(sh.impl)).Execute(p, emit)
+	}, func(m query.Match) bool {
+		if !fn(m) {
+			return false
+		}
+		n++
+		return k <= 0 || n < k
+	})
+	return nil
+}
+
 func (s *shardedColl) Count(pattern []byte) int {
 	var total atomic.Int64
-	forEachShard(len(s.shards), func(i int) {
+	fanout.ForEach(len(s.shards), func(i int) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -389,7 +419,7 @@ func (s *shardedRelation) LabelsOf(object uint64, fn func(label uint64) bool) {
 // ObjectsOf fans out across all shards in parallel: any shard may hold
 // pairs with the given label. Order is unspecified.
 func (s *shardedRelation) ObjectsOf(label uint64, fn func(object uint64) bool) {
-	fanOut(len(s.shards), func(i int, emit func(uint64) bool) {
+	fanout.FanOut(len(s.shards), func(i int, emit func(uint64) bool) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -407,7 +437,7 @@ func (s *shardedRelation) Labels(object uint64) []uint64 {
 // Objects gathers per-shard results in parallel and sorts the union to
 // keep the documented "sorted" contract.
 func (s *shardedRelation) Objects(label uint64) []uint64 {
-	out := gather(len(s.shards), func(i int) []uint64 {
+	out := fanout.Gather(len(s.shards), func(i int) []uint64 {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -426,7 +456,7 @@ func (s *shardedRelation) CountLabels(object uint64) int {
 
 func (s *shardedRelation) CountObjects(label uint64) int {
 	var total atomic.Int64
-	forEachShard(len(s.shards), func(i int) {
+	fanout.ForEach(len(s.shards), func(i int) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -436,7 +466,7 @@ func (s *shardedRelation) CountObjects(label uint64) int {
 }
 
 func (s *shardedRelation) Pairs() []binrel.Pair {
-	return gather(len(s.shards), func(i int) []binrel.Pair {
+	return fanout.Gather(len(s.shards), func(i int) []binrel.Pair {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -445,7 +475,7 @@ func (s *shardedRelation) Pairs() []binrel.Pair {
 }
 
 func (s *shardedRelation) PairsFunc(fn func(binrel.Pair) bool) {
-	fanOut(len(s.shards), func(i int, emit func(binrel.Pair) bool) {
+	fanout.FanOut(len(s.shards), func(i int, emit func(binrel.Pair) bool) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -570,7 +600,7 @@ func (s *shardedGraph) NeighborsFunc(u uint64, fn func(v uint64) bool) {
 // ReverseNeighborsFunc fans out across all shards in parallel: an edge
 // into v may originate from a source on any shard. Order is unspecified.
 func (s *shardedGraph) ReverseNeighborsFunc(v uint64, fn func(u uint64) bool) {
-	fanOut(len(s.shards), func(i int, emit func(uint64) bool) {
+	fanout.FanOut(len(s.shards), func(i int, emit func(uint64) bool) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -588,7 +618,7 @@ func (s *shardedGraph) Neighbors(u uint64) []uint64 {
 // ReverseNeighbors gathers per-shard results in parallel and sorts the
 // union to keep the documented "sorted" contract.
 func (s *shardedGraph) ReverseNeighbors(v uint64) []uint64 {
-	out := gather(len(s.shards), func(i int) []uint64 {
+	out := fanout.Gather(len(s.shards), func(i int) []uint64 {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -607,7 +637,7 @@ func (s *shardedGraph) OutDegree(u uint64) int {
 
 func (s *shardedGraph) InDegree(v uint64) int {
 	var total atomic.Int64
-	forEachShard(len(s.shards), func(i int) {
+	fanout.ForEach(len(s.shards), func(i int) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -617,7 +647,7 @@ func (s *shardedGraph) InDegree(v uint64) int {
 }
 
 func (s *shardedGraph) Edges() []binrel.Pair {
-	return gather(len(s.shards), func(i int) []binrel.Pair {
+	return fanout.Gather(len(s.shards), func(i int) []binrel.Pair {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -626,7 +656,7 @@ func (s *shardedGraph) Edges() []binrel.Pair {
 }
 
 func (s *shardedGraph) EdgesFunc(fn func(binrel.Pair) bool) {
-	fanOut(len(s.shards), func(i int, emit func(binrel.Pair) bool) {
+	fanout.FanOut(len(s.shards), func(i int, emit func(binrel.Pair) bool) {
 		sh := s.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()

@@ -10,6 +10,7 @@ import (
 	"syscall"
 
 	"dyncoll/internal/core"
+	"dyncoll/internal/fanout"
 	"dyncoll/internal/mmap"
 	"dyncoll/internal/snap"
 )
@@ -195,7 +196,7 @@ func guard(err *error) {
 // inline.
 func parallelShards(n int, fn func(i int) error) error {
 	errs := make([]error, n)
-	forEachShard(n, func(i int) { errs[i] = fn(i) })
+	fanout.ForEach(n, func(i int) { errs[i] = fn(i) })
 	for _, err := range errs {
 		if err != nil {
 			return err
