@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// The -fault flag turns a load test into a fault-injection run: a
+// schedule of process-level faults fires while the writer/reader mix is
+// measuring, and the per-second availability timeline shows how the
+// target rode through them. Offsets are relative to measurement start
+// (after preload), so "3s:kill:PID" kills a backend three seconds into
+// the measured window.
+
+// faultAction is one scheduled fault: at offset `at`, apply `verb` to
+// `arg`.
+type faultAction struct {
+	at   time.Duration
+	verb string // kill | term | stop | cont | run
+	arg  string // PID for signals, shell command for run
+}
+
+// parseFaultSchedule parses schedules of the form
+// "3s:kill:12345,6s:run:./revive.sh". Verbs: kill (SIGKILL), term
+// (SIGTERM), stop/cont (SIGSTOP/SIGCONT) — each taking a PID — and run,
+// taking a shell command (which may itself contain colons).
+func parseFaultSchedule(s string) ([]faultAction, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []faultAction
+	for _, e := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(e), ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("fault entry %q: want OFFSET:VERB:ARG", e)
+		}
+		at, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("fault entry %q: bad offset: %v", e, err)
+		}
+		switch parts[1] {
+		case "kill", "term", "stop", "cont":
+			if _, err := strconv.Atoi(parts[2]); err != nil {
+				return nil, fmt.Errorf("fault entry %q: %s needs a PID, got %q", e, parts[1], parts[2])
+			}
+		case "run":
+		default:
+			return nil, fmt.Errorf("fault entry %q: unknown verb %q (kill|term|stop|cont|run)", e, parts[1])
+		}
+		out = append(out, faultAction{at: at, verb: parts[1], arg: parts[2]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out, nil
+}
+
+// runFaultSchedule fires the schedule relative to start, logging each
+// action so the availability timeline can be read against it.
+func runFaultSchedule(sched []faultAction, start time.Time) {
+	for _, a := range sched {
+		if d := time.Until(start.Add(a.at)); d > 0 {
+			time.Sleep(d)
+		}
+		log.Printf("fault +%v: %s %s", a.at, a.verb, a.arg)
+		if err := a.apply(); err != nil {
+			log.Printf("fault +%v: %s %s failed: %v", a.at, a.verb, a.arg, err)
+		}
+	}
+}
+
+func (a faultAction) apply() error {
+	if a.verb == "run" {
+		out, err := exec.Command("/bin/sh", "-c", a.arg).CombinedOutput()
+		if len(out) > 0 {
+			log.Printf("fault run output: %s", strings.TrimSpace(string(out)))
+		}
+		return err
+	}
+	pid, _ := strconv.Atoi(a.arg)
+	sig := map[string]syscall.Signal{
+		"kill": syscall.SIGKILL,
+		"term": syscall.SIGTERM,
+		"stop": syscall.SIGSTOP,
+		"cont": syscall.SIGCONT,
+	}[a.verb]
+	return syscall.Kill(pid, sig)
+}

@@ -32,6 +32,58 @@ type loadtestConfig struct {
 	batch, docBytes  int
 	preload          int
 	idBase           uint64
+	fault            string
+	minAvail         float64
+}
+
+// availability buckets every request outcome (all operation classes)
+// by measurement second — the fault-injection report: each bucket shows
+// what fraction of that second's requests succeeded, so a kill at +3s
+// is visible as a dip (or not) exactly where it happened.
+type availability struct {
+	start   time.Time
+	buckets []availBucket
+}
+
+type availBucket struct{ ok, total atomic.Int64 }
+
+func newAvailability(start time.Time, d time.Duration) *availability {
+	return &availability{start: start, buckets: make([]availBucket, int(d/time.Second)+2)}
+}
+
+func (a *availability) record(ok bool) {
+	i := int(time.Since(a.start) / time.Second)
+	if i < 0 || i >= len(a.buckets) {
+		return
+	}
+	a.buckets[i].total.Add(1)
+	if ok {
+		a.buckets[i].ok.Add(1)
+	}
+}
+
+// report prints the per-second timeline and returns the overall
+// availability fraction (1.0 when no request was recorded).
+func (a *availability) report() float64 {
+	var parts []string
+	var okSum, totSum int64
+	for i := range a.buckets {
+		tot := a.buckets[i].total.Load()
+		if tot == 0 {
+			continue
+		}
+		ok := a.buckets[i].ok.Load()
+		okSum += ok
+		totSum += tot
+		parts = append(parts, fmt.Sprintf("%3.0f%%", 100*float64(ok)/float64(tot)))
+	}
+	fmt.Printf("\navailability by second (all ops): [%s]\n", strings.Join(parts, " "))
+	overall := 1.0
+	if totSum > 0 {
+		overall = float64(okSum) / float64(totSum)
+	}
+	fmt.Printf("overall availability: %.2f%% (%d/%d requests)\n", 100*overall, okSum, totSum)
+	return overall
 }
 
 // vocab is the word pool documents are generated from; read patterns
@@ -59,6 +111,10 @@ func (s *opStats) observe(d time.Duration, ok bool) {
 }
 
 func runLoadtest(cfg loadtestConfig) {
+	sched, err := parseFaultSchedule(cfg.fault)
+	if err != nil {
+		log.Fatalf("loadtest: %v", err)
+	}
 	base := strings.TrimRight(cfg.target, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -110,6 +166,12 @@ func runLoadtest(cfg loadtestConfig) {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
+	start := time.Now()
+	avail := newAvailability(start, cfg.duration)
+	if len(sched) > 0 {
+		go runFaultSchedule(sched, start)
+	}
+
 	for w := 0; w < cfg.writers; w++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -123,6 +185,7 @@ func runLoadtest(cfg loadtestConfig) {
 				}
 				d, ok := postInsert(rng, cfg.batch)
 				insertStats.observe(d, ok)
+				avail.record(ok)
 				if ok {
 					docsInserted.Add(int64(cfg.batch))
 				}
@@ -151,6 +214,7 @@ func runLoadtest(cfg loadtestConfig) {
 						resp.Body.Close()
 					}
 					countStats.observe(time.Since(start), ok)
+					avail.record(ok)
 				} else {
 					// Streaming find with a limit: measure time-to-last-line
 					// of a bounded result page, the interactive-search shape.
@@ -165,6 +229,7 @@ func runLoadtest(cfg loadtestConfig) {
 						ok = ok && sc.Err() == nil
 					}
 					findStats.observe(time.Since(start), ok)
+					avail.record(ok)
 				}
 			}
 		}(int64(200 + r))
@@ -191,6 +256,16 @@ func runLoadtest(cfg loadtestConfig) {
 	printOp("count", &countStats)
 	printOp("find (limit=100)", &findStats)
 
+	if len(sched) > 0 || cfg.minAvail > 0 {
+		// Fault-injection runs expect errors; the gate is the measured
+		// availability, not the raw error count.
+		overall := avail.report()
+		if cfg.minAvail > 0 && overall < cfg.minAvail {
+			fmt.Printf("FAIL: availability %.4f below -min-availability %.4f\n", overall, cfg.minAvail)
+			os.Exit(1)
+		}
+		return
+	}
 	if insertStats.errors.Load()+countStats.errors.Load()+findStats.errors.Load() > 0 {
 		os.Exit(1)
 	}

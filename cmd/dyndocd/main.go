@@ -15,13 +15,23 @@
 //	                runs before listening — kill -9 loses nothing
 //	                acknowledged.
 //	-mode=frontend  stateless query router over -backends=h1,h2,…:
-//	                keyed ops proxy to the backend owning the document
-//	                (deterministic shard map), un-routable queries fan
-//	                out across all backends and the NDJSON streams merge
-//	                with propagated early break.
+//	                keyed ops proxy to the replica set owning the
+//	                document (versioned assignment table, -replication R
+//	                or an explicit -assignment file), un-routable queries
+//	                fan out one request per assignment row and the NDJSON
+//	                streams merge with propagated early break. Every
+//	                backend call carries a deadline (-op-timeout), reads
+//	                retry with backoff (-retries, -retry-base) and hedge
+//	                against slow replicas (-hedge), and per-backend
+//	                circuit breakers (-breaker-failures,
+//	                -breaker-cooldown) gate routing; /readyz reports
+//	                degraded fleets.
 //	-mode=loadtest  drives a running server (-target=URL) with a
 //	                configurable writer/reader mix and reports QPS and
-//	                p50/p95/p99 latency per operation.
+//	                p50/p95/p99 latency per operation. -fault runs a
+//	                fault-injection schedule during measurement and
+//	                reports per-second availability (-min-availability
+//	                sets the pass/fail gate).
 //
 // Graceful drain: on SIGTERM (or Ctrl-C) the server stops accepting,
 // finishes in-flight requests, quiesces background rebuilds (WaitIdle),
@@ -39,12 +49,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"dyncoll"
 	"dyncoll/internal/server"
+	"dyncoll/internal/shardmap"
 )
 
 func main() {
@@ -55,6 +68,16 @@ func main() {
 		mapped   = flag.Bool("mmap", false, "use the v2 mapped snapshot format for -snapshot: O(1) restore, queries served from the page cache (backend)")
 		backends = flag.String("backends", "", "comma-separated backend addresses (frontend)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+
+		// Fault tolerance (frontend).
+		replication = flag.Int("replication", 1, "replica count R per assignment row; writes reach all R, reads any live one (frontend)")
+		assignFile  = flag.String("assignment", "", "explicit JSON assignment table file; overrides -replication (frontend)")
+		opTimeout   = flag.Duration("op-timeout", 5*time.Second, "per-backend-call deadline, also the stream stall watchdog (frontend)")
+		retries     = flag.Int("retries", 3, "max attempts per retryable backend call (frontend)")
+		retryBase   = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff; doubles per attempt with jitter (frontend)")
+		brkFailures = flag.Int("breaker-failures", 3, "consecutive transport failures that trip a backend's circuit breaker (frontend)")
+		brkCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe (frontend)")
+		hedge       = flag.Duration("hedge", 0, "hedged-read delay for ranked/count: 0 = adaptive p99, negative disables (frontend)")
 
 		// Durability (backend; mutually exclusive with -snapshot).
 		walDir    = flag.String("wal", "", "durable directory: WAL + incremental checkpoints; every acknowledged write survives kill -9 (backend)")
@@ -78,6 +101,8 @@ func main() {
 		docBytes = flag.Int("doc-bytes", 256, "approximate payload bytes per document (loadtest)")
 		preload  = flag.Int("preload", 500, "documents inserted before measurement starts (loadtest)")
 		idBase   = flag.Uint64("id-base", 1_000_000_000, "first document ID the load test allocates (loadtest)")
+		fault    = flag.String("fault", "", "fault schedule fired during measurement, e.g. '3s:kill:PID,6s:run:CMD' (loadtest)")
+		minAvail = flag.Float64("min-availability", 0, "overall availability fraction required to exit 0 when -fault or this flag is set (loadtest)")
 	)
 	flag.Parse()
 
@@ -90,12 +115,19 @@ func main() {
 			counting: *counting, transform: *transform,
 		})
 	case "frontend":
-		runFrontend(*listen, *backends, *drainFor)
+		runFrontend(frontendConfig{
+			listen: *listen, backends: *backends, drainTimeout: *drainFor,
+			replication: *replication, assignment: *assignFile,
+			opTimeout: *opTimeout, retries: *retries, retryBase: *retryBase,
+			breakerFailures: *brkFailures, breakerCooldown: *brkCooldown,
+			hedge: *hedge,
+		})
 	case "loadtest":
 		runLoadtest(loadtestConfig{
 			target: *target, writers: *writers, readers: *readers,
 			duration: *duration, batch: *batch, docBytes: *docBytes,
 			preload: *preload, idBase: *idBase,
+			fault: *fault, minAvail: *minAvail,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q (backend | frontend | loadtest)\n", *mode)
@@ -167,12 +199,20 @@ func runBackend(cfg backendConfig) {
 	if err != nil {
 		log.Fatalf("dyndocd: %v", err)
 	}
-	if cfg.snapshot != "" {
-		restore := c.LoadFile
+	restore := func(dst *dyncoll.Collection, path string) error {
 		if cfg.mapped {
-			restore = func(p string) error { return c.LoadMappedFile(p) }
+			return dst.LoadMappedFile(path)
 		}
-		switch err := restore(cfg.snapshot); {
+		return dst.LoadFile(path)
+	}
+	save := func(src *dyncoll.Collection, path string) error {
+		if cfg.mapped {
+			return src.SaveMappedFile(path)
+		}
+		return src.SaveFile(path)
+	}
+	if cfg.snapshot != "" {
+		switch err := restore(c, cfg.snapshot); {
 		case err == nil:
 			log.Printf("restored snapshot %s: %d document(s), %d symbol(s)", cfg.snapshot, c.DocCount(), c.Len())
 		case errors.Is(err, os.ErrNotExist):
@@ -182,20 +222,52 @@ func runBackend(cfg backendConfig) {
 			log.Fatalf("dyndocd: restore %s: %v", cfg.snapshot, err)
 		}
 	}
-	b := server.NewBackend(server.PlainColl{Collection: c})
+	// Range hosting: a replicated frontend addresses writes/reads to
+	// assignment rows (?range=N); each row lives in its own collection.
+	b := server.NewBackend(server.PlainColl{Collection: c}).EnableRanges(func(rng int) (server.Coll, error) {
+		rc, err := dyncoll.NewCollection(opts...)
+		if err != nil {
+			return nil, err
+		}
+		return server.PlainColl{Collection: rc}, nil
+	})
+	if cfg.snapshot != "" {
+		// Row snapshots sit beside the default one as PATH.range<N>.
+		matches, _ := filepath.Glob(cfg.snapshot + ".range*")
+		for _, m := range matches {
+			rng, err := strconv.Atoi(strings.TrimPrefix(m, cfg.snapshot+".range"))
+			if err != nil {
+				continue
+			}
+			rc, err := dyncoll.NewCollection(opts...)
+			if err != nil {
+				log.Fatalf("dyndocd: %v", err)
+			}
+			if err := restore(rc, m); err != nil {
+				log.Fatalf("dyndocd: restore %s: %v", m, err)
+			}
+			b.SetRange(rng, server.PlainColl{Collection: rc})
+			log.Printf("restored range %d snapshot %s: %d document(s)", rng, m, rc.DocCount())
+		}
+	}
 	serveUntilSignal("backend", cfg.listen, b.Handler(), cfg.drainTimeout, func() {
 		c.WaitIdle() // background rebuilds land before the state is captured
 		if cfg.snapshot == "" {
 			return
 		}
-		save := c.SaveFile
-		if cfg.mapped {
-			save = c.SaveMappedFile
-		}
-		if err := save(cfg.snapshot); err != nil {
+		if err := save(c, cfg.snapshot); err != nil {
 			log.Fatalf("dyndocd: drain snapshot %s: %v", cfg.snapshot, err)
 		}
 		log.Printf("drain snapshot: %d document(s), %d symbol(s) → %s", c.DocCount(), c.Len(), cfg.snapshot)
+		for rng, rcoll := range b.Ranges() {
+			rc := rcoll.(server.PlainColl).Collection
+			rc.WaitIdle()
+			path := fmt.Sprintf("%s.range%d", cfg.snapshot, rng)
+			if err := save(rc, path); err != nil {
+				log.Fatalf("dyndocd: drain range snapshot %s: %v", path, err)
+			}
+			log.Printf("drain range %d snapshot: %d document(s) → %s", rng, rc.DocCount(), path)
+		}
 	})
 }
 
@@ -204,10 +276,11 @@ func runBackend(cfg backendConfig) {
 // HTTP reply, and the drain closes the log — though with a WAL a drain
 // is a courtesy, not a requirement; kill -9 loses nothing acknowledged.
 func runDurableBackend(cfg backendConfig, opts []dyncoll.Option) {
-	dc, err := dyncoll.OpenDurableCollection(cfg.wal, dyncoll.WALOptions{
+	wopts := dyncoll.WALOptions{
 		SyncWindow:      cfg.walSyncWindow,
 		CheckpointEvery: cfg.walCheckpoint,
-	}, opts...)
+	}
+	dc, err := dyncoll.OpenDurableCollection(cfg.wal, wopts, opts...)
 	if err != nil {
 		log.Fatalf("dyndocd: open durable %s: %v", cfg.wal, err)
 	}
@@ -215,32 +288,96 @@ func runDurableBackend(cfg backendConfig, opts []dyncoll.Option) {
 	log.Printf("recovered %s in %v: checkpoint=%v, %d WAL record(s) in %d file(s), torn tail truncated=%v → %d document(s)",
 		cfg.wal, rec.Duration.Round(time.Millisecond), rec.CheckpointLoaded,
 		rec.WALRecords, rec.WALFiles, rec.TornTailTruncated, dc.DocCount())
-	b := server.NewBackend(dc)
+	// Range hosting: each assignment row gets its own durable directory
+	// (DIR/range-<N>) with a full WAL + checkpoint lifecycle, so a
+	// replica's acknowledged writes for every hosted row survive kill -9.
+	b := server.NewBackend(dc).EnableRanges(func(rng int) (server.Coll, error) {
+		rdir := filepath.Join(cfg.wal, fmt.Sprintf("range-%d", rng))
+		rc, err := dyncoll.OpenDurableCollection(rdir, wopts, opts...)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("range %d: opened durable sub-collection in %s", rng, rdir)
+		return rc, nil
+	})
+	entries, _ := os.ReadDir(cfg.wal)
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "range-") {
+			continue
+		}
+		rng, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "range-"))
+		if err != nil {
+			continue
+		}
+		rc, err := dyncoll.OpenDurableCollection(filepath.Join(cfg.wal, e.Name()), wopts, opts...)
+		if err != nil {
+			log.Fatalf("dyndocd: open durable range %d: %v", rng, err)
+		}
+		b.SetRange(rng, rc)
+		log.Printf("recovered range %d: %d document(s)", rng, rc.DocCount())
+	}
 	serveUntilSignal("backend", cfg.listen, b.Handler(), cfg.drainTimeout, func() {
-		dc.WaitIdle()
-		if err := dc.Checkpoint(); err != nil {
-			log.Printf("drain checkpoint: %v (WAL tail still replays on restart)", err)
+		drainDurable := func(name string, d *dyncoll.DurableCollection, dir string) {
+			d.WaitIdle()
+			if err := d.Checkpoint(); err != nil {
+				log.Printf("drain checkpoint %s: %v (WAL tail still replays on restart)", name, err)
+			}
+			if err := d.Close(); err != nil {
+				log.Printf("drain close %s: %v", name, err)
+			}
+			log.Printf("drain: WAL closed, %d document(s) durable in %s", d.DocCount(), dir)
 		}
-		if err := dc.Close(); err != nil {
-			log.Printf("drain close: %v", err)
+		drainDurable("default", dc, cfg.wal)
+		for rng, rcoll := range b.Ranges() {
+			name := fmt.Sprintf("range-%d", rng)
+			drainDurable(name, rcoll.(*dyncoll.DurableCollection), filepath.Join(cfg.wal, name))
 		}
-		log.Printf("drain: WAL closed, %d document(s) durable in %s", dc.DocCount(), cfg.wal)
 	})
 }
 
-func runFrontend(listen, backendList string, drainTimeout time.Duration) {
+type frontendConfig struct {
+	listen, backends, assignment string
+	replication                  int
+	retries, breakerFailures     int
+	opTimeout, retryBase         time.Duration
+	breakerCooldown, hedge       time.Duration
+	drainTimeout                 time.Duration
+}
+
+func runFrontend(cfg frontendConfig) {
 	var addrs []string
-	for _, a := range strings.Split(backendList, ",") {
+	for _, a := range strings.Split(cfg.backends, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			addrs = append(addrs, a)
 		}
 	}
-	f, err := server.NewFrontend(addrs)
+	fc := server.FrontendConfig{
+		Backends:    addrs,
+		Replication: cfg.replication,
+		OpTimeout:   cfg.opTimeout,
+		Retry:       server.RetryPolicy{Attempts: cfg.retries, Base: cfg.retryBase},
+		Breaker:     server.BreakerConfig{Failures: cfg.breakerFailures, Cooldown: cfg.breakerCooldown},
+		HedgeDelay:  cfg.hedge,
+	}
+	if cfg.assignment != "" {
+		data, err := os.ReadFile(cfg.assignment)
+		if err != nil {
+			log.Fatalf("dyndocd: -assignment: %v", err)
+		}
+		a, err := shardmap.ParseAssignment(data)
+		if err != nil {
+			log.Fatalf("dyndocd: -assignment %s: %v", cfg.assignment, err)
+		}
+		fc.Assignment = &a
+	}
+	f, err := server.NewFrontendConfig(fc)
 	if err != nil {
 		log.Fatalf("dyndocd: %v (use -backends=host1:port,host2:port,…)", err)
 	}
-	log.Printf("routing across %d backend(s): %s", len(f.Backends()), strings.Join(f.Backends(), ", "))
-	serveUntilSignal("frontend", listen, f.Handler(), drainTimeout, nil)
+	asg := f.Assignment()
+	log.Printf("routing %d row(s) across %d backend(s), replication %d (assignment v%d): %s",
+		asg.Rows(), len(f.Backends()), asg.Replication, asg.Version, strings.Join(f.Backends(), ", "))
+	serveUntilSignal("frontend", cfg.listen, f.Handler(), cfg.drainTimeout, nil)
 }
 
 // serveUntilSignal runs the HTTP server until SIGTERM/SIGINT, then

@@ -1,0 +1,201 @@
+// Package faultnet is the network-level fault-injection harness: an
+// in-process TCP proxy that sits between a frontend and one backend and
+// injects the failure modes a real fleet sees — connection refusal,
+// mid-stream cuts, latency spikes, and black holes — on command from a
+// test. It is the network analogue of PR 7's injectable wal.FS seam:
+// the code under test runs unmodified against real sockets while the
+// harness decides, per backend and per moment, how the network behaves.
+//
+// A Proxy forwards 127.0.0.1:<ephemeral> → target. Tests point the
+// frontend at Proxy.Addr() instead of the backend and then script
+// faults:
+//
+//	p.SetMode(faultnet.Refuse)     // new connections reset immediately
+//	p.SetMode(faultnet.Blackhole)  // connections open but never answer
+//	p.SetLatency(300*time.Millisecond) // each direction stalls once per conn
+//	p.CutConns()                   // sever every established connection now
+//	p.SetMode(faultnet.Pass)       // heal
+//
+// Mode changes affect new connections; CutConns affects established
+// ones, so "SIGKILL mid-stream" is SetMode(Refuse) + CutConns().
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how the proxy treats new connections.
+type Mode int32
+
+const (
+	// Pass forwards traffic unmodified (after the configured latency).
+	Pass Mode = iota
+	// Refuse resets every new connection immediately — the close
+	// happens with linger 0, so clients observe a connection reset,
+	// the fail-fast shape of a dead process whose port is closed.
+	Refuse
+	// Blackhole accepts new connections and never forwards a byte in
+	// either direction — the packet-dropping shape (a wedged host, a
+	// silently partitioned network) that only deadlines can detect.
+	Blackhole
+)
+
+// Proxy is one fault-injectable TCP forwarder. Safe for concurrent use:
+// tests flip modes while traffic is in flight.
+type Proxy struct {
+	target  string
+	ln      net.Listener
+	mode    atomic.Int32
+	latency atomic.Int64 // nanoseconds injected once per conn per direction
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // both legs of every live connection
+	closed bool
+
+	accepted atomic.Int64
+	refused  atomic.Int64
+}
+
+// New starts a proxy on an ephemeral localhost port forwarding to
+// target (a host:port).
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port) — the address the
+// system under test should dial instead of the real backend.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetMode switches how new connections are treated.
+func (p *Proxy) SetMode(m Mode) { p.mode.Store(int32(m)) }
+
+// SetLatency makes each new connection stall for d in each direction
+// before the first byte is forwarded — a latency spike, injected where
+// a hedged read should route around it. Zero disables.
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// Accepted and Refused report connection counts, for assertions about
+// whether a breaker actually stopped traffic.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+func (p *Proxy) Refused() int64  { return p.refused.Load() }
+
+// CutConns severs every established connection immediately (linger 0,
+// so peers see a reset, not a clean EOF): the mid-stream cut. New
+// connections are unaffected — combine with SetMode(Refuse) to emulate
+// a killed process.
+func (p *Proxy) CutConns() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		reset(c)
+		delete(p.conns, c)
+	}
+}
+
+// Close stops the proxy and severs everything.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.CutConns()
+}
+
+// reset closes a TCP conn with linger 0 so the peer sees RST.
+func reset(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		switch Mode(p.mode.Load()) {
+		case Refuse:
+			p.refused.Add(1)
+			reset(client)
+			continue
+		case Blackhole:
+			p.accepted.Add(1)
+			if !p.track(client) {
+				reset(client)
+				continue
+			}
+			// Hold the connection open, never answer; CutConns/Close
+			// releases it.
+			continue
+		}
+		p.accepted.Add(1)
+		go p.serve(client)
+	}
+}
+
+// serve forwards one connection in both directions until either leg
+// dies or the harness cuts it.
+func (p *Proxy) serve(client net.Conn) {
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		reset(client)
+		return
+	}
+	if !p.track(client) || !p.track(server) {
+		reset(client)
+		reset(server)
+		return
+	}
+	lat := time.Duration(p.latency.Load())
+	var wg sync.WaitGroup
+	pipe := func(dst, src net.Conn) {
+		defer wg.Done()
+		if lat > 0 {
+			time.Sleep(lat)
+		}
+		io.Copy(dst, src) // returns on EOF, reset, or harness cut
+		// Half-close propagation: when one direction ends, reset both
+		// legs so the peer never hangs on a dead proxy pair.
+		reset(dst)
+		reset(src)
+	}
+	wg.Add(2)
+	go pipe(server, client)
+	go pipe(client, server)
+	wg.Wait()
+	p.untrack(client)
+	p.untrack(server)
+}

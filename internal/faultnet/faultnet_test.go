@@ -1,0 +1,227 @@
+package faultnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back, prefixed, until
+// the client goes away.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "echo %s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// roundTrip sends one line and reads the echo with a deadline.
+func roundTrip(c net.Conn, line string, d time.Duration) (string, error) {
+	if _, err := fmt.Fprintf(c, "%s\n", line); err != nil {
+		return "", err
+	}
+	c.SetReadDeadline(time.Now().Add(d))
+	defer c.SetReadDeadline(time.Time{})
+	return bufio.NewReader(c).ReadString('\n')
+}
+
+// TestProxyPass: the healthy proxy is transparent.
+func TestProxyPass(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	got, err := roundTrip(c, "hello", 2*time.Second)
+	if err != nil || got != "echo hello\n" {
+		t.Fatalf("round trip through healthy proxy: %q, %v", got, err)
+	}
+	if p.Accepted() != 1 {
+		t.Fatalf("accepted = %d, want 1", p.Accepted())
+	}
+}
+
+// TestProxyRefuse: refused connections fail fast — the fail-stop shape.
+func TestProxyRefuse(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetMode(Refuse)
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err == nil {
+		// The TCP handshake may complete before the reset arrives; the
+		// first use must then fail quickly.
+		if _, err := roundTrip(c, "x", 2*time.Second); err == nil {
+			t.Fatal("refused connection answered")
+		}
+		c.Close()
+	}
+	if p.Refused() == 0 && err == nil {
+		t.Fatal("no refusal recorded")
+	}
+	// Heal: new connections work again.
+	p.SetMode(Pass)
+	c2 := dialProxy(t, p)
+	if got, err := roundTrip(c2, "back", 2*time.Second); err != nil || got != "echo back\n" {
+		t.Fatalf("healed proxy: %q, %v", got, err)
+	}
+}
+
+// TestProxyCutMidStream: an established connection dies with a reset,
+// not a clean EOF, when the harness cuts it.
+func TestProxyCutMidStream(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if got, err := roundTrip(c, "one", 2*time.Second); err != nil || got != "echo one\n" {
+		t.Fatalf("pre-cut round trip: %q, %v", got, err)
+	}
+	p.CutConns()
+	if _, err := roundTrip(c, "two", 2*time.Second); err == nil {
+		t.Fatal("connection survived CutConns")
+	}
+	// New connections still pass (the cut is not a mode change).
+	c2 := dialProxy(t, p)
+	if got, err := roundTrip(c2, "three", 2*time.Second); err != nil || got != "echo three\n" {
+		t.Fatalf("post-cut new connection: %q, %v", got, err)
+	}
+}
+
+// TestProxyBlackhole: a black-holed connection opens but never answers;
+// only a deadline detects it.
+func TestProxyBlackhole(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetMode(Blackhole)
+	c := dialProxy(t, p)
+	_, err = roundTrip(c, "anyone", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("black hole answered")
+	}
+	var ne net.Error
+	if !isTimeout(err, &ne) {
+		t.Fatalf("black hole failed with %v, want a read deadline timeout", err)
+	}
+}
+
+func isTimeout(err error, ne *net.Error) bool {
+	if e, ok := err.(net.Error); ok {
+		*ne = e
+		return e.Timeout()
+	}
+	return false
+}
+
+// TestProxyLatency: injected latency delays the first byte by at least
+// the configured spike.
+func TestProxyLatency(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const spike = 150 * time.Millisecond
+	p.SetLatency(spike)
+	c := dialProxy(t, p)
+	start := time.Now()
+	got, err := roundTrip(c, "slow", 5*time.Second)
+	if err != nil || got != "echo slow\n" {
+		t.Fatalf("latency round trip: %q, %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed < spike {
+		t.Fatalf("round trip took %v, want ≥ %v", elapsed, spike)
+	}
+}
+
+// TestProxyClose: Close severs everything and stops accepting.
+func TestProxyClose(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	if _, err := roundTrip(c, "pre", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := roundTrip(c, "post", 2*time.Second); err == nil {
+		t.Fatal("connection survived Close")
+	}
+	if c2, err := net.DialTimeout("tcp", p.Addr(), 500*time.Millisecond); err == nil {
+		if _, err := roundTrip(c2, "post2", time.Second); err == nil {
+			t.Fatal("closed proxy accepted and served a connection")
+		}
+		c2.Close()
+	}
+}
+
+// TestProxyTargetDown: with the target itself gone, proxied connections
+// fail rather than hang.
+func TestProxyTargetDown(t *testing.T) {
+	ln := echoServer(t)
+	addr := ln.Addr().String()
+	ln.Close()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		return // fine: refused outright
+	}
+	defer c.Close()
+	if got, err := roundTrip(c, "x", 2*time.Second); err == nil && !strings.HasPrefix(got, "echo") {
+		t.Fatalf("unexpected answer from dead target: %q", got)
+	} else if err == nil {
+		t.Fatal("dead target echoed")
+	}
+	_ = io.Discard
+}

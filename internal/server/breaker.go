@@ -1,0 +1,157 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-backend circuit breaker.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that trips the breaker
+	// open. ≤ 0 selects the default (3).
+	Failures int
+	// Cooldown is how long an open breaker rejects before allowing one
+	// half-open probe. ≤ 0 selects the default (2s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is a per-backend circuit breaker: Failures consecutive
+// transport failures trip it open, an open breaker rejects every caller
+// in O(1) (no connection attempt spent discovering a dead replica), and
+// after Cooldown it admits exactly one half-open probe — probe success
+// closes it, probe failure re-arms the cooldown. The clock is
+// injectable so the state machine unit-tests with no sleeping.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    string
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	trips    int64
+	probes   int64
+}
+
+// NewBreaker builds a closed breaker on the real clock.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now, state: BreakerClosed}
+}
+
+// WithNow substitutes the clock (tests only) and returns the breaker.
+func (b *Breaker) WithNow(now func() time.Time) *Breaker {
+	b.now = now
+	return b
+}
+
+// Allow reports whether a request may be sent to this backend now.
+// Closed always allows. Open allows nothing until Cooldown has elapsed,
+// at which point the first caller becomes the half-open probe; while a
+// probe is in flight everyone else is rejected. Every allowed call MUST
+// be matched by exactly one Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+}
+
+// Success records a completed request: any success closes the breaker
+// and resets the failure streak.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consec = 0
+	b.probing = false
+}
+
+// Cancel releases an allowed call whose outcome is unknowable because
+// the caller itself gave up (context canceled before the backend could
+// answer). It frees a half-open probe slot without judging the backend;
+// state and streak are untouched.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a transport failure. A failed half-open probe re-arms
+// the cooldown; Failures consecutive failures while closed trip the
+// breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+	case BreakerClosed:
+		b.consec++
+		if b.consec >= b.cfg.Failures {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+		// Open: a straggler from before the trip; the cooldown already runs.
+	}
+}
+
+// State returns closed, open, or half-open. An open breaker whose
+// cooldown has elapsed still reports open until a probe claims it.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Probes returns how many half-open probes have been admitted.
+func (b *Breaker) Probes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.probes
+}

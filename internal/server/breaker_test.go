@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for breaker tests: no sleeping, no
+// flakiness — the state machine is exercised as pure logic.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(cfg).WithNow(clk.now), clk
+}
+
+// TestBreakerTripAndRecover walks the canonical lifecycle: closed →
+// (N consecutive failures) → open → (cooldown) → half-open probe →
+// closed.
+func TestBreakerTripAndRecover(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Failures: 3, Cooldown: time.Second})
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state %q", b.State())
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("after 3 failures state %q, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	// Open: everything rejected until the cooldown elapses.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call 1ms early")
+	}
+	clk.advance(time.Millisecond)
+	// Cooldown elapsed: exactly one probe goes through.
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("probing state %q, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("after probe success state %q, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker rejected a call")
+	}
+	b.Success()
+	if b.Probes() != 1 {
+		t.Fatalf("probes = %d, want 1", b.Probes())
+	}
+}
+
+// TestBreakerHalfOpenFailureRearms: a failed probe re-opens the breaker
+// and restarts the full cooldown.
+func TestBreakerHalfOpenFailureRearms(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Failures: 2, Cooldown: time.Second})
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("after failed probe state %q, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("re-armed breaker admitted a call without a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected after fresh cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q, want closed", b.State())
+	}
+}
+
+// TestBreakerSuccessResetsStreak: the trip threshold counts CONSECUTIVE
+// failures; any success restarts the count.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Failures: 3, Cooldown: time.Second})
+	for round := 0; round < 5; round++ {
+		b.Allow()
+		b.Failure()
+		b.Allow()
+		b.Failure()
+		b.Allow()
+		b.Success()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q after interleaved successes, want closed", b.State())
+	}
+	if b.Trips() != 0 {
+		t.Fatalf("trips = %d, want 0", b.Trips())
+	}
+}
+
+// TestBreakerCancelReleasesProbe: a cancelled probe neither closes nor
+// re-opens the breaker, and frees the probe slot for the next caller —
+// otherwise one client disconnect during recovery would wedge the
+// breaker half-open forever.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second})
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Cancel()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %q after cancelled probe, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Cancel")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q, want closed", b.State())
+	}
+}
+
+// TestBackoffEnvelope pins the deterministic upper envelope (nil rnd):
+// Base·2^(n−1) capped at Max.
+func TestBackoffEnvelope(t *testing.T) {
+	p := RetryPolicy{Attempts: 10, Base: 50 * time.Millisecond, Max: 300 * time.Millisecond}.withDefaults()
+	want := []time.Duration{
+		50 * time.Millisecond,  // attempt 1
+		100 * time.Millisecond, // attempt 2
+		200 * time.Millisecond, // attempt 3
+		300 * time.Millisecond, // attempt 4, capped
+		300 * time.Millisecond, // attempt 5, capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i+1, nil); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.Backoff(0, nil); got != 50*time.Millisecond {
+		t.Fatalf("Backoff clamps attempt < 1: got %v", got)
+	}
+}
+
+// TestBackoffJitter: the jittered sleep lands in [½,1)× the envelope.
+func TestBackoffJitter(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Max: time.Second}.withDefaults()
+	low := p.Backoff(2, func() float64 { return 0 })
+	if low != 100*time.Millisecond {
+		t.Fatalf("jitter floor = %v, want 100ms (half of 200ms)", low)
+	}
+	high := p.Backoff(2, func() float64 { return 0.999 })
+	if high < 100*time.Millisecond || high >= 200*time.Millisecond {
+		t.Fatalf("jitter ceiling = %v, want in [100ms, 200ms)", high)
+	}
+}
+
+// TestRetrySafeClassification pins the ack-safety seam: only a
+// dial-phase failure proves the request was never sent.
+func TestRetrySafeClassification(t *testing.T) {
+	dial := &net.OpError{Op: "dial", Err: errors.New("connection refused")}
+	read := &net.OpError{Op: "read", Err: errors.New("connection reset by peer")}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"dial refused", dial, true},
+		{"dial wrapped in url.Error", &url.Error{Op: "Post", URL: "http://x", Err: dial}, true},
+		{"read reset (ambiguous: request may have been applied)", read, false},
+		{"read reset wrapped", &url.Error{Op: "Post", URL: "http://x", Err: read}, false},
+		{"deadline (ambiguous)", context.DeadlineExceeded, false},
+		{"plain error", errors.New("boom"), false},
+		{"deep wrap", fmt.Errorf("outer: %w", &url.Error{Op: "Post", URL: "u", Err: dial}), true},
+	}
+	for _, c := range cases {
+		if got := retrySafe(c.err); got != c.want {
+			t.Errorf("%s: retrySafe = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestShouldRetryAckSafety: the non-idempotent insert path must never
+// auto-retry an ambiguous failure (connection cut after the request was
+// sent) — the backend may have applied it, and a resend would
+// double-apply or spuriously conflict.
+func TestShouldRetryAckSafety(t *testing.T) {
+	dial := &url.Error{Op: "Post", URL: "u", Err: &net.OpError{Op: "dial", Err: errors.New("refused")}}
+	cutAfterSend := &url.Error{Op: "Post", URL: "u", Err: &net.OpError{Op: "read", Err: errors.New("reset")}}
+	ctx := context.Background()
+	if !shouldRetry(ctx, false, dial) {
+		t.Error("insert after dial failure must retry: the request provably never left")
+	}
+	if shouldRetry(ctx, false, cutAfterSend) {
+		t.Error("insert after ambiguous cut must NOT retry (ack-safety)")
+	}
+	if !shouldRetry(ctx, true, cutAfterSend) {
+		t.Error("idempotent op may retry any transport failure")
+	}
+	if !shouldRetry(ctx, true, context.DeadlineExceeded) {
+		t.Error("idempotent op may retry a per-op deadline")
+	}
+	done, cancel := context.WithCancel(ctx)
+	cancel()
+	if shouldRetry(done, true, dial) {
+		t.Error("cancelled caller context must never retry")
+	}
+}

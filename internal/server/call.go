@@ -1,0 +1,393 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"dyncoll/internal/fanout"
+)
+
+// This file is the frontend's call engine: every frontend→backend
+// request goes through here and picks up the fault-tolerance machinery
+// — per-op deadlines derived from the request context, breaker-gated
+// replica selection, idempotent retries with capped backoff and jitter,
+// hedged reads, and the stream stall watchdog. The handlers above it
+// only decide WHAT to ask each assignment row; this layer decides WHOM
+// to ask and how hard to try.
+
+var (
+	errNoLiveReplica = errors.New("no live replica (all breakers open)")
+	errBreakerOpen   = errors.New("circuit breaker open")
+)
+
+// wireError is an application-level backend reply (non-2xx with a JSON
+// envelope): the transport worked and the backend answered, so it never
+// trips a breaker and is never retried — retrying a 409 yields a 409.
+type wireError struct {
+	status int
+	resp   *ErrorResponse
+}
+
+func (e *wireError) Error() string {
+	return fmt.Sprintf("%s (status %d)", e.resp.Message, e.status)
+}
+
+// backendState is the frontend's routing-side health record for one
+// backend: the breaker that gates traffic to it plus failure totals.
+type backendState struct {
+	breaker *Breaker
+	fails   atomic.Int64 // transport failures, lifetime
+}
+
+// pickReplica returns the first replica of row that is not yet tried
+// and whose breaker admits a request, or -1. The breaker slot is
+// consumed: the caller MUST settle the chosen backend with exactly one
+// Success/Failure/Cancel (attemptOne and the stream/write loops do).
+func (f *Frontend) pickReplica(row int, tried []bool) int {
+	for _, b := range f.asg.Replicas(row) {
+		if tried[b] {
+			continue
+		}
+		if f.states[b].breaker.Allow() {
+			return b
+		}
+	}
+	return -1
+}
+
+// attemptOne performs one already-admitted call against backend b under
+// the per-op deadline and settles b's breaker with the outcome.
+func attemptOne[T any](f *Frontend, ctx context.Context, b int, do func(ctx context.Context, b int) (T, error)) (T, error) {
+	actx, cancel := context.WithTimeout(ctx, f.opTimeout)
+	defer cancel()
+	start := time.Now()
+	v, err := do(actx, b)
+	st := f.states[b]
+	if err == nil {
+		st.breaker.Success()
+		f.beLat.Observe(time.Since(start))
+		return v, nil
+	}
+	var we *wireError
+	if errors.As(err, &we) {
+		// The backend answered; an application error is not a health event.
+		st.breaker.Success()
+		f.beLat.Observe(time.Since(start))
+		return v, err
+	}
+	if ctx.Err() != nil {
+		// The caller gave up (client disconnect, or a hedge already won):
+		// the outcome is unknowable and the backend is not at fault.
+		st.breaker.Cancel()
+		return v, err
+	}
+	st.breaker.Failure()
+	st.fails.Add(1)
+	return v, err
+}
+
+// rowGet runs one idempotent JSON read against an assignment row: pick
+// a live replica, enforce the per-op deadline, retry with backoff
+// across replicas (the tried set resets once every replica has been
+// visited, so long outages still probe), and optionally hedge a slow
+// attempt to a second replica. Returns the value or the last fault.
+func rowGet[T any](f *Frontend, ctx context.Context, row int, hedge bool, do func(ctx context.Context, b int) (T, error)) (T, *backendFault) {
+	var zero T
+	replicas := f.asg.Replicas(row)
+	tried := make([]bool, len(f.backends))
+	triedCount := 0
+	var last *backendFault
+	for attempt := 0; attempt < f.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			f.count("retries")
+			if !sleepCtx(ctx, f.retry.Backoff(attempt, rand.Float64)) {
+				break
+			}
+		}
+		if triedCount >= len(replicas) {
+			for i := range tried {
+				tried[i] = false
+			}
+			triedCount = 0
+		}
+		b := f.pickReplica(row, tried)
+		if b < 0 {
+			// Every admissible replica is breaker-open; a later round's
+			// backoff may outlast a cooldown, so keep going.
+			last = &backendFault{url: fmt.Sprintf("row %d", row), err: errNoLiveReplica}
+			continue
+		}
+		tried[b] = true
+		triedCount++
+		v, err := hedgedAttempt(f, ctx, row, b, hedge, tried, &triedCount, do)
+		if err == nil {
+			return v, nil
+		}
+		var we *wireError
+		if errors.As(err, &we) {
+			return zero, &backendFault{url: f.backends[b], status: we.status, werr: we.resp}
+		}
+		last = &backendFault{url: f.backends[b], err: err}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return zero, last
+}
+
+// hedgedAttempt runs do against b1 and, if the reply is slower than the
+// hedge delay, races a second copy on another live replica — the
+// classic tail-latency cut: the duplicate read is idempotent, whichever
+// answer arrives first wins, and the loser is cancelled without being
+// charged to its backend's breaker.
+func hedgedAttempt[T any](f *Frontend, ctx context.Context, row, b1 int, hedge bool, tried []bool, triedCount *int, do func(ctx context.Context, b int) (T, error)) (T, error) {
+	var zero T
+	delay := time.Duration(-1)
+	if hedge {
+		delay = f.hedgeDelay()
+	}
+	if delay < 0 {
+		return attemptOne(f, ctx, b1, do)
+	}
+	type res struct {
+		v      T
+		err    error
+		hedged bool
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // the winner cancels the loser
+	ch := make(chan res, 2)
+	inflight := 1
+	go func() { v, err := attemptOne(f, actx, b1, do); ch <- res{v, err, false} }()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedgeC := timer.C
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				if r.hedged {
+					f.count("hedge_wins")
+				}
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			inflight--
+			if inflight == 0 {
+				return zero, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if b2 := f.pickReplica(row, tried); b2 >= 0 {
+				tried[b2] = true
+				*triedCount++
+				f.count("hedges")
+				inflight++
+				go func() { v, err := attemptOne(f, actx, b2, do); ch <- res{v, err, true} }()
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// hedgeDelay resolves the hedge trigger: the configured fixed delay, or
+// (when configured as 0, the default) the adaptive p99 of observed
+// backend-call latency, clamped to [2ms, OpTimeout/2] so cold starts
+// and outlier-free histograms still hedge sensibly. Negative disables
+// hedging.
+func (f *Frontend) hedgeDelay() time.Duration {
+	d := f.cfg.HedgeDelay
+	if d < 0 {
+		return -1
+	}
+	if d == 0 {
+		d = f.beLat.Quantile(0.99)
+	}
+	if lo := 2 * time.Millisecond; d < lo {
+		d = lo
+	}
+	if hi := f.opTimeout / 2; d > hi {
+		d = hi
+	}
+	return d
+}
+
+// streamRow relays one assignment row's NDJSON stream into emit,
+// retrying on a fresh replica only while nothing has been emitted — a
+// retry after relayed lines would duplicate them, so a mid-stream
+// failure surfaces to the caller instead (the in-band trailer's job).
+// A nil return with no emitted fault means the row streamed completely.
+func (f *Frontend) streamRow(ctx context.Context, row int, newReq func(ctx context.Context, base string) (*http.Request, error), emit func([]byte) bool) *backendFault {
+	replicas := f.asg.Replicas(row)
+	tried := make([]bool, len(f.backends))
+	triedCount := 0
+	var last *backendFault
+	for attempt := 0; attempt < f.retry.Attempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil // consumer gone: not a row fault
+		}
+		if attempt > 0 {
+			f.count("retries")
+			if !sleepCtx(ctx, f.retry.Backoff(attempt, rand.Float64)) {
+				return nil
+			}
+		}
+		if triedCount >= len(replicas) {
+			for i := range tried {
+				tried[i] = false
+			}
+			triedCount = 0
+		}
+		b := f.pickReplica(row, tried)
+		if b < 0 {
+			last = &backendFault{url: fmt.Sprintf("row %d", row), err: errNoLiveReplica}
+			continue
+		}
+		tried[b] = true
+		triedCount++
+		emitted := false
+		err := f.streamOnce(ctx, b, newReq, func(line []byte) bool {
+			emitted = true
+			return emit(line)
+		})
+		st := f.states[b]
+		if err == nil {
+			st.breaker.Success()
+			return nil
+		}
+		if ctx.Err() != nil {
+			st.breaker.Cancel()
+			return nil
+		}
+		st.breaker.Failure()
+		st.fails.Add(1)
+		last = &backendFault{url: f.backends[b], err: err}
+		if emitted {
+			return last
+		}
+	}
+	return last
+}
+
+// streamOnce streams one backend response line by line under a stall
+// watchdog: the per-op timeout applies to PROGRESS, not the whole
+// stream, so an arbitrarily long healthy stream flows freely while a
+// black-holed connection is detected one deadline after its last line.
+func (f *Frontend) streamOnce(ctx context.Context, b int, newReq func(ctx context.Context, base string) (*http.Request, error), perLine func([]byte) bool) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var stalled atomic.Bool
+	wd := time.AfterFunc(f.opTimeout, func() { stalled.Store(true); cancel() })
+	defer wd.Stop()
+	req, err := newReq(cctx, f.backends[b])
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		if stalled.Load() {
+			return fmt.Errorf("no response in %v: %w", f.opTimeout, err)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		wd.Reset(f.opTimeout)
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		// Copy: the scanner reuses its buffer and the fan-out banks
+		// lines in chunks before the consumer sees them.
+		line := append([]byte(nil), sc.Bytes()...)
+		if !perLine(line) {
+			return nil // consumer early break: the stream was healthy
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if stalled.Load() {
+			return fmt.Errorf("stream stalled > %v", f.opTimeout)
+		}
+		return err
+	}
+	return nil
+}
+
+// writeOutcome is one replica's result for a row write.
+type writeOutcome struct {
+	backend int
+	count   int
+	fault   *backendFault
+}
+
+// writeRow applies one write to every replica of an assignment row in
+// parallel (quorum = all: a write is acked only when every replica
+// applied it, which is what entitles a read to trust any single live
+// replica). An open breaker fails that replica in O(1); transport
+// failures retry only when shouldRetry says the attempt is safe for
+// this operation — a non-idempotent insert whose connection died after
+// the request may have been applied, so it is surfaced, never resent.
+func (f *Frontend) writeRow(ctx context.Context, row int, idempotent bool, post func(ctx context.Context, b int) (int, error)) []writeOutcome {
+	replicas := f.asg.Replicas(row)
+	out := make([]writeOutcome, len(replicas))
+	fanout.ForEach(len(replicas), func(i int) {
+		b := replicas[i]
+		out[i] = writeOutcome{backend: b}
+		st := f.states[b]
+		for attempt := 1; ; attempt++ {
+			if !st.breaker.Allow() {
+				out[i].fault = &backendFault{url: f.backends[b], err: errBreakerOpen}
+				return
+			}
+			actx, cancel := context.WithTimeout(ctx, f.opTimeout)
+			n, err := post(actx, b)
+			cancel()
+			if err == nil {
+				st.breaker.Success()
+				out[i].count = n
+				return
+			}
+			var we *wireError
+			if errors.As(err, &we) {
+				st.breaker.Success()
+				out[i].fault = &backendFault{url: f.backends[b], status: we.status, werr: we.resp}
+				return
+			}
+			if ctx.Err() != nil {
+				st.breaker.Cancel()
+				out[i].fault = &backendFault{url: f.backends[b], err: err}
+				return
+			}
+			st.breaker.Failure()
+			st.fails.Add(1)
+			out[i].fault = &backendFault{url: f.backends[b], err: err}
+			if attempt >= f.retry.Attempts || !shouldRetry(ctx, idempotent, err) {
+				return
+			}
+			f.count("retries")
+			if !sleepCtx(ctx, f.retry.Backoff(attempt, rand.Float64)) {
+				return
+			}
+			out[i].fault = nil
+		}
+	})
+	return out
+}
+
+// count bumps a fleet-level fault-tolerance counter.
+func (f *Frontend) count(name string) { f.met.CounterAdd(name, 1) }

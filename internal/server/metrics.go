@@ -3,6 +3,7 @@ package server
 import (
 	"math/bits"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -146,10 +147,44 @@ type endpointMetrics struct {
 
 // Metrics tracks per-endpoint request counters for one server role. The
 // endpoint set is fixed at construction so the map is read-only
-// afterwards and handlers touch only atomics.
+// afterwards and handlers touch only atomics. Named counters (retries,
+// hedges, breaker trips, …) register lazily in a sync.Map; after the
+// first increment a counter bump is one atomic add.
 type Metrics struct {
 	start time.Time
 	eps   map[string]*endpointMetrics
+	ctr   sync.Map // name → *atomic.Int64
+}
+
+// CounterAdd bumps a named monotonic counter, registering it on first
+// use.
+func (m *Metrics) CounterAdd(name string, delta int64) {
+	c, ok := m.ctr.Load(name)
+	if !ok {
+		c, _ = m.ctr.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(delta)
+}
+
+// Counter returns a named counter's current value (0 if never bumped).
+func (m *Metrics) Counter(name string) int64 {
+	if c, ok := m.ctr.Load(name); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// Counters snapshots every registered counter.
+func (m *Metrics) Counters() map[string]int64 {
+	out := make(map[string]int64)
+	m.ctr.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // NewMetrics creates a metrics registry for the named endpoints.

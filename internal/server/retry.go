@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"time"
+)
+
+// RetryPolicy tunes idempotent-read retries: up to Attempts rounds with
+// capped exponential backoff plus jitter between rounds.
+type RetryPolicy struct {
+	// Attempts is the total number of attempt rounds (first try
+	// included). ≤ 0 selects the default (3).
+	Attempts int
+	// Base is the backoff before the second round; each further round
+	// doubles it. ≤ 0 selects the default (50ms).
+	Base time.Duration
+	// Max caps the backoff. ≤ 0 selects the default (2s).
+	Max time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return p
+}
+
+// Backoff returns the sleep before attempt round `attempt` (the first
+// retry is attempt 1): Base·2^(attempt−1) capped at Max, scaled by a
+// jitter factor drawn from rnd (uniform in [0,1)) into [½,1)× so a
+// burst of retries against a recovering backend decorrelates instead of
+// stampeding. rnd may be nil for the deterministic upper envelope.
+func (p RetryPolicy) Backoff(attempt int, rnd func() float64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Base
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if rnd != nil {
+		d = d/2 + time.Duration(rnd()*float64(d/2))
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until the context is done, whichever comes
+// first; it reports whether the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// retrySafe classifies a transport error by whether the request could
+// have reached the backend. A dial-phase failure (connection refused,
+// no route) happened before any byte of the request was sent, so even a
+// non-idempotent write may be retried. Anything else — a cut after the
+// request went out, a response read error, a deadline — is AMBIGUOUS:
+// the backend may have applied the operation, and retrying a
+// non-idempotent insert could double-apply or spuriously conflict, so
+// the caller must surface the error instead. This classification is the
+// ack-safety seam the retry unit tests pin.
+func retrySafe(err error) bool {
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return op.Op == "dial"
+	}
+	return false
+}
+
+// shouldRetry decides whether a failed backend call may be re-attempted:
+// idempotent operations (reads, deletes) retry on any transport error;
+// non-idempotent ones (inserts) only when the failure provably preceded
+// the send. Context cancellation from the caller is never retried.
+func shouldRetry(ctx context.Context, idempotent bool, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if idempotent {
+		return true
+	}
+	return retrySafe(err)
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"dyncoll"
 	"dyncoll/internal/fanout"
@@ -82,9 +83,15 @@ type DeleteResponse struct {
 	Deleted int `json:"deleted"`
 }
 
-// CountResponse is the GET /v1/count reply.
+// CountResponse is the GET /v1/count reply. Partial is set only by a
+// frontend answering in degraded mode (?partial=true with some
+// assignment rows unreachable): Count then covers the reachable rows
+// and Failed names what was left out — a degraded answer is always
+// explicitly labeled, never silent.
 type CountResponse struct {
-	Count int `json:"count"`
+	Count   int      `json:"count"`
+	Partial bool     `json:"partial,omitempty"`
+	Failed  []string `json:"failed,omitempty"`
 }
 
 // ExtractResponse is the GET /v1/extract reply; Data carries the raw
@@ -103,6 +110,10 @@ type FindResult struct {
 	Doc uint64 `json:"doc"`
 	Off int    `json:"off"`
 	Err string `json:"error,omitempty"`
+	// Partial marks an error trailer that ends an incomplete stream:
+	// every line before it is valid, but at least one assignment row
+	// contributed nothing.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // SearchResult is one NDJSON line of a /v1/search stream: a
@@ -115,12 +126,26 @@ type SearchResult struct {
 	Len   int     `json:"len,omitempty"`
 	Score float64 `json:"score,omitempty"`
 	Err   string  `json:"error,omitempty"`
+	// Partial marks an error trailer ending an incomplete stream (see
+	// FindResult.Partial).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.
 type ErrorResponse struct {
 	Error   string `json:"error"`
 	Message string `json:"message"`
+}
+
+// ReadyzResponse is the GET /readyz reply. A backend is ready when it
+// can serve; a frontend is ready when every assignment row has at least
+// one live replica and no breaker is open — otherwise it answers 503
+// with the unhealthy backends and uncovered rows named, so an operator
+// (or a rolling deploy) sees exactly what degraded.
+type ReadyzResponse struct {
+	Ready     bool     `json:"ready"`
+	Unhealthy []string `json:"unhealthy,omitempty"`
+	Uncovered []int    `json:"uncovered_rows,omitempty"`
 }
 
 // Error codes: stable strings clients can switch on.
@@ -231,25 +256,85 @@ func (p PlainColl) DeleteBatch(ids []uint64) (int, error) {
 	return p.Collection.DeleteBatch(ids), nil
 }
 
-// Backend serves one collection over HTTP. The collection must be
+// Backend serves collections over HTTP. Every collection must be
 // sharded (WithShards ≥ 1, the concurrency-safe floor): the HTTP server
 // runs handlers concurrently and an unsharded collection is not safe
 // for concurrent use.
+//
+// A backend hosts one default collection plus, when range hosting is
+// enabled, one lazily-created collection per assignment row it
+// replicates (the ?range=N parameter names the row). A row is one of
+// the paper's sub-collections; replication places the same row on R
+// backends, and keeping rows in separate collections is what lets a
+// replica answer for exactly the rows a frontend asks about — a
+// backend-level count cannot tell which row a document belongs to, so
+// under replication the row must be the addressable unit. Requests
+// without ?range= hit the default collection (writes) or the union of
+// everything hosted (reads), so direct backend access keeps working.
 type Backend struct {
-	coll Coll
-	met  *Metrics
+	coll    Coll
+	factory func(rng int) (Coll, error)
+	mu      sync.RWMutex
+	ranges  map[int]Coll
+	met     *Metrics
 }
 
 // NewBackend wraps a (sharded) collection in the serving layer.
 func NewBackend(c Coll) *Backend {
 	return &Backend{
-		coll: c,
-		met:  NewMetrics("insert", "delete", "find", "search", "count", "extract"),
+		coll:   c,
+		ranges: make(map[int]Coll),
+		met:    NewMetrics("insert", "delete", "find", "search", "count", "extract"),
 	}
 }
 
-// Collection returns the served collection (the drain path saves it).
+// EnableRanges turns on range hosting: a write addressed to an unseen
+// ?range=N creates its collection via factory. Returns b for chaining.
+func (b *Backend) EnableRanges(factory func(rng int) (Coll, error)) *Backend {
+	b.factory = factory
+	return b
+}
+
+// SetRange installs a pre-built collection for one assignment row
+// (restore-at-boot path).
+func (b *Backend) SetRange(rng int, c Coll) {
+	b.mu.Lock()
+	b.ranges[rng] = c
+	b.mu.Unlock()
+}
+
+// Ranges snapshots the hosted row collections (drain path saves them).
+func (b *Backend) Ranges() map[int]Coll {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[int]Coll, len(b.ranges))
+	for k, v := range b.ranges {
+		out[k] = v
+	}
+	return out
+}
+
+// Collection returns the default collection (the drain path saves it).
 func (b *Backend) Collection() Coll { return b.coll }
+
+// HasDoc reports whether any hosted collection holds id.
+func (b *Backend) HasDoc(id uint64) bool {
+	for _, c := range b.readColls(0, false) {
+		if c.Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// DocCountAll sums live documents across every hosted collection.
+func (b *Backend) DocCountAll() int {
+	n := 0
+	for _, c := range b.readColls(0, false) {
+		n += c.DocCount()
+	}
+	return n
+}
 
 // Metrics returns the backend's request metrics.
 func (b *Backend) Metrics() *Metrics { return b.met }
@@ -266,6 +351,7 @@ func (b *Backend) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/extract", b.met.Wrap("extract", b.handleExtract))
 	mux.HandleFunc("GET /varz", b.handleVarz)
 	mux.HandleFunc("GET /healthz", handleHealth)
+	mux.HandleFunc("GET /readyz", b.handleReadyz)
 	return mux
 }
 
@@ -274,7 +360,80 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// handleReadyz: a backend that can serve requests is ready; readiness
+// subtleties live on the frontend, which knows the assignment.
+func (b *Backend) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ReadyzResponse{Ready: true})
+}
+
+// queryRange parses the optional range parameter naming one assignment
+// row.
+func queryRange(w http.ResponseWriter, r *http.Request) (rng int, present, ok bool) {
+	s := r.URL.Query().Get("range")
+	if s == "" {
+		return 0, false, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "range must be a non-negative integer")
+		return 0, false, false
+	}
+	return n, true, true
+}
+
+// writeColl resolves the collection a write lands in: the named row
+// (created on first use) or the default collection.
+func (b *Backend) writeColl(rng int, present bool) (Coll, error) {
+	if !present {
+		return b.coll, nil
+	}
+	b.mu.RLock()
+	c := b.ranges[rng]
+	b.mu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	if b.factory == nil {
+		return nil, fmt.Errorf("range routing not enabled on this backend (range %d)", rng)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.ranges[rng]; c != nil {
+		return c, nil
+	}
+	c, err := b.factory(rng)
+	if err != nil {
+		return nil, fmt.Errorf("create range %d: %w", rng, err)
+	}
+	b.ranges[rng] = c
+	return c, nil
+}
+
+// readColls resolves the collections a read covers: exactly the named
+// row (empty if this backend never hosted it — an honest zero, not an
+// error), or the default collection plus every hosted row.
+func (b *Backend) readColls(rng int, present bool) []Coll {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if present {
+		if c := b.ranges[rng]; c != nil {
+			return []Coll{c}
+		}
+		return nil
+	}
+	out := make([]Coll, 0, 1+len(b.ranges))
+	out = append(out, b.coll)
+	for _, c := range b.ranges {
+		out = append(out, c)
+	}
+	return out
+}
+
 func (b *Backend) handleInsert(w http.ResponseWriter, r *http.Request) {
+	rng, present, ok := queryRange(w, r)
+	if !ok {
+		return
+	}
 	var req InsertRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -283,13 +442,18 @@ func (b *Backend) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty docs batch")
 		return
 	}
+	coll, err := b.writeColl(rng, present)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
 	docs := make([]dyncoll.Document, len(req.Docs))
 	for i, d := range req.Docs {
 		docs[i] = dyncoll.Document{ID: d.ID, Data: d.Payload()}
 	}
 	// InsertBatch is atomic: validation runs under every involved
 	// shard's write lock, so on error nothing was inserted.
-	if err := b.coll.InsertBatch(docs); err != nil {
+	if err := coll.InsertBatch(docs); err != nil {
 		writeCollErr(w, err)
 		return
 	}
@@ -297,17 +461,28 @@ func (b *Backend) handleInsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (b *Backend) handleDelete(w http.ResponseWriter, r *http.Request) {
+	rng, present, ok := queryRange(w, r)
+	if !ok {
+		return
+	}
 	var req DeleteRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	n, err := b.coll.DeleteBatch(req.IDs)
-	if err != nil {
-		// Durable backends refuse the op when the WAL cannot make it
-		// safe; the in-memory deletion may have happened, but it will be
-		// re-lost on restart, so the client must not treat it as done.
-		writeCollErr(w, err)
-		return
+	// A delete addressed to a row this backend never materialized is an
+	// honest zero, not an error — DeleteBatch already skips absent IDs.
+	n := 0
+	for _, coll := range b.readColls(rng, present) {
+		d, err := coll.DeleteBatch(req.IDs)
+		if err != nil {
+			// Durable backends refuse the op when the WAL cannot make it
+			// safe; the in-memory deletion may have happened, but it will
+			// be re-lost on restart, so the client must not treat it as
+			// done.
+			writeCollErr(w, err)
+			return
+		}
+		n += d
 	}
 	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: n})
 }
@@ -318,6 +493,10 @@ func (b *Backend) handleDelete(w http.ResponseWriter, r *http.Request) {
 // request context, which stops the enumeration at the next match — the
 // early-break contract of FindIter carried over the wire.
 func (b *Backend) handleFind(w http.ResponseWriter, r *http.Request) {
+	rng, present, okR := queryRange(w, r)
+	if !okR {
+		return
+	}
 	pattern, ok := queryPattern(w, r)
 	if !ok {
 		return
@@ -326,26 +505,40 @@ func (b *Backend) handleFind(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	colls := b.readColls(rng, present)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if limit > 0 {
 		// Bounded results go through the FindLimit fast path: the
 		// enumeration stops at the limit-th match, and the result is small
 		// enough that streaming flushes buy nothing.
-		occs := b.coll.FindLimit(pattern, limit)
 		enc := json.NewEncoder(w)
-		for _, o := range occs {
-			if enc.Encode(FindResult{Doc: o.DocID, Off: o.Off}) != nil {
+		n := 0
+		for _, coll := range colls {
+			occs := coll.FindLimit(pattern, limit-n)
+			for _, o := range occs {
+				if enc.Encode(FindResult{Doc: o.DocID, Off: o.Off}) != nil {
+					b.met.AddStreamed("find", n)
+					return
+				}
+				n++
+			}
+			if n >= limit {
 				break
 			}
 		}
-		b.met.AddStreamed("find", len(occs))
+		b.met.AddStreamed("find", n)
 		return
 	}
 	rc := http.NewResponseController(w)
 	ctx := r.Context()
 	enc := json.NewEncoder(w)
 	n := 0
-	b.coll.FindFunc(pattern, func(o dyncoll.Occurrence) bool {
+	// One hosted collection is the common case (range-scoped reads) and
+	// streams inline; the unscoped union fans out with the same merge
+	// contract the in-process shards use.
+	fanout.FanOut(len(colls), func(i int, emit func(dyncoll.Occurrence) bool) {
+		colls[i].FindFunc(pattern, emit)
+	}, func(o dyncoll.Occurrence) bool {
 		if ctx.Err() != nil {
 			return false
 		}
@@ -405,16 +598,21 @@ func boolParam(s string) bool { return s == "1" || s == "true" }
 // would compile runs here — the endpoint is the wire level of the
 // plan/execute hierarchy.
 func (b *Backend) handleSearch(w http.ResponseWriter, r *http.Request) {
+	rng, present, okR := queryRange(w, r)
+	if !okR {
+		return
+	}
 	spec, ok := parseSearchSpec(w, r)
 	if !ok {
 		return
 	}
+	colls := b.readColls(rng, present)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
 	ctx := r.Context()
 	enc := json.NewEncoder(w)
 	n := 0
-	b.coll.Search(spec, func(m dyncoll.Match) bool {
+	emitLine := func(m dyncoll.Match) bool {
 		if ctx.Err() != nil {
 			return false
 		}
@@ -428,19 +626,65 @@ func (b *Backend) handleSearch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return true
-	})
+	}
+	if len(colls) == 1 {
+		colls[0].Search(spec, emitLine)
+		b.met.AddStreamed("search", n)
+		return
+	}
+	if spec.Ranked {
+		// Ranked over the union: gather each collection's top-k (already
+		// best-first) and merge, the same plan the frontend runs over
+		// backends.
+		lists := make([][]query.Match, len(colls))
+		fanout.ForEach(len(colls), func(i int) {
+			lists[i] = collectMatches(colls[i], spec)
+		})
+		query.MergeRanked(lists, spec.K, emitLine)
+		b.met.AddStreamed("search", n)
+		return
+	}
+	fanout.FanOut(len(colls), func(i int, emit func(dyncoll.Match) bool) {
+		colls[i].Search(spec, emit)
+	}, emitLine)
 	b.met.AddStreamed("search", n)
 }
 
+// collectMatches gathers one collection's search results into a slice
+// (ranked merge input).
+func collectMatches(c Coll, spec dyncoll.SearchPlan) []query.Match {
+	var out []query.Match
+	c.Search(spec, func(m dyncoll.Match) bool {
+		out = append(out, query.Match(m))
+		return true
+	})
+	return out
+}
+
 func (b *Backend) handleCount(w http.ResponseWriter, r *http.Request) {
+	rng, present, okR := queryRange(w, r)
+	if !okR {
+		return
+	}
 	pattern, ok := queryPattern(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, CountResponse{Count: b.coll.Count(pattern)})
+	colls := b.readColls(rng, present)
+	counts := make([]int, len(colls))
+	fanout.ForEach(len(colls), func(i int) { counts[i] = colls[i].Count(pattern) })
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	writeJSON(w, http.StatusOK, CountResponse{Count: total})
 }
 
 func (b *Backend) handleExtract(w http.ResponseWriter, r *http.Request) {
+	rng, present, okR := queryRange(w, r)
+	if !okR {
+		return
+	}
 	q := r.URL.Query()
 	id, err := strconv.ParseUint(q.Get("id"), 10, 64)
 	if err != nil {
@@ -453,23 +697,32 @@ func (b *Backend) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "off and len must be non-negative integers")
 		return
 	}
-	data, ok := b.coll.Extract(id, off, length)
-	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound,
-			fmt.Sprintf("no document %d or range [%d,%d) out of bounds", id, off, off+length))
-		return
+	for _, coll := range b.readColls(rng, present) {
+		if data, ok := coll.Extract(id, off, length); ok {
+			writeJSON(w, http.StatusOK, ExtractResponse{ID: id, Off: off, Data: data})
+			return
+		}
 	}
-	writeJSON(w, http.StatusOK, ExtractResponse{ID: id, Off: off, Data: data})
+	writeError(w, http.StatusNotFound, CodeNotFound,
+		fmt.Sprintf("no document %d or range [%d,%d) out of bounds", id, off, off+length))
 }
 
 func (b *Backend) handleVarz(w http.ResponseWriter, r *http.Request) {
 	lv := NewLadderVarz(b.coll.Stats(), "symbol", b.coll.Len(), b.coll.SizeBits())
 	lv.ShardSizes = b.coll.ShardSizes()
-	writeJSON(w, http.StatusOK, Varz{
+	v := Varz{
 		Role:          "backend",
 		UptimeSeconds: b.met.Uptime().Seconds(),
 		Endpoints:     b.met.Snapshot(),
-		Docs:          b.coll.DocCount(),
+		Docs:          b.DocCountAll(),
 		Ladder:        &lv,
-	})
+		Counters:      b.met.Counters(),
+	}
+	if rngs := b.Ranges(); len(rngs) > 0 {
+		v.RangeDocs = make(map[string]int, len(rngs))
+		for rng, c := range rngs {
+			v.RangeDocs[strconv.Itoa(rng)] = c.DocCount()
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
 }

@@ -15,13 +15,25 @@ type Varz struct {
 	Role          string                  `json:"role"` // "backend" or "frontend"
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointVarz `json:"endpoints"`
+	// Counters are the role's named fault-tolerance counters (retries,
+	// hedges, hedge_wins, breaker_trips, …), absent when none ticked.
+	Counters map[string]int64 `json:"counters,omitempty"`
 
-	// Backend role.
-	Docs   int         `json:"docs,omitempty"`
-	Ladder *LadderVarz `json:"ladder,omitempty"`
+	// Backend role. RangeDocs breaks Docs down by hosted assignment row
+	// (JSON object keys must be strings, hence the stringified row ids).
+	Docs      int            `json:"docs,omitempty"`
+	RangeDocs map[string]int `json:"range_docs,omitempty"`
+	Ladder    *LadderVarz    `json:"ladder,omitempty"`
 
 	// Frontend role.
 	Backends []BackendVarz `json:"backends,omitempty"`
+	// AssignmentVersion/Replication describe the placement table the
+	// frontend routes by (see /v1/assignment for the full table).
+	AssignmentVersion uint64 `json:"assignment_version,omitempty"`
+	Replication       int    `json:"replication,omitempty"`
+	// BackendLatencyMs is the per-backend-call latency distribution the
+	// adaptive hedge delay derives from.
+	BackendLatencyMs *Quantiles `json:"backend_latency_ms,omitempty"`
 }
 
 // LadderVarz is the engine-level structure report shared by every
@@ -61,13 +73,19 @@ type LevelVarz struct {
 	Cap  int `json:"cap"`
 }
 
-// BackendVarz is a frontend's view of one backend.
+// BackendVarz is a frontend's view of one backend: the liveness poll
+// plus the routing-side health the frontend maintains itself (breaker
+// state and failure accounting — what actually gates traffic).
 type BackendVarz struct {
 	URL     string `json:"url"`
 	OK      bool   `json:"ok"`
 	Error   string `json:"error,omitempty"`
 	Docs    int    `json:"docs,omitempty"`
 	Symbols int    `json:"symbols,omitempty"`
+	Breaker string `json:"breaker,omitempty"` // closed | open | half-open
+	Trips   int64  `json:"breaker_trips,omitempty"`
+	Probes  int64  `json:"breaker_probes,omitempty"`
+	Fails   int64  `json:"transport_failures,omitempty"`
 }
 
 // NewLadderVarz maps the facade's IndexStats onto the shared report.

@@ -1,0 +1,115 @@
+package shardmap
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestAssignmentGoldenTables pins the default replica-set tables. Like
+// the BackendFor goldens, these are a deployed-fleet contract: a
+// frontend restarted with the same (n, R) must compute the identical
+// table or every key re-homes silently.
+func TestAssignmentGoldenTables(t *testing.T) {
+	cases := []struct {
+		n, r  int
+		table [][]int
+	}{
+		{2, 1, [][]int{{0}, {1}}},
+		{2, 2, [][]int{{0, 1}, {1, 0}}},
+		{3, 2, [][]int{{0, 1}, {1, 2}, {2, 0}}},
+		{4, 2, [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}},
+		{4, 3, [][]int{{0, 1, 2}, {1, 2, 3}, {2, 3, 0}, {3, 0, 1}}},
+	}
+	for _, c := range cases {
+		a := NewAssignment(c.n, c.r)
+		if a.Version != 1 {
+			t.Errorf("NewAssignment(%d,%d).Version = %d, want 1", c.n, c.r, a.Version)
+		}
+		if !reflect.DeepEqual(a.Table, c.table) {
+			t.Errorf("NewAssignment(%d,%d).Table = %v, want %v (golden table changed!)", c.n, c.r, a.Table, c.table)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("default table (%d,%d) invalid: %v", c.n, c.r, err)
+		}
+	}
+}
+
+// TestAssignmentRowCompat: with a default one-row-per-backend table,
+// RowOf must agree with the pinned BackendFor contract for every fleet
+// size the BackendFor goldens cover — the replicated table is a strict
+// extension of the fixed placement, not a re-homing.
+func TestAssignmentRowCompat(t *testing.T) {
+	keys := []uint64{0, 1, 2, 3, 7, 42, 1000, 65536, 1 << 32, 0xffffffffffffffff, 0xdeadbeef, 123456789}
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		for _, r := range []int{1, 2, 3} {
+			a := NewAssignment(n, r)
+			for _, k := range keys {
+				row := a.RowOf(k)
+				if row != BackendFor(k, n) {
+					t.Fatalf("RowOf(%d) = %d under n=%d, want BackendFor's %d", k, row, n, BackendFor(k, n))
+				}
+				if a.Replicas(row)[0] != row {
+					t.Fatalf("row %d primary = %d, want the row index (n=%d, r=%d)", row, a.Replicas(row)[0], n, r)
+				}
+				if a.Primary(k) != BackendFor(k, n) {
+					t.Fatalf("Primary(%d) = %d, want %d", k, a.Primary(k), BackendFor(k, n))
+				}
+			}
+		}
+	}
+}
+
+// TestAssignmentClamps: degenerate n and r clamp instead of panicking.
+func TestAssignmentClamps(t *testing.T) {
+	a := NewAssignment(0, 0)
+	if a.Backends != 1 || a.Replication != 1 || len(a.Table) != 1 || len(a.Table[0]) != 1 {
+		t.Fatalf("NewAssignment(0,0) = %+v, want the 1-backend singleton", a)
+	}
+	if a := NewAssignment(2, 9); a.Replication != 2 || len(a.Table[0]) != 2 {
+		t.Fatalf("r > n must clamp to n: %+v", a)
+	}
+}
+
+// TestAssignmentRoundTrip: a table survives the JSON wire form the
+// /v1/assignment endpoint and the -assignment flag use.
+func TestAssignmentRoundTrip(t *testing.T) {
+	a := NewAssignment(4, 2)
+	a.Version = 7
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseAssignment(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip changed the table: %+v vs %+v", a, b)
+	}
+}
+
+// TestAssignmentValidate rejects the malformed tables an operator could
+// hand the -assignment flag.
+func TestAssignmentValidate(t *testing.T) {
+	bad := []Assignment{
+		{Version: 1, Backends: 0, Table: [][]int{{0}}},            // no backends
+		{Version: 1, Backends: 2, Table: nil},                     // no rows
+		{Version: 1, Backends: 2, Table: [][]int{{}}},             // empty row
+		{Version: 1, Backends: 2, Table: [][]int{{0, 2}}},         // out of range
+		{Version: 1, Backends: 2, Table: [][]int{{-1}}},           // negative
+		{Version: 1, Backends: 2, Table: [][]int{{1, 1}}},         // duplicate replica
+		{Version: 1, Backends: 4, Table: [][]int{{0, 1}, {2, 2}}}, // dup in later row
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted malformed table %+v", i, a)
+		}
+	}
+	if _, err := ParseAssignment([]byte(`{"version":1,`)); err == nil {
+		t.Error("ParseAssignment accepted truncated JSON")
+	}
+	if _, err := ParseAssignment([]byte(`{"version":1,"backends":2,"replication":2,"table":[[0,1],[1,0]]}`)); err != nil {
+		t.Errorf("ParseAssignment rejected a valid table: %v", err)
+	}
+}

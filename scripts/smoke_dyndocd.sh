@@ -148,3 +148,63 @@ status=$(curl -s -o /dev/null -w '%{http_code}' "http://$B3/v1/extract?id=205&of
 [ "$status" = 404 ] || fail "deleted doc 205 resurrected after kill -9 (status $status)"
 
 echo "SMOKE OK: WAL backend survived kill -9 with all acknowledged writes intact"
+
+echo "== replication: R=2 fleet serves every read with one backend killed -9"
+B4=127.0.0.1:7184
+B5=127.0.0.1:7185
+FE2=127.0.0.1:7186
+"$workdir/dyndocd" -listen "$B4" -shards 2 >"$workdir/b4.log" 2>&1 &
+pids="$pids $!"
+b4_pid=$!
+"$workdir/dyndocd" -listen "$B5" -shards 2 >"$workdir/b5.log" 2>&1 &
+pids="$pids $!"
+wait_healthy "$B4"
+wait_healthy "$B5"
+"$workdir/dyndocd" -mode frontend -listen "$FE2" -backends "$B4,$B5" \
+    -replication 2 -op-timeout 2s -retries 4 -retry-base 20ms \
+    -breaker-failures 3 -breaker-cooldown 500ms >"$workdir/fe2.log" 2>&1 &
+pids="$pids $!"
+wait_healthy "$FE2"
+
+out=$(curl -fsS "http://$FE2/v1/assignment")
+echo "$out" | grep -q '"replication":2' || fail "assignment table not replicated: $out"
+body='{"docs":['
+for id in $(seq 301 330); do
+    body="$body{\"id\":$id,\"text\":\"replicated document $id with a needle inside\"},"
+done
+body="${body%,}]}"
+out=$(curl -fsS -X POST -d "$body" "http://$FE2/v1/insert")
+echo "$out" | grep -q '"inserted":30' || fail "replicated insert reply: $out"
+status=$(curl -s -o /dev/null -w '%{http_code}' "http://$FE2/readyz")
+[ "$status" = 200 ] || fail "healthy fleet readyz returned $status"
+
+kill -9 "$b4_pid"
+wait "$b4_pid" 2>/dev/null || true
+
+# Reads must answer — correctly and repeatedly — with a replica dead.
+for i in 1 2 3 4 5; do
+    out=$(curl -fsS "http://$FE2/v1/count?q=needle") || fail "count #$i failed with one replica dead"
+    echo "$out" | grep -q '"count":30' || fail "count #$i with one replica dead: $out"
+    echo "$out" | grep -q '"partial":true' && fail "count #$i silently partial: $out"
+done
+lines=$(curl -fsS "http://$FE2/v1/find?q=needle" | grep -c '"doc"')
+[ "$lines" -eq 30 ] || fail "find with one replica dead streamed $lines lines, want 30"
+
+# Writes need the full replica set: they must fail loudly, not half-apply
+# in silence.
+status=$(curl -s -o "$workdir/deadwrite.json" -w '%{http_code}' -X POST \
+    -d '{"docs":[{"id":400,"text":"doomed"}]}' "http://$FE2/v1/insert")
+[ "$status" = 502 ] || fail "insert with a dead replica returned status $status, want 502"
+grep -q '"error"' "$workdir/deadwrite.json" || fail "dead-replica insert error body: $(cat "$workdir/deadwrite.json")"
+
+# The tripped breaker surfaces in /readyz: degraded, naming the backend.
+ready=200
+for i in $(seq 1 50); do
+    ready=$(curl -s -o "$workdir/readyz.json" -w '%{http_code}' "http://$FE2/readyz")
+    [ "$ready" = 503 ] && break
+    sleep 0.1
+done
+[ "$ready" = 503 ] || fail "readyz stayed $ready with a dead replica, want 503"
+grep -q "$B4" "$workdir/readyz.json" || fail "readyz does not name the dead backend: $(cat "$workdir/readyz.json")"
+
+echo "SMOKE OK: replicated fleet served every read through a kill -9, refused unsafe writes, reported degraded"
